@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper, times the
+regeneration, verifies every paper claim attached to the experiment,
+and prints the regenerated rows/series so a benchmark run reproduces
+the evaluation section end to end (run with ``-s`` to see the output).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentOutput
+from repro.reporting.compare import summarize
+from repro.reporting.series import render_series
+from repro.reporting.tables import render_table
+
+#: iterations per (env, app, size) point; the paper ran 5
+BENCH_ITERATIONS = 5
+
+
+def regenerate(benchmark, experiment_id: str, *, iterations: int = BENCH_ITERATIONS) -> ExperimentOutput:
+    """Time one experiment regeneration, then print and verify it."""
+    out = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"seed": 0, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    if out.table is not None:
+        print(render_table(out.table))
+    for series in out.series:
+        print(render_series(series))
+        print()
+    results = out.check()
+    print(summarize(results))
+    failing = [r.claim for r in results if not r.holds]
+    assert not failing, f"{experiment_id}: paper claims failed: {failing}"
+    return out

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating the paper's eight figures."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig1_kripke_grind_time(benchmark):
+    """Figure 1: Kripke grind time across CPU environments."""
+    out = regenerate(benchmark, "fig1")
+    assert out.series
+
+
+def test_fig2_amg2023_fom(benchmark):
+    """Figure 2: AMG2023 FOM, CPU and GPU panels."""
+    out = regenerate(benchmark, "fig2")
+    assert len(out.series) == 2
+
+
+def test_fig3_laghos_fom(benchmark):
+    """Figure 3: Laghos major-kernels rate on CPU."""
+    out = regenerate(benchmark, "fig3")
+    # Only on-prem and the completing clouds have points at 32/64.
+    assert out.series[0].lines
+
+
+def test_fig4_lammps_fom(benchmark):
+    """Figure 4: LAMMPS Matom-steps/s, CPU and GPU panels."""
+    out = regenerate(benchmark, "fig4")
+    assert len(out.series) == 2
+
+
+def test_fig5_osu_benchmarks(benchmark):
+    """Figure 5: OSU latency / bandwidth / allreduce at 256 nodes."""
+    out = regenerate(benchmark, "fig5")
+    assert len(out.series) == 3
+
+
+def test_fig6_minife_fom(benchmark):
+    """Figure 6: MiniFE Total CG Mflops, CPU and GPU panels."""
+    out = regenerate(benchmark, "fig6")
+    assert len(out.series) == 2
+
+
+def test_fig7_mtgemm_gpu(benchmark):
+    """Figure 7: MT-GEMM GFLOP/s on GPU (CPU omitted, as in the paper)."""
+    out = regenerate(benchmark, "fig7")
+    assert len(out.series) == 1
+
+
+def test_fig8_quicksilver(benchmark):
+    """Figure 8: Quicksilver segments over cycle tracking time."""
+    out = regenerate(benchmark, "fig8")
+    assert out.series

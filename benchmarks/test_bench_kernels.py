@@ -1,0 +1,72 @@
+"""Benchmarks of the real numerical kernels backing the app models.
+
+These time the genuine NumPy implementations (§2.8's numerical cores),
+demonstrating the machine-local side of the study: Stream Triad, CG,
+multigrid, GEMM, Monte Carlo transport, and the KBA sweep.
+"""
+
+import numpy as np
+
+from repro.machine.kernels.cg import conjugate_gradient, poisson_2d
+from repro.machine.kernels.gemm import blocked_gemm
+from repro.machine.kernels.mc import mc_transport
+from repro.machine.kernels.md import md_step
+from repro.machine.kernels.multigrid import v_cycle_solve
+from repro.machine.kernels.sweep import kba_sweep
+from repro.machine.kernels.triad import triad
+
+
+def test_stream_triad_kernel(benchmark):
+    """Stream Triad: a = b + 3c over 2M doubles (memory-bandwidth bound)."""
+    rng = np.random.default_rng(0)
+    b = rng.random(2_000_000)
+    c = rng.random(2_000_000)
+    out = np.empty_like(b)
+    result = benchmark(triad, b, c, 3.0, out)
+    assert np.allclose(result[:10], b[:10] + 3.0 * c[:10])
+
+
+def test_cg_solve_kernel(benchmark):
+    """MiniFE core: CG on a 64x64 Poisson system."""
+    A = poisson_2d(64)
+    bvec = np.ones(64 * 64)
+    result = benchmark(conjugate_gradient, A, bvec)
+    assert result.converged
+
+
+def test_multigrid_vcycle_kernel(benchmark):
+    """AMG2023 core: 5 V-cycles on a 129x129 Poisson grid."""
+    result = benchmark(v_cycle_solve, 129, cycles=5)
+    assert result.residual_history[-1] < result.residual_history[0]
+
+
+def test_blocked_gemm_kernel(benchmark):
+    """MT-GEMM core: cache-blocked 384x384 matrix multiply."""
+    rng = np.random.default_rng(1)
+    A = rng.random((384, 384))
+    B = rng.random((384, 384))
+    C = benchmark(blocked_gemm, A, B, 128)
+    assert C.shape == (384, 384)
+
+
+def test_mc_transport_kernel(benchmark):
+    """Quicksilver core: 20k-particle slab transport cycle."""
+    result = benchmark(mc_transport, 20_000, seed=0)
+    assert result.total_terminated == 20_000
+
+
+def test_md_step_kernel(benchmark):
+    """LAMMPS core: one velocity-Verlet step of a 200-atom LJ system."""
+    rng = np.random.default_rng(2)
+    pos = rng.random((200, 3)) * 8.0
+    vel = rng.normal(0, 0.1, (200, 3))
+    new_pos, new_vel, energy = benchmark(md_step, pos, vel, 8.0)
+    assert new_pos.shape == (200, 3)
+
+
+def test_kba_sweep_kernel(benchmark):
+    """Kripke core: wavefront sweep over a 512x512 grid."""
+    rng = np.random.default_rng(3)
+    q = rng.random((512, 512))
+    psi = benchmark(kba_sweep, q, 0.3)
+    assert psi.shape == q.shape

@@ -1,0 +1,39 @@
+"""Benchmarks regenerating the in-text results of §3.2–§3.4."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_hookup_times(benchmark):
+    """§3.2: hookup times, including both Azure anomalies."""
+    out = regenerate(benchmark, "hookup", iterations=10)
+    assert out.table.rows
+
+
+def test_stream_triad(benchmark):
+    """§3.3 Stream: CPU cluster aggregates and per-GPU Triad figures."""
+    out = regenerate(benchmark, "stream")
+    assert out.table.rows
+
+
+def test_ecc_survey(benchmark):
+    """§3.3 Mixbench: the ECC fleet survey (Azure mixed, others on)."""
+    out = regenerate(benchmark, "ecc", iterations=8)
+    assert out.table.rows
+
+
+def test_single_node_benchmark(benchmark):
+    """§3.3: the supermarket fish problem (AKS anomaly detection)."""
+    out = regenerate(benchmark, "nodebench", iterations=1)
+    assert out.table.rows
+
+
+def test_study_costs(benchmark):
+    """§3.4: per-cloud study spend against the $49k budgets."""
+    out = regenerate(benchmark, "costs", iterations=2)
+    assert out.table.rows
+
+
+def test_container_matrix(benchmark):
+    """§3.1 Application Setup: the container build funnel."""
+    out = regenerate(benchmark, "containers", iterations=0)
+    assert out.table.rows

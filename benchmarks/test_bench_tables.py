@@ -1,0 +1,27 @@
+"""Benchmarks regenerating the paper's four tables."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table1_environment_characteristics(benchmark):
+    """Table 1: the 14 study environments and their schedulers/runtimes."""
+    out = regenerate(benchmark, "table1")
+    assert len(out.table.rows) == 14
+
+
+def test_table2_nodes_and_network(benchmark):
+    """Table 2: node types, processors, memory, fabrics, hourly cost."""
+    out = regenerate(benchmark, "table2")
+    assert len(out.table.rows) == 14
+
+
+def test_table3_usability_assessment(benchmark):
+    """Table 3: the low/medium/high effort grid (13 environments)."""
+    out = regenerate(benchmark, "table3")
+    assert len(out.table.rows) == 13
+
+
+def test_table4_amg2023_costs(benchmark):
+    """Table 4: AMG2023 total cost by environment, cheapest first."""
+    out = regenerate(benchmark, "table4")
+    assert len(out.table.rows) == 11

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Cost planning: which environment should run your workload?
+
+§4.2 advises benchmarking the node-cost/execution-time trade-off before
+committing a budget.  This example does that for AMG2023: it simulates
+the weak-scaling sweep in every cloud environment, prices each, and
+prints a recommendation — reproducing the paper's headline finding that
+GPU runs are cheaper despite the pricier instances (Table 4).
+
+It also demonstrates the budget guard with cost-reporting lag: a
+Azure-style 24-hour lag lets a day of overspending through before the
+console shows it.
+"""
+
+from repro.cloud.providers import Azure
+from repro.core.costs import amg_cost_table, cheapest_accelerator
+from repro.envs.registry import cpu_environments, gpu_environments
+from repro.errors import BudgetExceededError
+from repro.experiments.base import run_matrix
+from repro.reporting.tables import Table, render_table
+from repro.units import HOUR, fmt_usd
+
+
+def recommend() -> None:
+    envs = [e for e in cpu_environments() + gpu_environments() if e.cloud != "p"]
+    store = run_matrix(envs, ["amg2023"], iterations=3, seed=0)
+    rows = amg_cost_table(store)
+
+    table = Table(
+        title="AMG2023: total cost to run the full size sweep (3 iterations)",
+        columns=("Environment", "Accel", "$/hr/node", "Total"),
+    )
+    for r in rows:
+        table.add(r.display_name, r.accelerator, f"${r.cost_per_hour:.2f}",
+                  fmt_usd(r.total_cost))
+    print(render_table(table))
+    best = rows[0]
+    print(f"\nrecommendation: {best.display_name} ({best.accelerator}) at "
+          f"{fmt_usd(best.total_cost)} total")
+    print(f"cheaper accelerator class overall: {cheapest_accelerator(rows)} "
+          "(despite higher instance prices — Table 4's finding)")
+
+
+def budget_lag_demo() -> None:
+    print("\n--- budget guard vs reporting lag (§4.2) ---")
+    az = Azure(seed=0, budget=5_000.0)
+    az.request_quota("ND40rs_v2", 33)
+    cluster = az.provision_cluster("ND40rs_v2", 32, environment_kind="vm")
+    az.release_cluster(cluster, now=10 * HOUR)  # ~$7k of GPU time
+    for hours in (12, 24, 40):
+        try:
+            az.meter.check_budget("az", at_time=hours * HOUR)
+            print(f"t={hours:>3}h: console shows "
+                  f"{fmt_usd(az.meter.reported(hours * HOUR, 'az'))} — guard silent")
+        except BudgetExceededError as e:
+            print(f"t={hours:>3}h: BUDGET EXCEEDED — spent {fmt_usd(e.spent)} "
+                  f"of {fmt_usd(e.budget)} (visible only after the 24h lag)")
+
+
+def main() -> None:
+    recommend()
+    budget_lag_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Elastic ensembles and resource-acquisition planning.
+
+The paper's discussion (§4.1) sketches the converged-computing workflow
+this library's extensions support end to end:
+
+1. **Plan the acquisition** with the HPC-style queue estimator the paper
+   wishes clouds offered, falling back to a capacity block when the
+   GPU pool can't cover the request.
+2. **Choose a scaling strategy** by pricing the campaign's job trace
+   under auto-scaling vs a static cluster ("Auto-scaling should be used
+   carefully").
+3. **Run the ensemble** as a hierarchy of Flux instances — the Flux
+   Operator pattern: a parent instance carves per-member child
+   instances, members run concurrently, and the parent reclaims nodes.
+"""
+
+from repro.cloud.autoscaler import bursty_trace, compare_strategies, steady_trace
+from repro.cloud.reservations import CapacityBlockMarket, QueueEstimator
+from repro.scheduler.base import Job
+from repro.scheduler.flux import FluxScheduler
+from repro.units import fmt_usd
+
+
+def plan_acquisition() -> None:
+    print("=== 1. acquisition planning ===")
+    estimator = QueueEstimator(seed=3)
+    for nodes in (8, 24, 64):
+        est = estimator.estimate("aws", "p3dn.24xlarge", nodes)
+        wait = "inf" if est.estimated_wait == float("inf") else f"{est.estimated_wait / 3600:.1f}h"
+        print(f"  {nodes:3d} GPU nodes: est. wait {wait:>6s} "
+              f"(confidence {est.confidence:.0%}) — {est.advice}")
+
+    market = CapacityBlockMarket()
+    block = market.reserve("aws", "p3dn.24xlarge", 32, start=0.0, hours=48.0)
+    print(f"  reserved capacity block: {block.nodes} nodes x "
+          f"{block.duration_hours:.0f}h = {fmt_usd(block.total_cost)} "
+          "(the study's 48-hour GPU window, §3.1)")
+
+
+def choose_strategy() -> None:
+    print("\n=== 2. scaling strategy ===")
+    for label, trace in (("bursty (6 jobs, 4h apart)", bursty_trace()),
+                         ("steady (20 back-to-back jobs)", steady_trace())):
+        results = compare_strategies(trace)
+        auto, static = results["autoscale"], results["static"]
+        winner = "autoscale" if auto.cost_usd < static.cost_usd else "static"
+        print(f"  {label:32s} autoscale {fmt_usd(auto.cost_usd):>10s} "
+              f"({auto.scaling_operations} ops) vs static "
+              f"{fmt_usd(static.cost_usd):>10s} -> use {winner}")
+
+
+def run_ensemble() -> None:
+    print("\n=== 3. hierarchical Flux ensemble ===")
+    parent = FluxScheduler(nodes=64)
+    members = []
+    for i in range(4):
+        child = parent.spawn_child(16)
+        for j in range(3):
+            child.submit(Job(f"member{i}-sim{j}", nodes=16, runtime=120.0,
+                             walltime_limit=3600.0))
+        members.append(child)
+    parent.events.run()
+    for i, child in enumerate(members):
+        print(f"  member {i}: {child.stats.completed} simulations completed, "
+              f"mean wait {child.stats.mean_wait:.1f}s")
+    for child in members:
+        parent.teardown_child(child)
+    print(f"  parent reclaimed all nodes: {parent.pool.free_count}/64 free")
+
+
+def main() -> None:
+    plan_acquisition()
+    choose_strategy()
+    run_ensemble()
+
+
+if __name__ == "__main__":
+    main()

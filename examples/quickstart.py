@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Quickstart: run one HPC app on one cloud environment and read the FOM.
+
+This is the smallest useful slice of the library: pick an environment
+from Table 1, pick an application from §2.8, pick a scale, and run.
+"""
+
+from repro import ExecutionEngine, environment
+from repro.units import fmt_seconds, fmt_usd
+
+
+def main() -> None:
+    engine = ExecutionEngine(seed=7)
+
+    # AMG2023 (weak scaled) on Amazon EKS at 64 CPU nodes.
+    env = environment("cpu-eks-aws")
+    record = engine.run(env, "amg2023", scale=64)
+
+    print(f"environment : {env.display_name} ({env.env_id})")
+    print(f"instances   : {record.nodes} x {env.instance().name}")
+    print(f"fabric      : {env.base_fabric().name}")
+    print(f"state       : {record.state.value}")
+    print(f"FOM         : {record.fom:.4g} {record.fom_units}")
+    print(f"wall time   : {fmt_seconds(record.wall_seconds)}")
+    print(f"hookup time : {fmt_seconds(record.hookup_seconds)}")
+    print(f"cost        : {fmt_usd(record.cost_usd)}")
+
+    # The same app on the on-premises cluster A, for comparison.
+    onprem = engine.run(environment("cpu-onprem-a"), "amg2023", scale=64)
+    ratio = onprem.fom / record.fom
+    print()
+    print(f"on-prem A FOM is {ratio:.2f}x the EKS FOM at the same size")
+    print("(Figure 2: on-premises had the highest CPU FOMs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scaling study: strong- and weak-scaling sweeps across environments.
+
+Reproduces the core of the paper's §3.3 methodology for two contrasting
+applications:
+
+* LAMMPS (strong scaled) — where does scaling stop per environment?
+* AMG2023 (weak scaled) — who sustains FOM growth to 256 units?
+
+Prints a per-environment scaling table with parallel efficiency, then
+the figure-style series renderings.
+"""
+
+from repro.core.analysis import fom_series, parallel_efficiency
+from repro.envs.registry import cpu_environments
+from repro.experiments.base import run_matrix, series_from_store
+from repro.reporting.series import render_series
+from repro.reporting.tables import Table, render_table
+
+ITERATIONS = 3
+
+
+def scaling_report(app: str, *, higher_is_better: bool = True) -> None:
+    store = run_matrix(cpu_environments(), [app], iterations=ITERATIONS, seed=0)
+
+    table = Table(
+        title=f"{app} scaling (CPU environments, mean of {ITERATIONS} runs)",
+        columns=("Environment", "32", "64", "128", "256", "eff 32->256"),
+        caption="FOM per size; 'eff' is parallel efficiency vs the 32-node run.",
+    )
+    for env in cpu_environments():
+        series = fom_series(store, env.env_id, app)
+        cells = []
+        for size in (32, 64, 128, 256):
+            stat = series.get(size)
+            cells.append(f"{stat.mean:.3g}" if stat else "-")
+        eff = parallel_efficiency(
+            store, env.env_id, app, 32, 256, higher_is_better=higher_is_better
+        )
+        cells.append(f"{eff:.2f}" if eff is not None else "-")
+        table.add(env.env_id, *cells)
+    print(render_table(table))
+    print()
+    print(render_series(series_from_store(
+        store, app, title=f"{app} FOM by environment", y_label="FOM",
+        higher_is_better=higher_is_better,
+    )))
+    print()
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Strong scaling: LAMMPS (fixed 2.6M-atom ReaxFF problem)")
+    print("=" * 72)
+    scaling_report("lammps")
+
+    print("=" * 72)
+    print("Weak scaling: AMG2023 (256x256x128 grid per node)")
+    print("=" * 72)
+    scaling_report("amg2023")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Usability assessment: run a small study campaign and score the effort.
+
+Mirrors the paper's §2.5/§3.1 workflow:
+
+1. run a campaign on a set of environments (containers get built,
+   clusters provisioned, faults recorded as incidents);
+2. merge the campaign's incident log with the curated incident database;
+3. print the Table 3 effort grid plus the incident narrative per
+   environment.
+"""
+
+from repro.core.study import StudyConfig, StudyRunner
+from repro.core.usability import usability_table
+from repro.reporting.tables import Table, render_table
+
+
+def main() -> None:
+    config = StudyConfig(
+        env_ids=("cpu-eks-aws", "cpu-aks-az", "cpu-gke-g", "gpu-cyclecloud-az"),
+        apps=("amg2023", "lammps", "osu"),
+        sizes=(32, 256),
+        iterations=2,
+        seed=11,
+    )
+    print("running campaign:", ", ".join(config.env_ids))
+    report = StudyRunner(config).run()
+    print(
+        f"-> {report.datasets} datasets, {report.clusters_created} clusters, "
+        f"{report.containers_built} containers built "
+        f"({report.containers_failed} failed)\n"
+    )
+
+    assessments = usability_table(extra=report.incidents)
+
+    table = Table(
+        title="Environment Usability - Assessment of Effort (Table 3)",
+        columns=("Environment", "Acc", "Setup", "Dev", "App Setup", "Manual"),
+    )
+    for a in assessments:
+        table.add(*a.as_row())
+    print(render_table(table))
+
+    print("\nIncident narratives (campaign-observed incidents marked *):")
+    for a in assessments:
+        if a.env_id not in config.env_ids:
+            continue
+        print(f"\n{a.display_name} [{a.accelerator.upper()}]"
+              f" — account difficulty: {a.account_difficulty}")
+        for inc in a.incidents:
+            marker = "*" if inc.source.startswith(("fault:", "build:")) else " "
+            print(f"  {marker} [{inc.category:>19s}] "
+                  f"{inc.effort_minutes:6.0f} min  {inc.description[:70]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show available experiments, environments, and applications;
+* ``experiment <id>`` — regenerate one table/figure and verify its
+  paper claims (``--iterations``, ``--seed``);
+* ``run <env> <app> <scale>`` — a single simulated run;
+* ``study`` — a campaign over selected environments/apps, with the
+  dataset CSV optionally written to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.registry import APPS
+from repro.core.study import StudyConfig, StudyRunner
+from repro.envs.registry import ENVIRONMENTS, environment
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.reporting.compare import summarize
+from repro.reporting.series import render_series
+from repro.reporting.tables import render_table
+from repro.sim.execution import ExecutionEngine
+from repro.units import fmt_seconds, fmt_usd
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for eid in sorted(EXPERIMENTS):
+        print(f"  {eid}")
+    print("\nenvironments:")
+    for env_id, env in ENVIRONMENTS.items():
+        marker = "" if env.deployable else "  (undeployable, §3.1)"
+        print(f"  {env_id:28s} {env.display_name}{marker}")
+    print("\napplications:")
+    for name, model in APPS.items():
+        print(f"  {name:14s} {model.fom_name} [{model.fom_units}], {model.scaling} scaled")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    out = run_experiment(args.id, seed=args.seed, iterations=args.iterations)
+    if out.table is not None:
+        print(render_table(out.table))
+    for series in out.series:
+        print(render_series(series))
+        print()
+    results = out.check()
+    print(summarize(results))
+    if out.notes:
+        print(f"\nnotes: {out.notes}")
+    return 0 if all(r.holds for r in results) else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = ExecutionEngine(seed=args.seed)
+    env = environment(args.env)
+    record = engine.run(env, args.app, args.scale, iteration=args.iteration)
+    print(f"state   : {record.state.value}")
+    if record.fom is not None:
+        print(f"FOM     : {record.fom:.6g} {record.fom_units}")
+    if record.failure_kind:
+        print(f"failure : {record.failure_kind}")
+    print(f"wall    : {fmt_seconds(record.wall_seconds)}")
+    print(f"hookup  : {fmt_seconds(record.hookup_seconds)}")
+    print(f"cost    : {fmt_usd(record.cost_usd)}")
+    return 0 if record.ok else 1
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    env_ids = tuple(args.envs.split(",")) if args.envs else tuple(ENVIRONMENTS)
+    apps = tuple(args.apps.split(",")) if args.apps else tuple(APPS)
+    config = StudyConfig(
+        env_ids=env_ids,
+        apps=apps,
+        sizes=tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    report = StudyRunner(config).run()
+    print(f"datasets          : {report.datasets}")
+    print(f"clusters created  : {report.clusters_created}")
+    print(f"containers built  : {report.containers_built} "
+          f"({report.containers_failed} failed)")
+    for cloud, spend in sorted(report.spend_by_cloud.items()):
+        print(f"spend on {cloud:3s}      : {fmt_usd(spend)}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report.store.to_csv())
+        print(f"dataset CSV       : {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.report import generate_report
+
+    text = generate_report(seed=args.seed, iterations=args.iterations)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Usability Evaluation of "
+        "Cloud for HPC Applications' (SC 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, environments, apps")
+
+    p_exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--iterations", type=int, default=None)
+
+    p_run = sub.add_parser("run", help="run one app on one environment")
+    p_run.add_argument("env", choices=sorted(ENVIRONMENTS))
+    p_run.add_argument("app", choices=sorted(APPS))
+    p_run.add_argument("scale", type=int)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--iteration", type=int, default=0)
+
+    p_study = sub.add_parser("study", help="run a study campaign")
+    p_study.add_argument("--envs", help="comma-separated environment ids")
+    p_study.add_argument("--apps", help="comma-separated app names")
+    p_study.add_argument("--sizes", help="comma-separated scales")
+    p_study.add_argument("--iterations", type=int, default=2)
+    p_study.add_argument("--seed", type=int, default=0)
+    p_study.add_argument("--output", help="write dataset CSV here")
+
+    p_report = sub.add_parser("report", help="render the full evaluation report")
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--iterations", type=int, default=None)
+    p_report.add_argument("-o", "--output", help="write markdown here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "run": _cmd_run,
+        "study": _cmd_study,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Single-node benchmark: hardware inventory + the supermarket fish problem.
+
+§2.8: the study's own benchmark collects dmidecode output,
+/proc/cpuinfo, hwloc topology, and sysbench results from every node.
+§3.3: machines were consistent *except one AKS instance that reported
+only two processors across collection mechanisms* — the "supermarket
+fish problem": you buy an instance type, but what species you actually
+get is uncertain.
+
+:class:`SingleNodeBenchmark` produces per-node :class:`NodeInventory`
+records and :func:`find_fish` flags nodes whose reported hardware
+deviates from the cluster's modal configuration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel, AppResult, RunContext
+
+#: probability that an AKS node comes up misreporting its CPU count
+AKS_FISH_PROBABILITY = 0.01
+
+
+@dataclass(frozen=True)
+class NodeInventory:
+    """What the collection tools reported for one node."""
+
+    node_index: int
+    cpu_model: str
+    reported_cpus: int
+    memory_gb: int
+    gpus: int
+    topology_ok: bool
+
+    def signature(self) -> tuple:
+        return (self.cpu_model, self.reported_cpus, self.memory_gb, self.gpus)
+
+
+def find_fish(inventories: list[NodeInventory]) -> list[NodeInventory]:
+    """Nodes that differ from the modal hardware signature."""
+    if not inventories:
+        return []
+    counts = Counter(inv.signature() for inv in inventories)
+    modal, _ = counts.most_common(1)[0]
+    return [inv for inv in inventories if inv.signature() != modal]
+
+
+class SingleNodeBenchmark(AppModel):
+    name = "single-node"
+    display_name = "Single Node Benchmark"
+    fom_name = "anomalous nodes"
+    fom_units = "count"
+    higher_is_better = False
+    scaling = "weak"
+
+    def collect(self, ctx: RunContext) -> list[NodeInventory]:
+        itype = ctx.env.instance()
+        inventories = []
+        for i in range(ctx.nodes):
+            cpus = itype.cores
+            # The AKS anomaly: a node reporting 2 processors.
+            if ctx.env.env_id.startswith("cpu-aks") or ctx.env.env_id.startswith("gpu-aks"):
+                if ctx.rng.random() < AKS_FISH_PROBABILITY:
+                    cpus = 2
+            inventories.append(
+                NodeInventory(
+                    node_index=i,
+                    cpu_model=itype.processor.model,
+                    reported_cpus=cpus,
+                    memory_gb=itype.memory_gb,
+                    gpus=itype.gpus_per_node,
+                    topology_ok=True,
+                )
+            )
+        return inventories
+
+    def simulate(self, ctx: RunContext) -> AppResult:
+        inventories = self.collect(ctx)
+        fish = find_fish(inventories)
+        return self._result(
+            ctx,
+            fom=float(len(fish)),
+            wall=120.0,
+            phases={"collect": 120.0},
+            extra={
+                "nodes_surveyed": len(inventories),
+                "anomalies": [f.node_index for f in fish],
+            },
+        )

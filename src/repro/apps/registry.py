@@ -1,0 +1,43 @@
+"""Application registry: the 11 apps of the study."""
+
+from __future__ import annotations
+
+from repro.apps.amg2023 import AMG2023
+from repro.apps.base import AppModel
+from repro.apps.kripke import Kripke
+from repro.apps.laghos import Laghos
+from repro.apps.lammps import LAMMPS
+from repro.apps.minife import MiniFE
+from repro.apps.mixbench import Mixbench
+from repro.apps.mtgemm import MTGemm
+from repro.apps.nodebench import SingleNodeBenchmark
+from repro.apps.osu import OSUBenchmarks
+from repro.apps.quicksilver import Quicksilver
+from repro.apps.stream import Stream
+
+APPS: dict[str, AppModel] = {
+    a.name: a
+    for a in (
+        AMG2023(),
+        Laghos(),
+        LAMMPS(),
+        Kripke(),
+        MiniFE(),
+        MTGemm(),
+        Mixbench(),
+        OSUBenchmarks(),
+        Stream(),
+        Quicksilver(),
+        SingleNodeBenchmark(),
+    )
+}
+
+
+def app(name: str) -> AppModel:
+    """Look up an application model by registry name."""
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(APPS)}"
+        ) from None

@@ -1,0 +1,58 @@
+"""Stream Triad: memory bandwidth (§2.8, §3.3).
+
+Two configurations, as in the study:
+
+* **CPU, single-node run on every node** — reported as the aggregate
+  GB/s across the cluster.  §3.3 reports (64-node clusters): GKE
+  6800.9 ± 2402.3, Compute Engine 6239.4 ± 2326.1, EKS 3013.2 ± 880.3,
+  AKS 2579.5 ± 907.6 — per-node rates far below nominal and wildly
+  varied, which the environment's ``stream_efficiency`` captures.
+* **GPU, across nodes** — per-GPU Triad GB/s.  All V100 environments
+  land near 783 GB/s (ECC on) with Azure's slightly lower at ~748.
+
+The kernel itself is implemented and measured for real in
+:mod:`repro.machine.kernels.triad`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, AppResult, RunContext
+
+#: coefficient of variation of per-node CPU triad in cloud (§3.3: ~35%)
+CPU_TRIAD_CV = 0.35
+GPU_TRIAD_CV = 0.005
+
+
+class Stream(AppModel):
+    name = "stream"
+    display_name = "STREAM Triad"
+    fom_name = "Triad bandwidth"
+    fom_units = "GB/s"
+    higher_is_better = True
+    scaling = "weak"
+
+    def simulate(self, ctx: RunContext) -> AppResult:
+        env = ctx.env
+        if env.is_gpu:
+            gpu = ctx.node_model.gpu_model
+            assert gpu is not None
+            # Reported Triad figures are for the ECC-on majority of the
+            # fleet (the ECC survey handles the mixed-Azure story).
+            per_gpu = gpu.with_ecc(True).effective_mem_bw() * env.stream_efficiency
+            value = self._noisy(ctx, per_gpu, cv=GPU_TRIAD_CV)
+            extra = {"per_gpu_gbs": value, "ecc_on": gpu.ecc_on}
+            fom = value
+        else:
+            nominal = ctx.node_model.mem_bw_gbs
+            # Sample every node; aggregate is the reported figure.
+            per_node = nominal * env.stream_efficiency
+            samples = per_node * ctx.rng.normal(1.0, CPU_TRIAD_CV, size=ctx.nodes)
+            samples = samples.clip(min=per_node * 0.1)
+            fom = float(samples.sum())
+            extra = {
+                "per_node_mean_gbs": float(samples.mean()),
+                "per_node_std_gbs": float(samples.std()),
+                "aggregate_gbs": fom,
+            }
+        wall = 30.0  # fixed benchmark duration
+        return self._result(ctx, fom=fom, wall=wall, phases={"triad": wall}, extra=extra)

@@ -1,0 +1,54 @@
+"""Cloud provider simulators.
+
+This package models the three public clouds (AWS, Microsoft Azure, Google
+Cloud) and the on-premises HPC center from the paper: instance catalogs,
+quota workflows, provisioning with realistic failure modes, placement
+policies, and billing with per-cloud reporting lag.
+"""
+
+from repro.cloud.catalog import (
+    CATALOG,
+    GpuSpec,
+    InstanceType,
+    Processor,
+    instance,
+    instances_for_cloud,
+)
+from repro.cloud.placement import PlacementGroup, PlacementPolicy, PlacementResult
+from repro.cloud.pricing import BillingMeter, CostReport
+from repro.cloud.providers import (
+    AWS,
+    Azure,
+    CloudProvider,
+    GoogleCloud,
+    OnPrem,
+    get_provider,
+)
+from repro.cloud.provisioner import Cluster, NodeInstance, Provisioner, ProvisionRequest
+from repro.cloud.quota import QuotaLedger, QuotaRequest
+
+__all__ = [
+    "AWS",
+    "Azure",
+    "BillingMeter",
+    "CATALOG",
+    "CloudProvider",
+    "Cluster",
+    "CostReport",
+    "GoogleCloud",
+    "GpuSpec",
+    "InstanceType",
+    "NodeInstance",
+    "OnPrem",
+    "PlacementGroup",
+    "PlacementPolicy",
+    "PlacementResult",
+    "Processor",
+    "ProvisionRequest",
+    "Provisioner",
+    "QuotaLedger",
+    "QuotaRequest",
+    "get_provider",
+    "instance",
+    "instances_for_cloud",
+]

@@ -1,0 +1,193 @@
+"""Auto-scaling model: §4.1's "Auto-scaling should be used carefully".
+
+The paper's guidance: auto-scaling suits *batches of infrequent work* —
+a small head node that scales workers up on demand — while regularly
+changing sizes belong on Kubernetes, and well-defined experiment plans
+should use static clusters of exactly the sizes needed (avoiding costs
+incurred waiting for resources).
+
+:class:`Autoscaler` simulates an autoscaling VM cluster processing a
+job trace: workers spin up on demand (paying boot latency), idle
+workers are reaped after a cooldown, and every node-second is metered.
+:func:`compare_strategies` prices the same trace under auto-scaling vs
+a static cluster, reproducing the paper's advice as a computable
+trade-off: bursty/infrequent traces favour auto-scaling, steady
+back-to-back experiment plans favour static clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.catalog import InstanceType, instance
+from repro.cloud.provisioner import BOOT_TIME_MEAN
+from repro.units import HOUR
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job in a workload trace."""
+
+    arrival: float  # seconds from trace start
+    nodes: int
+    duration: float  # seconds of execution once started
+
+
+@dataclass
+class ScalingEvent:
+    """A scale-up or scale-down decision."""
+
+    time: float
+    delta: int  # positive = nodes added
+    reason: str
+
+
+@dataclass
+class AutoscaleResult:
+    """Outcome of running a trace under one strategy."""
+
+    strategy: str
+    node_seconds: float
+    cost_usd: float
+    makespan: float
+    total_wait: float
+    scaling_events: list[ScalingEvent] = field(default_factory=list)
+
+    @property
+    def scaling_operations(self) -> int:
+        return len(self.scaling_events)
+
+
+@dataclass
+class Autoscaler:
+    """An autoscaling cluster with a persistent head node.
+
+    ``cooldown`` is how long an idle worker survives before reaping —
+    the knob the paper's advice turns on: minimizing scaling operations
+    and up/down time *relative to the work*.
+    """
+
+    instance_type: InstanceType
+    cooldown: float = 300.0
+    max_nodes: int = 256
+    head_nodes: int = 1
+
+    def run_trace(self, trace: list[TraceJob]) -> AutoscaleResult:
+        """Simulate the trace; jobs run as soon as their workers boot."""
+        if not trace:
+            return AutoscaleResult("autoscale", 0.0, 0.0, 0.0, 0.0)
+        boot = BOOT_TIME_MEAN.get(self.instance_type.cloud, 60.0)
+        events: list[ScalingEvent] = []
+        node_seconds = 0.0
+        total_wait = 0.0
+        makespan = 0.0
+        #: worker pools currently alive: (free_at, reap_at) per node
+        pool: list[dict] = []
+
+        for job in sorted(trace, key=lambda j: j.arrival):
+            # Reap workers whose cooldown expired before this arrival.
+            for w in list(pool):
+                if w["reap_at"] <= job.arrival:
+                    node_seconds += w["reap_at"] - w["born"]
+                    events.append(ScalingEvent(w["reap_at"], -1, "idle cooldown"))
+                    pool.remove(w)
+            # Reuse warm workers that are free.
+            warm = [w for w in pool if w["free_at"] <= job.arrival]
+            reused = warm[: job.nodes]
+            needed = job.nodes - len(reused)
+            if len(pool) + needed > self.max_nodes:
+                raise ValueError("trace exceeds max_nodes")
+            start = job.arrival if needed == 0 else job.arrival + boot
+            if needed:
+                events.append(ScalingEvent(job.arrival, needed, "scale-up for job"))
+            end = start + job.duration
+            total_wait += start - job.arrival
+            makespan = max(makespan, end)
+            for w in reused:
+                w["free_at"] = end
+                w["reap_at"] = end + self.cooldown
+            for _ in range(needed):
+                pool.append({"born": job.arrival, "free_at": end, "reap_at": end + self.cooldown})
+
+        for w in pool:
+            node_seconds += min(w["reap_at"], makespan + self.cooldown) - w["born"]
+        head_seconds = self.head_nodes * (makespan + self.cooldown)
+        node_seconds += head_seconds
+        cost = node_seconds / HOUR * self.instance_type.cost_per_hour
+        return AutoscaleResult(
+            strategy="autoscale",
+            node_seconds=node_seconds,
+            cost_usd=cost,
+            makespan=makespan,
+            total_wait=total_wait,
+            scaling_events=events,
+        )
+
+
+def run_static(trace: list[TraceJob], instance_type: InstanceType) -> AutoscaleResult:
+    """Price the same trace on a static cluster sized for the peak.
+
+    The §4.1 alternative: bring up exactly the needed size for the whole
+    campaign.  Jobs run back-to-back with no boot waits; the cluster is
+    billed from first arrival to last completion.
+    """
+    if not trace:
+        return AutoscaleResult("static", 0.0, 0.0, 0.0, 0.0)
+    peak = max(j.nodes for j in trace)
+    start = min(j.arrival for j in trace)
+    # Serial execution is the conservative bound when jobs overlap and
+    # exceed capacity; jobs that fit together run concurrently.
+    busy_until = start
+    makespan = start
+    total_wait = 0.0
+    running: list[tuple[float, int]] = []  # (end, nodes)
+    free = peak
+    for job in sorted(trace, key=lambda j: j.arrival):
+        t = job.arrival
+        running = [(e, n) for e, n in running if e > t]
+        free = peak - sum(n for _, n in running)
+        job_start = t
+        if job.nodes > free:
+            # Wait for enough endings.
+            for end, n in sorted(running):
+                free += n
+                job_start = end
+                if free >= job.nodes:
+                    break
+        total_wait += job_start - t
+        end = job_start + job.duration
+        running.append((end, job.nodes))
+        free -= job.nodes
+        makespan = max(makespan, end)
+    node_seconds = peak * (makespan - start)
+    return AutoscaleResult(
+        strategy="static",
+        node_seconds=node_seconds,
+        cost_usd=node_seconds / HOUR * instance_type.cost_per_hour,
+        makespan=makespan,
+        total_wait=total_wait,
+    )
+
+
+def compare_strategies(
+    trace: list[TraceJob], instance_name: str = "hpc6a.48xlarge",
+    *, cooldown: float = 300.0,
+) -> dict[str, AutoscaleResult]:
+    """Price a trace under both strategies; the cheaper one 'wins'."""
+    itype = instance(instance_name)
+    return {
+        "autoscale": Autoscaler(itype, cooldown=cooldown).run_trace(trace),
+        "static": run_static(trace, itype),
+    }
+
+
+def bursty_trace(jobs: int = 6, nodes: int = 32, duration: float = 600.0,
+                 gap: float = 4 * HOUR) -> list[TraceJob]:
+    """Infrequent batches — the workload §4.1 says suits auto-scaling."""
+    return [TraceJob(i * gap, nodes, duration) for i in range(jobs)]
+
+
+def steady_trace(jobs: int = 20, nodes: int = 32, duration: float = 600.0,
+                 gap: float = 650.0) -> list[TraceJob]:
+    """Back-to-back experiment plan — §4.1 says use a static cluster."""
+    return [TraceJob(i * gap, nodes, duration) for i in range(jobs)]

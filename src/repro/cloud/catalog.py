@@ -1,0 +1,235 @@
+"""Instance catalog: every node type from Table 2 of the paper.
+
+The catalog is the single source of truth for hardware characteristics.
+Each :class:`InstanceType` carries the processor model, core count and
+frequency, memory, network fabric name (resolved by
+:mod:`repro.network.fabrics`), hourly cost, and optional GPU
+configuration.
+
+Machine-model rates (flop/s per core, memory bandwidth) live in
+:mod:`repro.machine.rates`, keyed by :class:`Processor` architecture so
+that catalog data stays purely descriptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A CPU model.
+
+    ``arch`` keys into the machine-model rate table; ``base_ghz`` /
+    ``boost_ghz`` bracket the advertised frequency range from Table 2.
+    """
+
+    model: str
+    arch: str
+    base_ghz: float
+    boost_ghz: float
+
+    @property
+    def nominal_ghz(self) -> float:
+        """Representative sustained frequency (midpoint of base/boost)."""
+        return (self.base_ghz + self.boost_ghz) / 2.0
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU configuration attached to an instance type."""
+
+    model: str
+    count: int
+    memory_gb: int
+    #: whether the provider's image enables ECC by default (see §3.3,
+    #: Mixbench: all clouds default On except Azure, which is mixed).
+    ecc_default_on: bool = True
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One row of Table 2."""
+
+    name: str
+    cloud: str  # "aws" | "az" | "g" | "p"
+    processor: Processor
+    cores: int
+    memory_gb: int
+    fabric: str  # key into repro.network.fabrics.FABRICS
+    cost_per_hour: float  # USD; 0.0 for on-premises
+    gpu: GpuSpec | None = None
+    notes: str = ""
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.gpu.count if self.gpu else 0
+
+
+# ---------------------------------------------------------------------------
+# Processors (Table 2, "Processor/GPU" and "Cores/Frequency" columns)
+# ---------------------------------------------------------------------------
+
+XEON_8480 = Processor("Intel Xeon Platinum 8480+", "sapphire_rapids", 2.0, 3.8)
+EPYC_7R13 = Processor("AMD EPYC 7R13/7003", "milan", 2.65, 3.6)
+EPYC_7B13 = Processor("AMD EPYC 7B13", "milan", 2.45, 3.5)
+EPYC_7003 = Processor("AMD EPYC 7003", "milan", 1.9, 3.5)
+POWER9 = Processor("IBM Power9", "power9", 2.3, 3.5)
+XEON_8175 = Processor("Intel Xeon Platinum 8175", "skylake", 2.5, 3.1)
+XEON_HASWELL = Processor("Intel Xeon Haswell E5 v3", "haswell", 2.3, 2.3)
+XEON_8168 = Processor("Intel Xeon Platinum 8168", "skylake", 2.7, 3.7)
+
+V100_16 = GpuSpec("NVIDIA V100", count=8, memory_gb=16)
+V100_16_B = GpuSpec("NVIDIA V100", count=4, memory_gb=16)
+V100_32 = GpuSpec("NVIDIA V100", count=8, memory_gb=32)
+V100_32_AZ = GpuSpec("NVIDIA V100", count=8, memory_gb=32, ecc_default_on=False)
+
+# ---------------------------------------------------------------------------
+# The catalog itself
+# ---------------------------------------------------------------------------
+
+CATALOG: dict[str, InstanceType] = {}
+
+
+def _register(it: InstanceType) -> InstanceType:
+    if it.name in CATALOG:
+        raise CatalogError(f"duplicate instance type {it.name!r}")
+    CATALOG[it.name] = it
+    return it
+
+
+# On-premises cluster A: CPU (Dell, Intel Xeon 8480+, Omni-Path 100, Slurm)
+ONPREM_A = _register(
+    InstanceType(
+        name="onprem-a",
+        cloud="p",
+        processor=XEON_8480,
+        cores=112,
+        memory_gb=256,
+        fabric="omnipath-100",
+        cost_per_hour=0.0,
+        notes="Cluster A (2023): 1,544 nodes, Slurm",
+    )
+)
+
+# On-premises cluster B: GPU (IBM, POWER9 + 4x V100 16GB, IB EDR, LSF)
+ONPREM_B = _register(
+    InstanceType(
+        name="onprem-b",
+        cloud="p",
+        processor=POWER9,
+        cores=44,
+        memory_gb=256,
+        fabric="infiniband-edr",
+        cost_per_hour=0.0,
+        gpu=V100_16_B,
+        notes="Cluster B (2018): 795 nodes, LSF",
+    )
+)
+
+# AWS
+HPC6A = _register(
+    InstanceType(
+        name="hpc6a.48xlarge",
+        cloud="aws",
+        processor=EPYC_7R13,
+        cores=96,
+        memory_gb=384,
+        fabric="efa-gen1.5",
+        cost_per_hour=2.88,
+    )
+)
+P3DN = _register(
+    InstanceType(
+        name="p3dn.24xlarge",
+        cloud="aws",
+        processor=XEON_8175,
+        cores=48,
+        memory_gb=768,
+        fabric="efa-gen1",
+        cost_per_hour=34.33,
+        gpu=V100_32,
+    )
+)
+
+# Google Cloud
+C2D = _register(
+    InstanceType(
+        name="c2d-standard-112",
+        cloud="g",
+        processor=EPYC_7B13,
+        cores=56,
+        memory_gb=448,
+        fabric="gcp-premium",
+        cost_per_hour=5.06,
+        notes="56 physical cores (112 vCPU); fewer cores/node than AWS/Azure",
+    )
+)
+N1_V100 = _register(
+    InstanceType(
+        name="n1-standard-32-v100",
+        cloud="g",
+        processor=XEON_HASWELL,
+        cores=16,
+        memory_gb=120,
+        fabric="gcp-premium",
+        cost_per_hour=23.36,
+        gpu=V100_16,
+    )
+)
+
+# Microsoft Azure
+HB96 = _register(
+    InstanceType(
+        name="HB96rs_v3",
+        cloud="az",
+        processor=EPYC_7003,
+        cores=96,
+        memory_gb=448,
+        fabric="infiniband-hdr",
+        cost_per_hour=3.60,
+    )
+)
+ND40 = _register(
+    InstanceType(
+        name="ND40rs_v2",
+        cloud="az",
+        processor=XEON_8168,
+        cores=48,
+        memory_gb=672,
+        fabric="infiniband-edr",
+        cost_per_hour=22.03,
+        gpu=V100_32_AZ,
+    )
+)
+
+
+def instance(name: str) -> InstanceType:
+    """Look up an instance type by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise CatalogError(f"unknown instance type {name!r}") from None
+
+
+def instances_for_cloud(cloud: str) -> list[InstanceType]:
+    """All instance types offered by a cloud short name."""
+    found = [it for it in CATALOG.values() if it.cloud == cloud]
+    if not found:
+        raise CatalogError(f"unknown cloud {cloud!r}")
+    return found
+
+
+#: Clouds recognised throughout the library, mapping short name -> display name.
+CLOUD_NAMES: dict[str, str] = {
+    "aws": "Amazon Web Services",
+    "az": "Microsoft Azure",
+    "g": "Google Cloud",
+    "p": "On-Premises",
+}

@@ -1,0 +1,136 @@
+"""Provider facades tying catalog, quota, billing, and provisioning together.
+
+A :class:`CloudProvider` is the user-facing entry point of the cloud
+substrate: it owns a quota ledger, a billing meter (with the paper's
+$49,000 per-cloud budget by default), and a provisioner.  The concrete
+subclasses only differ in catalog contents and behavioural parameters
+already encoded in the lower layers; they exist so user code reads like
+the study ("``AWS().provision_cluster(...)``").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.catalog import CLOUD_NAMES, InstanceType, instances_for_cloud
+from repro.cloud.placement import PlacementPolicy
+from repro.cloud.pricing import BillingMeter
+from repro.cloud.provisioner import Cluster, ProvisionRequest, Provisioner
+from repro.cloud.quota import QuotaLedger, QuotaRequest
+from repro.errors import CatalogError
+
+#: Study budget per cloud (USD), from §2.1.
+STUDY_BUDGET_USD = 49_000.0
+
+
+class CloudProvider:
+    """Base provider facade."""
+
+    short_name: str = ""
+
+    def __init__(self, *, seed: int = 0, budget: float | None = STUDY_BUDGET_USD):
+        self.seed = seed
+        self.ledger = QuotaLedger(seed=seed)
+        self.meter = BillingMeter()
+        if budget is not None and self.short_name != "p":
+            self.meter.budgets[self.short_name] = budget
+        self.provisioner = Provisioner(self.ledger, self.meter, seed=seed)
+
+    # -- catalog ------------------------------------------------------------
+
+    @property
+    def display_name(self) -> str:
+        return CLOUD_NAMES[self.short_name]
+
+    def instance_types(self) -> list[InstanceType]:
+        return instances_for_cloud(self.short_name)
+
+    def cpu_instance(self) -> InstanceType:
+        for it in self.instance_types():
+            if not it.is_gpu:
+                return it
+        raise CatalogError(f"{self.short_name} has no CPU instance type")
+
+    def gpu_instance(self) -> InstanceType:
+        for it in self.instance_types():
+            if it.is_gpu:
+                return it
+        raise CatalogError(f"{self.short_name} has no GPU instance type")
+
+    # -- workflow -----------------------------------------------------------
+
+    def request_quota(self, instance_type: str, quantity: int, *, attempt: int = 0):
+        it = next(t for t in self.instance_types() if t.name == instance_type)
+        req = QuotaRequest(
+            cloud=self.short_name,
+            instance_type=instance_type,
+            resource_class="gpu" if it.is_gpu else "cpu",
+            quantity=quantity,
+        )
+        return self.ledger.request(req, attempt=attempt)
+
+    def provision_cluster(
+        self,
+        instance_type: str,
+        nodes: int,
+        *,
+        environment_kind: str = "vm",
+        placement: PlacementPolicy | None = None,
+        now: float = 0.0,
+        attempt: int = 0,
+    ) -> Cluster:
+        req = ProvisionRequest(
+            cloud=self.short_name,
+            environment_kind=environment_kind,
+            instance_type=instance_type,
+            nodes=nodes,
+            placement=placement,
+            attempt=attempt,
+        )
+        return self.provisioner.provision(req, now=now)
+
+    def release_cluster(self, cluster: Cluster, *, now: float) -> float:
+        return self.provisioner.release(cluster, now=now)
+
+    def spend(self) -> float:
+        """Ground-truth dollars accrued on this provider."""
+        return self.meter.accrued(self.short_name)
+
+
+class AWS(CloudProvider):
+    """Amazon Web Services: Hpc6a (CPU, EFA gen1.5) and p3dn.24xlarge (GPU)."""
+
+    short_name = "aws"
+
+
+class Azure(CloudProvider):
+    """Microsoft Azure: HB96rs_v3 (CPU, IB HDR) and ND40rs_v2 (GPU, IB EDR)."""
+
+    short_name = "az"
+
+
+class GoogleCloud(CloudProvider):
+    """Google Cloud: c2d-standard-112 (CPU) and n1-standard-32 + V100 (GPU)."""
+
+    short_name = "g"
+
+
+class OnPrem(CloudProvider):
+    """The institutional center: clusters A (CPU/Slurm) and B (GPU/LSF)."""
+
+    short_name = "p"
+
+    def __init__(self, *, seed: int = 0, budget: float | None = None):
+        super().__init__(seed=seed, budget=None)
+
+
+_PROVIDERS = {"aws": AWS, "az": Azure, "g": GoogleCloud, "p": OnPrem}
+
+
+def get_provider(short_name: str, *, seed: int = 0) -> CloudProvider:
+    """Instantiate a provider by short name (``aws``/``az``/``g``/``p``)."""
+    try:
+        cls = _PROVIDERS[short_name]
+    except KeyError:
+        raise CatalogError(f"unknown cloud {short_name!r}") from None
+    return cls(seed=seed)

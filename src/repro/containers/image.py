@@ -1,0 +1,38 @@
+"""Built container images."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containers.recipe import Recipe
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A successfully built image, addressable by tag."""
+
+    recipe: Recipe
+    digest: str
+    size_gb: float
+    build_minutes: float
+    #: environment tuning baked into the image (UCX transports etc.);
+    #: consumed by the runtime to decide fabric quirks
+    env: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def tag(self) -> str:
+        return self.recipe.tag
+
+    def env_dict(self) -> dict[str, str]:
+        return dict(self.env)
+
+    @property
+    def ucx_tuned(self) -> bool:
+        """Whether the image carries a working UCX transport selection.
+
+        §3.1: on AKS the working setting was ``UCX_TLS=ib`` with unified
+        mode; on CycleCloud ``UCX_TLS=ud,shm,rc``.  Untuned Azure images
+        suffer the :data:`~repro.network.quirks.AZURE_UNTUNED_UCX` quirk.
+        """
+        env = self.env_dict()
+        return "UCX_TLS" in env

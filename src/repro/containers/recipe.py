@@ -1,0 +1,176 @@
+"""Container recipes: the software stacks of §2.7.
+
+Every study container installs the same Flux Framework releases and
+OpenMPI 4.1.2; per-cloud differences are fabric libraries (libfabric
+for EFA, UCX + proprietary hpcx/hcoll/sharp for Azure InfiniBand) and
+GPU stacks (CUDA toolchains pinned per application).
+
+A :class:`Package` may pin a *provided* capability version (e.g. CUDA);
+the builder checks that all packages in a recipe agree — the mechanism
+by which the Laghos GPU recipe fails to build, reproducing §3.3's
+"software conflict of two dependencies requiring different versions of
+CUDA".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Package:
+    """A software component installed into a container."""
+
+    name: str
+    version: str
+    #: capability constraints, e.g. {"cuda": "11.2"} — the builder
+    #: requires a single consistent version per capability
+    requires: tuple[tuple[str, str], ...] = ()
+    #: whether the component is proprietary (needs a custom base image
+    #: on Azure: hpcx, hcoll, sharp)
+    proprietary: bool = False
+    #: relative build cost, minutes of build time
+    build_minutes: float = 2.0
+
+    def requires_dict(self) -> dict[str, str]:
+        return dict(self.requires)
+
+
+def _pkg(name: str, version: str, *, cuda: str | None = None, proprietary: bool = False,
+         build_minutes: float = 2.0) -> Package:
+    req = (("cuda", cuda),) if cuda else ()
+    return Package(name, version, requires=req, proprietary=proprietary,
+                   build_minutes=build_minutes)
+
+
+#: The common Flux Framework stack (§2.7), identical in every container.
+FLUX_STACK: tuple[Package, ...] = (
+    _pkg("flux-security", "0.11.0"),
+    _pkg("flux-core", "0.61.2", build_minutes=6.0),
+    _pkg("flux-sched", "0.33.1", build_minutes=4.0),
+    _pkg("flux-pmix", "0.4.0"),
+    _pkg("cmake", "3.23.1", build_minutes=1.0),
+    _pkg("openmpi", "4.1.2", build_minutes=8.0),
+)
+
+#: Fabric support layers per cloud.
+FABRIC_PACKAGES: dict[str, tuple[Package, ...]] = {
+    "aws": (_pkg("libfabric", "1.21.1", build_minutes=3.0),),
+    "az": (
+        _pkg("ucx", "1.15.0", build_minutes=5.0),
+        _pkg("hpcx", "2.15", proprietary=True, build_minutes=4.0),
+        _pkg("hcoll", "4.8", proprietary=True),
+        _pkg("sharp", "3.5", proprietary=True),
+    ),
+    "g": (),  # §2.7: Google Cloud needed no special software or drivers
+    "p": (),
+}
+
+#: Application packages; CUDA pins apply to GPU variants only.
+APP_PACKAGES: dict[str, tuple[Package, ...]] = {
+    "amg2023": (
+        _pkg("hypre", "2.31.0", build_minutes=10.0),
+        _pkg("amg2023", "1.0", build_minutes=3.0),
+    ),
+    "laghos": (
+        _pkg("mfem", "4.6", build_minutes=12.0),
+        _pkg("hypre", "2.31.0", build_minutes=10.0),
+        _pkg("laghos", "3.1", build_minutes=4.0),
+    ),
+    "lammps": (_pkg("lammps-reaxff", "2023.08", build_minutes=15.0),),
+    "kripke": (_pkg("kripke", "1.2.7", build_minutes=5.0),),
+    "minife": (_pkg("minife", "2.2.0", build_minutes=3.0),),
+    "mt-gemm": (_pkg("mt-gemm", "1.0", build_minutes=1.0),),
+    "mixbench": (_pkg("mixbench", "2024.1", build_minutes=1.0),),
+    "osu": (_pkg("osu-micro-benchmarks", "7.3", build_minutes=2.0),),
+    "stream": (_pkg("stream", "5.10", build_minutes=0.5),),
+    "quicksilver": (_pkg("quicksilver", "1.0", build_minutes=4.0),),
+    "single-node": (
+        _pkg("dmidecode", "3.5", build_minutes=0.2),
+        _pkg("hwloc", "2.9", build_minutes=1.0),
+        _pkg("sysbench", "1.0.20", build_minutes=0.5),
+    ),
+}
+
+#: GPU-variant CUDA pins. Laghos's two GPU dependencies disagree — the
+#: documented, unresolvable conflict.
+GPU_CUDA_PINS: dict[str, dict[str, str]] = {
+    "amg2023": {"hypre": "11.8", "amg2023": "11.8"},
+    "laghos": {"mfem": "12.2", "hypre": "11.8", "laghos": "12.2"},
+    "lammps": {"lammps-reaxff": "11.8"},
+    "kripke": {"kripke": "11.8"},
+    "minife": {"minife": "11.8"},
+    "mt-gemm": {"mt-gemm": "11.8"},
+    "mixbench": {"mixbench": "11.8"},
+    "quicksilver": {"quicksilver": "11.8"},
+    "stream": {"stream": "11.8"},
+}
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A complete container definition for (app, cloud, accelerator)."""
+
+    app: str
+    cloud: str
+    gpu: bool
+    base_image: str
+    packages: tuple[Package, ...]
+
+    @property
+    def tag(self) -> str:
+        acc = "gpu" if self.gpu else "cpu"
+        return f"{self.app}-{self.cloud}-{acc}"
+
+    def proprietary_packages(self) -> list[Package]:
+        return [p for p in self.packages if p.proprietary]
+
+    def build_minutes(self) -> float:
+        return sum(p.build_minutes for p in self.packages)
+
+
+#: Base images per cloud (§2.7: Rocky bases for Compute Engine per
+#: suggested practice; Ubuntu elsewhere; Azure needs a custom base for
+#: the proprietary stack).
+BASE_IMAGES: dict[str, str] = {
+    "aws": "ubuntu:22.04",
+    "az": "azurehpc-custom:22.04",
+    "g": "rockylinux:9-optimized-gcp",
+    "p": "bare-metal-modules",
+}
+
+
+def recipe_for(app: str, cloud: str, *, gpu: bool) -> Recipe:
+    """Construct the recipe the study used for (app, cloud, accelerator)."""
+    if app not in APP_PACKAGES:
+        raise KeyError(f"unknown application {app!r}")
+    packages: list[Package] = list(FLUX_STACK)
+    packages += list(FABRIC_PACKAGES.get(cloud, ()))
+    app_pkgs = APP_PACKAGES[app]
+    if gpu:
+        pins = GPU_CUDA_PINS.get(app, {})
+        pinned = []
+        for p in app_pkgs:
+            cuda = pins.get(p.name)
+            if cuda is not None:
+                pinned.append(
+                    Package(
+                        p.name,
+                        p.version,
+                        requires=(("cuda", cuda),),
+                        proprietary=p.proprietary,
+                        build_minutes=p.build_minutes * 1.5,  # nvcc is slow
+                    )
+                )
+            else:
+                pinned.append(p)
+        packages += pinned
+    else:
+        packages += list(app_pkgs)
+    return Recipe(
+        app=app,
+        cloud=cloud,
+        gpu=gpu,
+        base_image=BASE_IMAGES.get(cloud, "ubuntu:22.04"),
+        packages=tuple(packages),
+    )

@@ -1,0 +1,49 @@
+"""Container registry: push, pull, and dataset artifact storage.
+
+The study deployed containers "to the registry alongside the
+repository" and pushed job output there too via ORAS (§2.9).  The
+registry model tracks images by tag and artifacts by name, with pull
+cost proportional to image size over the node's download bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.containers.image import ContainerImage
+
+#: Effective registry download bandwidth per cloud, GB/s. Pulls inside a
+#: cloud hit the colocated registry mirror; on-prem pulls cross the WAN.
+PULL_BANDWIDTH_GBPS: dict[str, float] = {"aws": 1.2, "az": 0.9, "g": 1.1, "p": 0.25}
+
+
+@dataclass
+class Registry:
+    """An OCI registry holding images and ORAS artifacts."""
+
+    images: dict[str, ContainerImage] = field(default_factory=dict)
+    artifacts: dict[str, bytes] = field(default_factory=dict)
+    pulls: int = 0
+
+    def push(self, image: ContainerImage) -> None:
+        self.images[image.tag] = image
+
+    def pull(self, tag: str, *, cloud: str) -> tuple[ContainerImage, float]:
+        """Pull an image; returns (image, seconds)."""
+        try:
+            image = self.images[tag]
+        except KeyError:
+            raise KeyError(f"image {tag!r} not in registry") from None
+        self.pulls += 1
+        bw = PULL_BANDWIDTH_GBPS.get(cloud, 0.5)
+        return image, image.size_gb / bw
+
+    def push_artifact(self, name: str, payload: bytes) -> None:
+        """ORAS-style artifact push (job output datasets)."""
+        self.artifacts[name] = payload
+
+    def artifact(self, name: str) -> bytes:
+        return self.artifacts[name]
+
+    def tags(self) -> list[str]:
+        return sorted(self.images)

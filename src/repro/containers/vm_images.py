@@ -1,0 +1,94 @@
+"""VM base images, including the study's post-hoc Azure contribution.
+
+§2.7: Compute Engine used the recommended Rocky-Linux-optimized base
+with the same build instructions as the containers; AWS ParallelCluster
+and Azure CycleCloud images were vendor-provided.
+
+§4.2 (Suggested Practices): "Recognizing the lack of updated VMs and
+base containers for the larger HPC community to use on Azure, following
+the study we developed new VMs and matching containers on Ubuntu 24.04
+with the latest drivers. Instead of using proprietary MPI and other
+associated software, we used an entirely open stack."  That artifact is
+modelled by :data:`AZURE_OPEN_UBUNTU_2404`: an Azure base that removes
+the proprietary hpcx/hcoll/sharp requirement, so recipes built against
+it carry only open packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containers.recipe import Package, Recipe, recipe_for
+
+
+@dataclass(frozen=True)
+class VMBaseImage:
+    """A virtual-machine base image for a VM environment."""
+
+    name: str
+    cloud: str
+    os: str
+    nvidia_driver: str | None
+    #: whether the image's MPI/fabric stack is fully open source
+    open_stack: bool
+    #: whether the vendor supplies it (vs built by the study team)
+    vendor_provided: bool
+
+
+#: The bases used during the study (§2.7).
+STUDY_VM_BASES: dict[str, VMBaseImage] = {
+    "parallelcluster": VMBaseImage(
+        name="aws-parallelcluster-3.x",
+        cloud="aws",
+        os="Amazon Linux 2",
+        nvidia_driver="470 (vendor)",
+        open_stack=False,
+        vendor_provided=True,
+    ),
+    "cyclecloud": VMBaseImage(
+        name="azure-cyclecloud-hpc",
+        cloud="az",
+        os="AlmaLinux 8 HPC",
+        nvidia_driver="535 (vendor)",
+        open_stack=False,  # hpcx/hcoll/sharp
+        vendor_provided=True,
+    ),
+    "computeengine": VMBaseImage(
+        name="rocky-linux-9-optimized-gcp",
+        cloud="g",
+        os="Rocky Linux 9",
+        nvidia_driver="535",
+        open_stack=True,
+        vendor_provided=True,
+    ),
+}
+
+#: The post-study contribution: Ubuntu 24.04 Azure base with the latest
+#: drivers and an entirely open stack.
+AZURE_OPEN_UBUNTU_2404 = VMBaseImage(
+    name="azure-hpc-ubuntu-24.04-open",
+    cloud="az",
+    os="Ubuntu 24.04",
+    nvidia_driver="550",
+    open_stack=True,
+    vendor_provided=False,
+)
+
+
+def open_stack_recipe(app: str, *, gpu: bool) -> Recipe:
+    """An Azure recipe rebased onto the open Ubuntu 24.04 stack.
+
+    Proprietary packages (hpcx, hcoll, sharp) are dropped; UCX remains
+    (it is open source and carries the InfiniBand transport).  The
+    result matches the post-study containers: same apps, no vendor
+    lock-in.
+    """
+    base = recipe_for(app, "az", gpu=gpu)
+    open_packages = tuple(p for p in base.packages if not p.proprietary)
+    return Recipe(
+        app=base.app,
+        cloud="az",
+        gpu=base.gpu,
+        base_image=AZURE_OPEN_UBUNTU_2404.name,
+        packages=open_packages,
+    )

@@ -1,0 +1,92 @@
+"""Analysis helpers: FOM aggregation, speedup, scaling efficiency.
+
+The study ran five iterations per point (§2.8) and reports means with
+variability; these helpers compute the same aggregates from a
+:class:`~repro.core.results.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import ResultStore
+
+
+@dataclass(frozen=True)
+class FomStat:
+    """Mean ± std of a FOM at one point."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.3g} (n={self.n})"
+
+
+def mean_fom(store: ResultStore, env_id: str, app: str, scale: int) -> FomStat | None:
+    """Aggregate the iterations at one (env, app, scale) point."""
+    foms = store.foms(env_id, app, scale)
+    if not foms:
+        return None
+    n = len(foms)
+    mean = sum(foms) / n
+    var = sum((f - mean) ** 2 for f in foms) / n if n > 1 else 0.0
+    return FomStat(mean=mean, std=math.sqrt(var), n=n)
+
+
+def fom_series(
+    store: ResultStore, env_id: str, app: str
+) -> dict[int, FomStat]:
+    """FOM stats across all scales for one environment/app."""
+    series = {}
+    for scale in store.scales(env_id, app):
+        stat = mean_fom(store, env_id, app, scale)
+        if stat is not None:
+            series[scale] = stat
+    return series
+
+
+def speedup(
+    store: ResultStore, env_id: str, app: str, base_scale: int, scale: int,
+    *, higher_is_better: bool = True,
+) -> float | None:
+    """Observed speedup between two scales (strong scaling)."""
+    a = mean_fom(store, env_id, app, base_scale)
+    b = mean_fom(store, env_id, app, scale)
+    if a is None or b is None or a.mean == 0 or b.mean == 0:
+        return None
+    return b.mean / a.mean if higher_is_better else a.mean / b.mean
+
+
+def parallel_efficiency(
+    store: ResultStore, env_id: str, app: str, base_scale: int, scale: int,
+    *, higher_is_better: bool = True,
+) -> float | None:
+    """Speedup divided by the ideal (scale ratio)."""
+    s = speedup(store, env_id, app, base_scale, scale, higher_is_better=higher_is_better)
+    if s is None:
+        return None
+    return s / (scale / base_scale)
+
+
+def scaling_table(
+    store: ResultStore, app: str, *, env_ids: list[str] | None = None
+) -> dict[str, dict[int, FomStat]]:
+    """env_id -> {scale -> FomStat} for one app across environments."""
+    envs = env_ids if env_ids is not None else store.environments()
+    return {e: fom_series(store, e, app) for e in envs}
+
+
+def rank_environments(
+    store: ResultStore, app: str, scale: int, *, higher_is_better: bool = True
+) -> list[tuple[str, float]]:
+    """Environments ordered best-first by mean FOM at one scale."""
+    rows = []
+    for env_id in store.environments():
+        stat = mean_fom(store, env_id, app, scale)
+        if stat is not None:
+            rows.append((env_id, stat.mean))
+    rows.sort(key=lambda t: t[1], reverse=higher_is_better)
+    return rows

@@ -1,0 +1,137 @@
+"""The incident database: every effort event §3.1 reports, curated.
+
+Each :class:`Incident` charges human effort (minutes) to one usability
+category of one or more environments.  The usability scorer aggregates
+these into the low/medium/high grid of Table 3.  Effort magnitudes
+follow the paper's narrative ("took over a day", "20-30 minutes
+debugging", "significant development effort").
+
+Dynamic incidents also arrive at study time from the fault registry
+(:func:`incident_from_fault`) and container-build failures
+(:func:`incident_from_build_failure`), so a simulated study produces
+the same *kind* of log the authors kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.faults import FaultEvent
+from repro.containers.builder import BuildResult
+
+#: usability categories of Table 3
+CATEGORIES = ("setup", "development", "app_setup", "manual_intervention")
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One unit of recorded effort."""
+
+    env_ids: tuple[str, ...]
+    category: str  # one of CATEGORIES
+    effort_minutes: float
+    description: str
+    source: str = "paper-3.1"
+
+    def applies_to(self, env_id: str) -> bool:
+        return env_id in self.env_ids
+
+
+def _i(envs: tuple[str, ...], cat: str, minutes: float, desc: str) -> Incident:
+    if cat not in CATEGORIES:
+        raise ValueError(f"bad category {cat}")
+    return Incident(env_ids=envs, category=cat, effort_minutes=minutes, description=desc)
+
+
+INCIDENT_DB: tuple[Incident, ...] = (
+    # ------------------------------------------------------------- setup
+    _i(("cpu-parallelcluster-aws",), "setup", 120,
+       "ParallelCluster required a custom build and multi-step configuration"),
+    _i(("cpu-cyclecloud-az", "gpu-cyclecloud-az"), "setup", 600,
+       "CycleCloud took over a day to deploy; interfaces went out of sync "
+       "with the Azure portal"),
+    _i(("cpu-computeengine-g", "gpu-computeengine-g"), "setup", 120,
+       "Cluster Toolkit configuration files could not be customized"),
+    _i(("cpu-aks-az", "gpu-aks-az"), "setup", 100,
+       "Azure cluster bring-up required multiple stages of commands"),
+    _i(("gpu-aks-az",), "setup", 25,
+       "a node consistently came up with 7/8 GPUs; resolved via padded quota"),
+    _i(("gpu-eks-aws",), "setup", 300,
+       "erroneously created placement group led to partial cluster "
+       "instantiation; debugging added substantial cost"),
+    # ------------------------------------------------------- development
+    _i(("cpu-aks-az", "gpu-aks-az"), "development", 600,
+       "custom container base for proprietary software (hpcx, hcoll, sharp) "
+       "and a custom daemonset to install InfiniBand drivers"),
+    _i(("cpu-eks-aws", "gpu-eks-aws"), "development", 400,
+       "eksctl placement-group bug, broken cleanup step, custom tool build, "
+       "and CNI daemonset patched for prefix delegation at 256 nodes"),
+    _i(("cpu-computeengine-g", "gpu-computeengine-g"), "development", 120,
+       "custom Terraform deployments for Flux Framework due to Cluster "
+       "Toolkit GPU/Slurm issues"),
+    # --------------------------------------------------------- app setup
+    _i(("cpu-cyclecloud-az", "gpu-cyclecloud-az", "cpu-aks-az", "gpu-aks-az"),
+       "app_setup", 400,
+       "Azure container bases were challenging to build; UCX transport "
+       "selection required extensive experimentation"),
+    _i(("cpu-onprem-a", "gpu-onprem-b"), "app_setup", 300,
+       "bare-metal builds through modules/Spack with less control over the "
+       "software environment"),
+    # ------------------------------------------------ manual intervention
+    _i(("cpu-cyclecloud-az", "gpu-cyclecloud-az"), "manual_intervention", 400,
+       "job submissions stalled (process management, module loading, Slurm) "
+       "and needed continuous monitoring"),
+    _i(("cpu-aks-az",), "manual_intervention", 300,
+       "proximity placement groups would not complete for >= 100 nodes; "
+       "cluster scaled manually with colocation status unknown"),
+    _i(("cpu-eks-aws", "gpu-eks-aws", "cpu-gke-g", "gpu-gke-g",
+        "cpu-aks-az", "gpu-aks-az"), "manual_intervention", 90,
+       "Kubernetes environments: deploy each cluster size independently and "
+       "shell in to interact with the queue per application"),
+    _i(("cpu-onprem-a", "gpu-onprem-b"), "manual_intervention", 120,
+       "on-prem jobs often errored (bad nodes) and had to be monitored, "
+       "debugged, and resubmitted"),
+)
+
+
+#: Account/quota acquisition difficulty (§3.1 "Accounts and Resources").
+ACCOUNT_DIFFICULTY: dict[tuple[str, str], str] = {
+    ("aws", "cpu"): "low",
+    ("aws", "gpu"): "medium",  # reservation never granted; 48h block
+    ("az", "cpu"): "low",
+    ("az", "gpu"): "low",
+    ("g", "cpu"): "low",
+    ("g", "gpu"): "low",
+    ("p", "cpu"): "low",
+    ("p", "gpu"): "low",
+}
+
+
+def incidents_for(env_id: str) -> list[Incident]:
+    """All curated incidents charged to an environment."""
+    return [inc for inc in INCIDENT_DB if inc.applies_to(env_id)]
+
+
+def incident_from_fault(env_id: str, event: FaultEvent) -> Incident:
+    """Convert a triggered provisioning fault into an incident record."""
+    category = "setup" if not event.fatal else "manual_intervention"
+    return Incident(
+        env_ids=(env_id,),
+        category=category,
+        effort_minutes=event.time_cost / 60.0,
+        description=event.detail,
+        source=f"fault:{event.fault_id}",
+    )
+
+
+def incident_from_build_failure(env_id: str, result: BuildResult) -> Incident:
+    """Convert a failed container build into an app-setup incident."""
+    if result.ok:
+        raise ValueError("build succeeded; no incident to file")
+    return Incident(
+        env_ids=(env_id,),
+        category="app_setup",
+        effort_minutes=180.0,
+        description=result.error or "container build failure",
+        source=f"build:{result.recipe.tag}",
+    )

@@ -1,0 +1,133 @@
+"""Result store: the study's dataset collection.
+
+The paper reports 25,541 datasets (runs) of which 3,546 appear in the
+paper.  :class:`ResultStore` is the in-memory analogue: every
+:class:`~repro.sim.run_result.RunRecord` lands here, with query helpers
+the experiments use and a CSV exporter for archival (the study pushed
+job output to an OCI registry via ORAS; :meth:`to_artifact` produces
+the equivalent payload).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.sim.run_result import RunRecord, RunState
+
+
+@dataclass
+class ResultStore:
+    """Queryable collection of run records."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self,
+        *,
+        env_id: str | None = None,
+        app: str | None = None,
+        scale: int | None = None,
+        state: RunState | None = None,
+        predicate: Callable[[RunRecord], bool] | None = None,
+    ) -> list[RunRecord]:
+        out = []
+        for r in self.records:
+            if env_id is not None and r.env_id != env_id:
+                continue
+            if app is not None and r.app != app:
+                continue
+            if scale is not None and r.scale != scale:
+                continue
+            if state is not None and r.state != state:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return out
+
+    def completed(self, **kwargs) -> list[RunRecord]:
+        return self.query(state=RunState.COMPLETED, **kwargs)
+
+    def foms(self, env_id: str, app: str, scale: int) -> list[float]:
+        return [
+            r.fom
+            for r in self.completed(env_id=env_id, app=app, scale=scale)
+            if r.fom is not None
+        ]
+
+    def environments(self) -> list[str]:
+        return sorted({r.env_id for r in self.records})
+
+    def apps(self) -> list[str]:
+        return sorted({r.app for r in self.records})
+
+    def scales(self, env_id: str, app: str) -> list[int]:
+        return sorted({r.scale for r in self.query(env_id=env_id, app=app)})
+
+    def counts_by_state(self) -> dict[RunState, int]:
+        counts: dict[RunState, int] = defaultdict(int)
+        for r in self.records:
+            counts[r.state] += 1
+        return dict(counts)
+
+    def total_cost(self) -> float:
+        return sum(r.cost_usd for r in self.records)
+
+    # -- export -------------------------------------------------------------
+
+    CSV_FIELDS = (
+        "env_id",
+        "app",
+        "scale",
+        "nodes",
+        "iteration",
+        "state",
+        "fom",
+        "fom_units",
+        "wall_seconds",
+        "hookup_seconds",
+        "cost_usd",
+        "failure_kind",
+    )
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.CSV_FIELDS)
+        for r in self.records:
+            writer.writerow(
+                [
+                    r.env_id,
+                    r.app,
+                    r.scale,
+                    r.nodes,
+                    r.iteration,
+                    r.state.value,
+                    "" if r.fom is None else f"{r.fom:.6g}",
+                    r.fom_units,
+                    f"{r.wall_seconds:.3f}",
+                    f"{r.hookup_seconds:.3f}",
+                    f"{r.cost_usd:.4f}",
+                    r.failure_kind or "",
+                ]
+            )
+        return buf.getvalue()
+
+    def to_artifact(self, name: str = "study-results") -> tuple[str, bytes]:
+        """(artifact name, payload) for an ORAS registry push."""
+        return f"{name}.csv", self.to_csv().encode("utf-8")

@@ -1,0 +1,132 @@
+"""Usability scoring: the effort rubric behind Table 3.
+
+§2.5 defines the rubric: *low* means the documented procedure worked
+with minimal configuration; *medium* means unexpected issues needing
+debugging or development; *high* means significant development effort.
+We make the rubric computable by scoring accumulated effort minutes per
+category:
+
+* ``low``    — under 30 minutes of unexpected work;
+* ``medium`` — up to four hours (debugging/development sessions);
+* ``high``   — beyond four hours (multi-day or multi-person efforts).
+
+:func:`assess_environment` folds the curated incident database (plus
+any study-time incidents) into an :class:`UsabilityAssessment`;
+:func:`usability_table` renders the full Table 3 grid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.incidents import (
+    ACCOUNT_DIFFICULTY,
+    CATEGORIES,
+    Incident,
+    incidents_for,
+)
+from repro.envs.environment import Environment
+from repro.envs.registry import ENVIRONMENTS
+
+LOW_THRESHOLD_MIN = 30.0
+MEDIUM_THRESHOLD_MIN = 240.0
+
+
+class EffortLevel(enum.Enum):
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @classmethod
+    def from_minutes(cls, minutes: float) -> "EffortLevel":
+        if minutes < 0:
+            raise ValueError("effort cannot be negative")
+        if minutes <= LOW_THRESHOLD_MIN:
+            return cls.LOW
+        if minutes <= MEDIUM_THRESHOLD_MIN:
+            return cls.MEDIUM
+        return cls.HIGH
+
+
+@dataclass
+class UsabilityAssessment:
+    """Effort levels for one environment across the four categories."""
+
+    env_id: str
+    display_name: str
+    accelerator: str
+    levels: dict[str, EffortLevel]
+    minutes: dict[str, float]
+    incidents: list[Incident] = field(default_factory=list)
+    account_difficulty: str = "low"
+
+    @property
+    def total_minutes(self) -> float:
+        return sum(self.minutes.values())
+
+    def as_row(self) -> tuple[str, ...]:
+        """(display name, accelerator, setup, development, app setup,
+        manual intervention) — Table 3's column order."""
+        return (
+            self.display_name,
+            self.accelerator.upper(),
+            self.levels["setup"].value,
+            self.levels["development"].value,
+            self.levels["app_setup"].value,
+            self.levels["manual_intervention"].value,
+        )
+
+
+def assess_environment(
+    env: Environment, extra_incidents: list[Incident] | None = None
+) -> UsabilityAssessment:
+    """Score one environment from curated + study-time incidents."""
+    incidents = incidents_for(env.env_id) + list(extra_incidents or [])
+    minutes = {cat: 0.0 for cat in CATEGORIES}
+    for inc in incidents:
+        minutes[inc.category] += inc.effort_minutes
+    levels = {cat: EffortLevel.from_minutes(m) for cat, m in minutes.items()}
+    return UsabilityAssessment(
+        env_id=env.env_id,
+        display_name=env.display_name,
+        accelerator=env.accelerator,
+        levels=levels,
+        minutes=minutes,
+        incidents=incidents,
+        account_difficulty=ACCOUNT_DIFFICULTY.get((env.cloud, env.accelerator), "low"),
+    )
+
+
+#: Table 3 row order from the paper.
+TABLE3_ORDER: tuple[str, ...] = (
+    "cpu-parallelcluster-aws",
+    "cpu-cyclecloud-az",
+    "cpu-computeengine-g",
+    "gpu-cyclecloud-az",
+    "gpu-computeengine-g",
+    "cpu-eks-aws",
+    "cpu-aks-az",
+    "cpu-gke-g",
+    "gpu-eks-aws",
+    "gpu-aks-az",
+    "gpu-gke-g",
+    "gpu-onprem-b",
+    "cpu-onprem-a",
+)
+
+
+def usability_table(
+    extra: dict[str, list[Incident]] | None = None,
+) -> list[UsabilityAssessment]:
+    """The full Table 3: one assessment per assessable environment.
+
+    ParallelCluster GPU is absent, as in the paper (§3.1 reduced the
+    assessment from 12 to 11 cloud environments).
+    """
+    extra = extra or {}
+    rows = []
+    for env_id in TABLE3_ORDER:
+        env = ENVIRONMENTS[env_id]
+        rows.append(assess_environment(env, extra.get(env_id)))
+    return rows

@@ -1,0 +1,18 @@
+"""Study environments: the 14 configurations of Table 1."""
+
+from repro.envs.environment import Environment, EnvironmentKind
+from repro.envs.registry import (
+    ENVIRONMENTS,
+    cpu_environments,
+    environment,
+    gpu_environments,
+)
+
+__all__ = [
+    "ENVIRONMENTS",
+    "Environment",
+    "EnvironmentKind",
+    "cpu_environments",
+    "environment",
+    "gpu_environments",
+]

@@ -1,0 +1,233 @@
+"""Registry of the study's environments (Table 1 + §3.1 adjustments).
+
+Fourteen environments were planned; AWS ParallelCluster GPU could not
+be deployed (``deployable=False``), reducing the assessed set to 13
+(11 cloud + 2 on-prem), matching the paper.
+
+Calibration notes
+-----------------
+``stream_efficiency`` reproduces the §3.3 Stream Triad CPU spread: per
+64-node cluster the paper reports aggregate GB/s of GKE 6800.9,
+Compute Engine 6239.4, EKS 3013.2, AKS 2579.5 — i.e. per-node rates of
+roughly 106, 97, 47, and 40 GB/s on nodes whose nominal bandwidth is
+~190 GB/s.  The study attributes no mechanism; we encode the observed
+per-environment efficiency and flag it as an empirical calibration.
+
+``compute_efficiency`` carries small virtualization/tenancy derates:
+bare metal 1.0, VM clusters 0.97, Kubernetes 0.96 (§1.1's background —
+containerization itself does not degrade performance; the derate covers
+hypervisor and noisy-neighbour effects).
+"""
+
+from __future__ import annotations
+
+from repro.envs.environment import Environment, EnvironmentKind
+from repro.errors import ConfigurationError
+
+_VM = EnvironmentKind.VM
+_K8S = EnvironmentKind.K8S
+_ONPREM = EnvironmentKind.ONPREM
+
+
+ENVIRONMENTS: dict[str, Environment] = {
+    e.env_id: e
+    for e in (
+        # ------------------------------------------------------------- CPU
+        Environment(
+            env_id="cpu-onprem-a",
+            display_name="Institutional On-premises A",
+            cloud="p",
+            kind=_ONPREM,
+            accelerator="cpu",
+            instance_type_name="onprem-a",
+            scheduler="slurm",
+            container_runtime=None,
+            compute_efficiency=1.0,
+            stream_efficiency=0.85,
+            notes="bare-metal Spack/module builds",
+        ),
+        Environment(
+            env_id="cpu-parallelcluster-aws",
+            display_name="Amazon Web Services ParallelCluster",
+            cloud="aws",
+            kind=_VM,
+            accelerator="cpu",
+            instance_type_name="hpc6a.48xlarge",
+            scheduler="slurm",
+            container_runtime="singularity",
+            compute_efficiency=0.97,
+            stream_efficiency=0.28,
+        ),
+        Environment(
+            env_id="cpu-eks-aws",
+            display_name="Amazon Web Services Kubernetes",
+            cloud="aws",
+            kind=_K8S,
+            accelerator="cpu",
+            instance_type_name="hpc6a.48xlarge",
+            scheduler="flux",
+            container_runtime="containerd",
+            compute_efficiency=0.96,
+            stream_efficiency=0.23,  # EKS: 3013 GB/s aggregate at 64 nodes
+        ),
+        Environment(
+            env_id="cpu-computeengine-g",
+            display_name="Google Cloud Compute Engine",
+            cloud="g",
+            kind=_VM,
+            accelerator="cpu",
+            instance_type_name="c2d-standard-112",
+            scheduler="flux",
+            container_runtime="singularity",
+            compute_efficiency=0.97,
+            stream_efficiency=0.49,  # CE: 6239 GB/s aggregate at 64 nodes
+        ),
+        Environment(
+            env_id="cpu-gke-g",
+            display_name="Google Cloud Kubernetes",
+            cloud="g",
+            kind=_K8S,
+            accelerator="cpu",
+            instance_type_name="c2d-standard-112",
+            scheduler="flux",
+            container_runtime="containerd",
+            fabric_override="gcp-tier1",  # Premium Tier_1 networking (§2.6)
+            compute_efficiency=0.96,
+            stream_efficiency=0.56,  # GKE: 6801 GB/s aggregate at 64 nodes
+        ),
+        Environment(
+            env_id="cpu-cyclecloud-az",
+            display_name="Microsoft Azure CycleCloud",
+            cloud="az",
+            kind=_VM,
+            accelerator="cpu",
+            instance_type_name="HB96rs_v3",
+            scheduler="slurm",
+            container_runtime="singularity",
+            compute_efficiency=0.97,
+            stream_efficiency=0.23,
+        ),
+        Environment(
+            env_id="cpu-aks-az",
+            display_name="Microsoft Azure Kubernetes",
+            cloud="az",
+            kind=_K8S,
+            accelerator="cpu",
+            instance_type_name="HB96rs_v3",
+            scheduler="flux",
+            container_runtime="containerd",
+            compute_efficiency=0.96,
+            stream_efficiency=0.21,  # AKS: 2580 GB/s aggregate at 64 nodes
+        ),
+        # ------------------------------------------------------------- GPU
+        Environment(
+            env_id="gpu-onprem-b",
+            display_name="Institutional On-premises B",
+            cloud="p",
+            kind=_ONPREM,
+            accelerator="gpu",
+            instance_type_name="onprem-b",
+            scheduler="lsf",
+            container_runtime=None,
+            compute_efficiency=1.0,
+            stream_efficiency=1.0,
+            gpu_efficiency=1.0,
+            notes="4 GPUs/node: twice the nodes of cloud at each size",
+        ),
+        Environment(
+            env_id="gpu-parallelcluster-aws",
+            display_name="Amazon Web Services ParallelCluster",
+            cloud="aws",
+            kind=_VM,
+            accelerator="gpu",
+            instance_type_name="p3dn.24xlarge",
+            scheduler="slurm",
+            container_runtime="singularity",
+            deployable=False,  # §3.1: custom build not possible
+            compute_efficiency=0.97,
+        ),
+        Environment(
+            env_id="gpu-eks-aws",
+            display_name="Amazon Web Services Kubernetes",
+            cloud="aws",
+            kind=_K8S,
+            accelerator="gpu",
+            instance_type_name="p3dn.24xlarge",
+            scheduler="flux",
+            container_runtime="containerd",
+            compute_efficiency=0.96,
+        ),
+        Environment(
+            env_id="gpu-computeengine-g",
+            display_name="Google Cloud Compute Engine",
+            cloud="g",
+            kind=_VM,
+            accelerator="gpu",
+            instance_type_name="n1-standard-32-v100",
+            scheduler="flux",
+            container_runtime="singularity",
+            compute_efficiency=0.97,
+            stream_efficiency=1.0,  # GPU triad: 783.3 GB/s, full rate
+        ),
+        Environment(
+            env_id="gpu-gke-g",
+            display_name="Google Cloud Kubernetes",
+            cloud="g",
+            kind=_K8S,
+            accelerator="gpu",
+            instance_type_name="n1-standard-32-v100",
+            scheduler="flux",
+            container_runtime="containerd",
+            compute_efficiency=0.96,
+            stream_efficiency=1.0,
+        ),
+        Environment(
+            env_id="gpu-cyclecloud-az",
+            display_name="Microsoft Azure CycleCloud",
+            cloud="az",
+            kind=_VM,
+            accelerator="gpu",
+            instance_type_name="ND40rs_v2",
+            scheduler="slurm",
+            container_runtime="singularity",
+            compute_efficiency=0.97,
+            stream_efficiency=0.956,  # 748.5 vs 783 GB/s GPU triad
+        ),
+        Environment(
+            env_id="gpu-aks-az",
+            display_name="Microsoft Azure Kubernetes",
+            cloud="az",
+            kind=_K8S,
+            accelerator="gpu",
+            instance_type_name="ND40rs_v2",
+            scheduler="flux",
+            container_runtime="containerd",
+            compute_efficiency=0.96,
+            stream_efficiency=0.956,
+        ),
+    )
+}
+
+
+def environment(env_id: str) -> Environment:
+    """Look up an environment by id."""
+    try:
+        return ENVIRONMENTS[env_id]
+    except KeyError:
+        raise ConfigurationError(f"unknown environment {env_id!r}") from None
+
+
+def cpu_environments(*, deployable_only: bool = True) -> list[Environment]:
+    return [
+        e
+        for e in ENVIRONMENTS.values()
+        if e.accelerator == "cpu" and (e.deployable or not deployable_only)
+    ]
+
+
+def gpu_environments(*, deployable_only: bool = True) -> list[Environment]:
+    return [
+        e
+        for e in ENVIRONMENTS.values()
+        if e.accelerator == "gpu" and (e.deployable or not deployable_only)
+    ]

@@ -1,0 +1,114 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors.  Several
+exceptions model *study-visible* failures from the paper: quota denials,
+capacity stalls, placement-group caps, container build conflicts.  Those
+carry enough structure for the usability scorer to convert them into
+incident records.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A study or environment configuration is internally inconsistent."""
+
+
+class CatalogError(ReproError):
+    """Unknown instance type, processor, or fabric."""
+
+
+class QuotaError(ReproError):
+    """A quota request was denied or exceeded.
+
+    Attributes
+    ----------
+    cloud:
+        Cloud short name (``aws``, ``az``, ``g``, ``p``).
+    resource:
+        The resource class the quota covers (e.g. instance type name).
+    requested, granted:
+        Requested and currently granted quantities.
+    """
+
+    def __init__(self, cloud: str, resource: str, requested: int, granted: int):
+        self.cloud = cloud
+        self.resource = resource
+        self.requested = requested
+        self.granted = granted
+        super().__init__(
+            f"quota denied on {cloud} for {resource}: "
+            f"requested {requested}, granted {granted}"
+        )
+
+
+class ProvisioningError(ReproError):
+    """Cluster bring-up failed (partially or totally).
+
+    ``nodes_acquired`` records how many instances were running when the
+    failure was detected; billing continues to accrue for them until the
+    caller releases the cluster, which is exactly the failure mode the
+    paper hit on EKS at 256 nodes (charged ~$2.5k waiting for capacity).
+    """
+
+    def __init__(self, message: str, nodes_acquired: int = 0, cost_accrued: float = 0.0):
+        self.nodes_acquired = nodes_acquired
+        self.cost_accrued = cost_accrued
+        super().__init__(message)
+
+
+class PlacementError(ReproError):
+    """A placement-group request could not be honoured."""
+
+
+class SchedulingError(ReproError):
+    """A job could not be scheduled (bad spec, no feasible nodes)."""
+
+
+class ContainerBuildError(ReproError):
+    """A container recipe could not be built.
+
+    Carries the conflicting requirement pair when the failure is a
+    dependency conflict (e.g. the paper's Laghos GPU build, where two
+    dependencies required different CUDA versions).
+    """
+
+    def __init__(self, message: str, conflicts: tuple[str, ...] = ()):
+        self.conflicts = conflicts
+        super().__init__(message)
+
+
+class EnvironmentUnavailableError(ReproError):
+    """The environment cannot be deployed at all.
+
+    The paper reduced its assessment from 12 to 11 cloud environments
+    because AWS ParallelCluster GPU required a custom build combining
+    newer orchestration software with older drivers, which was not
+    possible.  That environment raises this error on deploy.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """The study budget guard tripped."""
+
+    def __init__(self, cloud: str, budget: float, spent: float):
+        self.cloud = cloud
+        self.budget = budget
+        self.spent = spent
+        super().__init__(
+            f"budget exceeded on {cloud}: spent ${spent:,.2f} of ${budget:,.2f}"
+        )
+
+
+class ExecutionError(ReproError):
+    """An application run failed (segfault, timeout, misconfiguration)."""
+
+    def __init__(self, message: str, *, kind: str = "error"):
+        #: failure kind: "segfault", "timeout", "misconfiguration", "error"
+        self.kind = kind
+        super().__init__(message)

@@ -1,0 +1,15 @@
+"""Experiment harnesses: one module per table and figure of the paper.
+
+Each module exposes ``run(seed=..., iterations=...)`` returning an
+:class:`~repro.experiments.base.ExperimentOutput` holding the
+regenerated table/series plus the paper's qualitative claims as
+checkable :class:`~repro.reporting.compare.Expectation` records.
+
+The registry maps experiment ids (``table1`` … ``fig8``, plus the
+section-level results) to their runners; ``run_all`` regenerates the
+whole evaluation.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]

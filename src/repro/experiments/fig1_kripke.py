@@ -1,0 +1,79 @@
+"""Figure 1: Kripke grind time for CPU environments (lower is better).
+
+Paper claim: "AWS ParallelCluster had the lowest grind time for the
+largest three sizes (CPU), followed by EKS and CycleCloud."  Network
+interconnect is credited as the strongest influence.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import mean_fom
+from repro.envs.registry import cpu_environments
+from repro.experiments.base import ExperimentOutput, run_matrix, series_from_store
+from repro.reporting.compare import Expectation
+
+
+def run(seed: int = 0, iterations: int = 5) -> ExperimentOutput:
+    store = run_matrix(cpu_environments(), ["kripke"], iterations=iterations, seed=seed)
+    series = series_from_store(
+        store,
+        "kripke",
+        title="Kripke grind time (CPU)",
+        y_label="grind time (ns/unknown-iteration)",
+        higher_is_better=False,
+    )
+
+    cloud_envs = [e.env_id for e in cpu_environments() if e.cloud != "p"]
+
+    def grind(env_id: str, size: int) -> float:
+        stat = mean_fom(store, env_id, "kripke", size)
+        assert stat is not None
+        return stat.mean
+
+    def pc_lowest_largest_three() -> bool:
+        # Allow a statistical tie with EKS (same instances, same fabric);
+        # ParallelCluster must be within 3% of the cloud minimum and at
+        # or below EKS on average across the three sizes.
+        for size in (64, 128, 256):
+            best_cloud = min(grind(e, size) for e in cloud_envs)
+            if grind("cpu-parallelcluster-aws", size) > best_cloud * 1.03:
+                return False
+        mean_pc = sum(grind("cpu-parallelcluster-aws", s) for s in (64, 128, 256))
+        mean_eks = sum(grind("cpu-eks-aws", s) for s in (64, 128, 256))
+        return mean_pc <= mean_eks * 1.02
+
+    def aws_then_cyclecloud() -> bool:
+        # EKS second, CycleCloud third among clouds at the largest size.
+        ranked = sorted(cloud_envs, key=lambda e: grind(e, 256))
+        top3 = set(ranked[:3])
+        return {"cpu-parallelcluster-aws", "cpu-eks-aws", "cpu-cyclecloud-az"} == top3
+
+    expectations = [
+        Expectation(
+            "fig1",
+            "ParallelCluster has the lowest cloud grind time for the largest three sizes",
+            pc_lowest_largest_three,
+            "§3.3 Kripke",
+        ),
+        Expectation(
+            "fig1",
+            "top three cloud environments at 256 nodes are ParallelCluster, EKS, CycleCloud",
+            aws_then_cyclecloud,
+            "§3.3 Kripke",
+        ),
+        Expectation(
+            "fig1",
+            "grind time decreases with scale in every environment (weak scaling works)",
+            lambda: all(
+                grind(e, 32) > grind(e, 256) for e in store.environments()
+            ),
+            "Figure 1",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig1",
+        title="Kripke grind time",
+        series=[series],
+        store=store,
+        expectations=expectations,
+    )

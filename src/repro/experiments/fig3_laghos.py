@@ -1,0 +1,89 @@
+"""Figure 3: Laghos major-kernels total rate on CPU (strong scaled).
+
+Paper claims reproduced:
+
+* on-prem FOM roughly an order of magnitude above cloud, with a 32→64
+  speedup near 1.6 and lower variability;
+* cloud environments complete only 32 and 64 nodes (timeouts beyond);
+* AWS ParallelCluster never completed;
+* cluster A segfaults at 128 and 256 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import mean_fom, speedup
+from repro.envs.registry import cpu_environments
+from repro.experiments.base import ExperimentOutput, run_matrix, series_from_store
+from repro.reporting.compare import Expectation
+from repro.sim.run_result import RunState
+
+
+def run(seed: int = 0, iterations: int = 5) -> ExperimentOutput:
+    store = run_matrix(cpu_environments(), ["laghos"], iterations=iterations, seed=seed)
+    series = series_from_store(
+        store,
+        "laghos",
+        title="Laghos major kernels total rate (CPU)",
+        y_label="megadofs x steps / s",
+    )
+    completing_clouds = [
+        e.env_id
+        for e in cpu_environments()
+        if e.cloud != "p" and e.env_id != "cpu-parallelcluster-aws"
+    ]
+
+    def onprem_order_of_magnitude() -> bool:
+        for size in (32, 64):
+            a = mean_fom(store, "cpu-onprem-a", "laghos", size)
+            assert a is not None
+            for env_id in completing_clouds:
+                c = mean_fom(store, env_id, "laghos", size)
+                if c is None or a.mean < 8.0 * c.mean:
+                    return False
+        return True
+
+    def onprem_speedup() -> bool:
+        s = speedup(store, "cpu-onprem-a", "laghos", 32, 64)
+        return s is not None and 1.15 <= s <= 1.9
+
+    def clouds_fail_beyond_64() -> bool:
+        for env_id in completing_clouds:
+            for size in (128, 256):
+                if store.completed(env_id=env_id, app="laghos", scale=size):
+                    return False
+                if not store.query(
+                    env_id=env_id, app="laghos", scale=size, state=RunState.TIMEOUT
+                ):
+                    return False
+        return True
+
+    def parallelcluster_never_completes() -> bool:
+        return not store.completed(env_id="cpu-parallelcluster-aws", app="laghos")
+
+    def onprem_segfaults() -> bool:
+        for size in (128, 256):
+            runs = store.query(env_id="cpu-onprem-a", app="laghos", scale=size)
+            if not runs or any(r.failure_kind != "segfault" for r in runs):
+                return False
+        return True
+
+    expectations = [
+        Expectation("fig3", "on-prem FOM ~an order of magnitude above every "
+                    "completing cloud at 32 and 64 nodes",
+                    onprem_order_of_magnitude, "§3.3 Laghos"),
+        Expectation("fig3", "on-prem 32->64 speedup near 1.6",
+                    onprem_speedup, "§3.3 Laghos"),
+        Expectation("fig3", "cloud runs beyond 64 nodes time out (15-20 min window)",
+                    clouds_fail_beyond_64, "§3.3 Laghos"),
+        Expectation("fig3", "AWS ParallelCluster never completes Laghos",
+                    parallelcluster_never_completes, "§3.3 Laghos"),
+        Expectation("fig3", "cluster A segfaults at 128 and 256 nodes",
+                    onprem_segfaults, "§3.3 Laghos"),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig3",
+        title="Laghos FOM (CPU)",
+        series=[series],
+        store=store,
+        expectations=expectations,
+    )

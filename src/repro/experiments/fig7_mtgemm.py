@@ -1,0 +1,86 @@
+"""Figure 7: MT-GEMM GFLOP/s (GPU).
+
+Paper claims reproduced:
+
+* GPU tests strong-scale across GPU sizes;
+* Compute Engine, AKS, and GKE exhibit similar performance;
+* ParallelCluster was not run (environment undeployable);
+* CPU results are omitted from the figure — communication-bound from
+  the smallest size with GFLOPs decreasing at each larger node count
+  (checked on the CPU store, not plotted, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import mean_fom
+from repro.envs.registry import cpu_environments, gpu_environments
+from repro.experiments.base import ExperimentOutput, run_matrix, series_from_store
+from repro.reporting.compare import Expectation
+from repro.sim.run_result import RunState
+
+
+def run(seed: int = 0, iterations: int = 5) -> ExperimentOutput:
+    gpu_store = run_matrix(
+        gpu_environments(deployable_only=False), ["mt-gemm"],
+        iterations=iterations, seed=seed,
+    )
+    cpu_store = run_matrix(cpu_environments(), ["mt-gemm"], iterations=iterations, seed=seed)
+    series = series_from_store(
+        gpu_store, "mt-gemm", title="MT-GEMM GFLOP/s (GPU)", y_label="GFLOP/s"
+    )
+
+    def strong_scaling() -> bool:
+        for env in gpu_environments():
+            lo = mean_fom(gpu_store, env.env_id, "mt-gemm", 32)
+            hi = mean_fom(gpu_store, env.env_id, "mt-gemm", 256)
+            if lo is None or hi is None:
+                return False
+            if hi.mean < 4.0 * lo.mean:  # >= 50% efficiency at 8x GPUs
+                return False
+        return True
+
+    def trio_similar() -> bool:
+        for s in (32, 64, 128, 256):
+            vals = []
+            for env_id in ("gpu-computeengine-g", "gpu-aks-az", "gpu-gke-g"):
+                stat = mean_fom(gpu_store, env_id, "mt-gemm", s)
+                if stat is None:
+                    return False
+                vals.append(stat.mean)
+            if max(vals) > 1.45 * min(vals):
+                return False
+        return True
+
+    def parallelcluster_not_run() -> bool:
+        runs = gpu_store.query(env_id="gpu-parallelcluster-aws", app="mt-gemm")
+        return bool(runs) and all(r.state is RunState.SKIPPED for r in runs)
+
+    def cpu_declines() -> bool:
+        for env in cpu_environments():
+            prev = None
+            for s in (32, 64, 128, 256):
+                stat = mean_fom(cpu_store, env.env_id, "mt-gemm", s)
+                if stat is None:
+                    return False
+                if prev is not None and stat.mean > prev * 1.05:
+                    return False
+                prev = stat.mean
+        return True
+
+    expectations = [
+        Expectation("fig7", "GPU runs strong-scale across sizes", strong_scaling,
+                    "§3.3 MT-GEMM"),
+        Expectation("fig7", "Compute Engine, AKS, and GKE perform similarly",
+                    trio_similar, "§3.3 MT-GEMM"),
+        Expectation("fig7", "ParallelCluster GPU was not run", parallelcluster_not_run,
+                    "Figure 7 caption"),
+        Expectation("fig7", "CPU GFLOPs decrease at each larger node count "
+                    "(why the paper omits them)", cpu_declines, "§3.3 MT-GEMM"),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig7",
+        title="MT-GEMM (GPU)",
+        series=[series],
+        store=gpu_store,
+        expectations=expectations,
+    )

@@ -1,0 +1,67 @@
+"""Figure 8: Quicksilver segments over cycle tracking time (CPU).
+
+Paper claims reproduced:
+
+* AWS setups have the highest cloud FOM, followed by Azure (Google's
+  56-core nodes trail);
+* GPU runs did not finish: half the ranks were pinned to GPU 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import mean_fom
+from repro.envs.registry import cpu_environments, gpu_environments
+from repro.experiments.base import ExperimentOutput, run_matrix, series_from_store
+from repro.reporting.compare import Expectation
+
+
+def run(seed: int = 0, iterations: int = 5) -> ExperimentOutput:
+    store = run_matrix(cpu_environments(), ["quicksilver"], iterations=iterations, seed=seed)
+    gpu_store = run_matrix(gpu_environments(), ["quicksilver"], iterations=1, seed=seed)
+    series = series_from_store(
+        store, "quicksilver",
+        title="Quicksilver segments / cycle tracking time (CPU)",
+        y_label="segments/s",
+    )
+
+    def cloud_order() -> bool:
+        # AWS > Azure > Google at every size, per cloud pair.
+        for s in (32, 64, 128, 256):
+            def best_of(cloud_envs):
+                vals = [mean_fom(store, e, "quicksilver", s) for e in cloud_envs]
+                return max(v.mean for v in vals if v is not None)
+            aws = best_of(["cpu-parallelcluster-aws", "cpu-eks-aws"])
+            az = best_of(["cpu-cyclecloud-az", "cpu-aks-az"])
+            g = best_of(["cpu-computeengine-g", "cpu-gke-g"])
+            if not (aws > az > g):
+                return False
+        return True
+
+    def gpu_runs_fail() -> bool:
+        runs = gpu_store.query(app="quicksilver")
+        return bool(runs) and all(
+            r.failure_kind == "misconfiguration" for r in runs
+        )
+
+    expectations = [
+        Expectation("fig8", "AWS highest cloud FOM, followed by Azure, then Google",
+                    cloud_order, "§3.3 Quicksilver"),
+        Expectation("fig8", "GPU runs fail (half of ranks pinned to GPU 0)",
+                    gpu_runs_fail, "§3.3 Quicksilver"),
+        Expectation("fig8", "segments/s grows with scale (weak scaled)",
+                    lambda: all(
+                        (lambda lo, hi: lo is not None and hi is not None and hi.mean > lo.mean)(
+                            mean_fom(store, e.env_id, "quicksilver", 32),
+                            mean_fom(store, e.env_id, "quicksilver", 256),
+                        )
+                        for e in cpu_environments()
+                    ),
+                    "Figure 8"),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig8",
+        title="Quicksilver (CPU)",
+        series=[series],
+        store=store,
+        expectations=expectations,
+    )

@@ -1,0 +1,76 @@
+"""§3.4 Costs: per-cloud study spend.
+
+The paper spent $31,056 (Azure), $31,565 (AWS), and $26,482 (Google) of
+a $49,000/cloud budget — under budget partly because ParallelCluster
+GPU never ran and Google GPU was covered by credits.  This harness runs
+a reduced study campaign (every environment, a representative app
+subset, all sizes) and scales the observed spend to the full-campaign
+equivalent; claims are about the *relationships*: all clouds under
+budget, Google the cheapest, AWS and Azure within ~20% of each other.
+"""
+
+from __future__ import annotations
+
+from repro.core.study import StudyConfig, StudyRunner
+from repro.experiments.base import ExperimentOutput
+from repro.reporting.compare import Expectation
+from repro.reporting.tables import Table
+
+PAPER_SPEND = {"az": 31_056.0, "aws": 31_565.0, "g": 26_482.0}
+BUDGET = 49_000.0
+
+#: representative apps: one weak scaler, one strong scaler, one benchmark
+CAMPAIGN_APPS = ("amg2023", "lammps", "osu")
+#: the paper ran 11 apps x 5 iterations; our reduced campaign covers a
+#: third of the apps, so scale spend accordingly for budget comparison
+SPEND_SCALE = 11 / len(CAMPAIGN_APPS)
+
+
+def run(seed: int = 0, iterations: int = 2) -> ExperimentOutput:
+    config = StudyConfig(
+        env_ids=tuple(
+            e for e in (
+                "cpu-parallelcluster-aws", "cpu-eks-aws", "cpu-computeengine-g",
+                "cpu-gke-g", "cpu-cyclecloud-az", "cpu-aks-az",
+                "gpu-parallelcluster-aws", "gpu-eks-aws", "gpu-computeengine-g",
+                "gpu-gke-g", "gpu-cyclecloud-az", "gpu-aks-az",
+            )
+        ),
+        apps=CAMPAIGN_APPS,
+        iterations=iterations,
+        seed=seed,
+    )
+    report = StudyRunner(config).run()
+    scaled = {c: v * SPEND_SCALE for c, v in report.spend_by_cloud.items()}
+
+    table = Table(
+        title="Study spend by cloud (scaled to full campaign)",
+        columns=("Cloud", "Measured spend", "Paper spend", "Budget"),
+        caption=f"Reduced campaign ({len(CAMPAIGN_APPS)} apps x {iterations} "
+        f"iterations) scaled by {SPEND_SCALE:.1f}x for comparability.",
+    )
+    for cloud in ("aws", "az", "g"):
+        table.add(cloud, f"${scaled.get(cloud, 0):,.0f}",
+                  f"${PAPER_SPEND[cloud]:,.0f}", f"${BUDGET:,.0f}")
+
+    expectations = [
+        Expectation("costs", "every cloud stays under the $49k budget",
+                    lambda: all(v < BUDGET for v in scaled.values()), "§3.4"),
+        Expectation("costs", "Google is the cheapest cloud",
+                    lambda: scaled["g"] == min(scaled.values()), "§3.4"),
+        Expectation("costs", "spend is study-scale (above $2.5k per cloud, scaled)",
+                    lambda: all(v > 2_500.0 for v in scaled.values()), "§3.4"),
+        Expectation("costs", "datasets were produced for every cloud environment",
+                    lambda: len(report.store) > 0 and report.clusters_created >= 40,
+                    "§2.9"),
+    ]
+    return ExperimentOutput(
+        experiment_id="costs",
+        title="Study costs",
+        table=table,
+        store=report.store,
+        expectations=expectations,
+        notes=f"{report.datasets} datasets, {report.clusters_created} clusters, "
+        f"{report.containers_built} containers built "
+        f"({report.containers_failed} failed)",
+    )

@@ -1,0 +1,74 @@
+"""Table 1: Environment Characteristics."""
+
+from __future__ import annotations
+
+from repro.envs.registry import ENVIRONMENTS
+from repro.experiments.base import ExperimentOutput
+from repro.reporting.compare import Expectation
+from repro.reporting.tables import Table
+
+#: Table 1 row order in the paper (CPU block then GPU block).
+ROW_ORDER = (
+    "cpu-onprem-a",
+    "cpu-parallelcluster-aws",
+    "cpu-eks-aws",
+    "cpu-computeengine-g",
+    "cpu-gke-g",
+    "cpu-cyclecloud-az",
+    "cpu-aks-az",
+    "gpu-onprem-b",
+    "gpu-parallelcluster-aws",
+    "gpu-eks-aws",
+    "gpu-computeengine-g",
+    "gpu-gke-g",
+    "gpu-cyclecloud-az",
+    "gpu-aks-az",
+)
+
+_CONTAINERS = {None: "No", "singularity": "Yes (s)", "containerd": "Yes (cd)"}
+
+
+def run(seed: int = 0, iterations: int = 0) -> ExperimentOutput:
+    """Regenerate Table 1 from the environment registry."""
+    table = Table(
+        title="Table 1: Environment Characteristics",
+        columns=("Environment", "Scheduler", "Containers"),
+        caption="(p) on-premises, (s) Singularity, (cd) containerd",
+    )
+    for env_id in ROW_ORDER:
+        env = ENVIRONMENTS[env_id]
+        label = f"{env.accelerator.upper()} {env.display_name} ({env.cloud})"
+        table.add(label, env.scheduler.capitalize(), _CONTAINERS[env.container_runtime])
+
+    expectations = [
+        Expectation(
+            "table1",
+            "14 environments: 7 CPU + 7 GPU",
+            lambda: len(table.rows) == 14,
+            "Table 1",
+        ),
+        Expectation(
+            "table1",
+            "all Kubernetes environments schedule through Flux",
+            lambda: all(
+                ENVIRONMENTS[e].scheduler == "flux"
+                for e in ROW_ORDER
+                if ENVIRONMENTS[e].kind.value == "k8s"
+            ),
+            "§2.3",
+        ),
+        Expectation(
+            "table1",
+            "on-prem uses Slurm (A) and LSF (B), no containers",
+            lambda: ENVIRONMENTS["cpu-onprem-a"].scheduler == "slurm"
+            and ENVIRONMENTS["gpu-onprem-b"].scheduler == "lsf"
+            and ENVIRONMENTS["cpu-onprem-a"].container_runtime is None,
+            "Table 1",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="table1",
+        title="Environment characteristics",
+        table=table,
+        expectations=expectations,
+    )

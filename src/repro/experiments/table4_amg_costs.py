@@ -1,0 +1,67 @@
+"""Table 4: AMG2023 Total Costs By Environment."""
+
+from __future__ import annotations
+
+from repro.core.costs import amg_cost_table, cheapest_accelerator
+from repro.envs.registry import cpu_environments, gpu_environments
+from repro.experiments.base import ExperimentOutput, run_matrix
+from repro.reporting.compare import Expectation
+from repro.reporting.tables import Table
+
+
+def run(seed: int = 0, iterations: int = 5) -> ExperimentOutput:
+    """Run weak-scaled AMG2023 everywhere and total the bills."""
+    envs = [
+        e for e in cpu_environments() + gpu_environments() if e.cloud != "p"
+    ]
+    store = run_matrix(envs, ["amg2023"], iterations=iterations, seed=seed)
+    rows = amg_cost_table(store)
+
+    table = Table(
+        title="Table 4: AMG2023 Total Costs By Environment",
+        columns=("Environment", "Accelerator", "Cost/Hr", "Total Cost"),
+        caption="Total sums iterations across sizes, accounting for node "
+        "count and instance cost. GPU runs are cheaper despite pricier "
+        "instances because weak-scaled AMG finishes far faster on GPUs.",
+    )
+    for r in rows:
+        table.add(r.display_name, r.accelerator, f"${r.cost_per_hour:.2f}",
+                  f"${r.total_cost:.2f}")
+
+    gpu_rows = [r for r in rows if r.accelerator == "GPU"]
+    cpu_rows = [r for r in rows if r.accelerator == "CPU"]
+
+    expectations = [
+        Expectation(
+            "table4",
+            "GPU environments are cheaper on average than CPU for AMG2023",
+            lambda: cheapest_accelerator(rows) == "GPU",
+            "§4.2 Cost Estimation",
+        ),
+        Expectation(
+            "table4",
+            "the cheapest environments are all GPU",
+            lambda: all(r.accelerator == "GPU" for r in rows[:3]),
+            "Table 4",
+        ),
+        Expectation(
+            "table4",
+            "every deployable cloud environment produced a cost row (11 rows)",
+            lambda: len(rows) == 11,
+            "Table 4",
+        ),
+        Expectation(
+            "table4",
+            "the most expensive rows are Google CPU environments "
+            "(highest $/hr among CPU at $5.06 with 56-core nodes)",
+            lambda: all("Google" in r.display_name for r in cpu_rows[-2:]),
+            "Table 4",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="table4",
+        title="AMG2023 total costs",
+        table=table,
+        store=store,
+        expectations=expectations,
+    )

@@ -1,0 +1,37 @@
+"""Kubernetes model: nodes, pods, daemonsets, CNI, and the Flux Operator.
+
+Covers the study's three managed Kubernetes services (EKS, AKS, GKE)
+with enough fidelity for their documented incidents: device-plugin and
+InfiniBand-installer daemonsets, CNI prefix-delegation exhaustion at 256
+nodes, and Flux Operator MiniCluster bring-up across pods.
+"""
+
+from repro.k8s.cluster import KubernetesCluster
+from repro.k8s.cni import CniConfig, CniPlugin
+from repro.k8s.daemonsets import (
+    AKS_INFINIBAND_INSTALLER,
+    EFA_DEVICE_PLUGIN,
+    NVIDIA_DEVICE_PLUGIN,
+    DaemonSetSpec,
+)
+from repro.k8s.flux_operator import FluxOperator, MiniCluster, MiniClusterSpec
+from repro.k8s.objects import KubeNode, Pod, PodPhase, ResourceRequest
+from repro.k8s.scheduler import KubeScheduler
+
+__all__ = [
+    "AKS_INFINIBAND_INSTALLER",
+    "CniConfig",
+    "CniPlugin",
+    "DaemonSetSpec",
+    "EFA_DEVICE_PLUGIN",
+    "FluxOperator",
+    "KubeNode",
+    "KubeScheduler",
+    "KubernetesCluster",
+    "MiniCluster",
+    "MiniClusterSpec",
+    "NVIDIA_DEVICE_PLUGIN",
+    "Pod",
+    "PodPhase",
+    "ResourceRequest",
+]

@@ -1,0 +1,111 @@
+"""A managed Kubernetes cluster (EKS / AKS / GKE) over cloud instances.
+
+:class:`KubernetesCluster` wraps a provisioned
+:class:`~repro.cloud.provisioner.Cluster` with Kubernetes semantics:
+worker-node objects sized from the instance type, the service's control
+plane version, its default CNI, and daemonset rollouts.  The CNI budget
+check happens at cluster construction: at 256 nodes on EKS without
+prefix delegation the per-node pod-IP capacity falls below what the Flux
+Operator needs, raising an error the environment layer resolves by
+patching the daemonset (and recording the incident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.provisioner import Cluster
+from repro.errors import ConfigurationError
+from repro.k8s.cni import CniConfig, CniPlugin, default_cni
+from repro.k8s.daemonsets import DaemonSetRollout, DaemonSetSpec
+from repro.k8s.objects import KubeNode
+from repro.k8s.scheduler import KubeScheduler
+
+#: Control-plane versions used in the study (§2.3).
+SERVICE_VERSIONS = {"aws": "1.27", "az": "1.29.7", "g": "1.29.7"}
+SERVICE_NAMES = {"aws": "EKS", "az": "AKS", "g": "GKE"}
+
+
+@dataclass
+class KubernetesCluster:
+    """A running managed-Kubernetes cluster."""
+
+    cloud_cluster: Cluster
+    cni: CniConfig
+    version: str
+    service: str
+    nodes: list[KubeNode] = field(default_factory=list)
+    daemonsets: list[DaemonSetRollout] = field(default_factory=list)
+    #: accumulated bring-up time beyond instance boot, seconds
+    setup_seconds: float = 0.0
+
+    @classmethod
+    def create(
+        cls,
+        cloud_cluster: Cluster,
+        *,
+        cni: CniConfig | None = None,
+        min_pods_per_node: int = 8,
+    ) -> "KubernetesCluster":
+        """Build Kubernetes over a provisioned instance cluster.
+
+        ``min_pods_per_node`` is the operator's requirement: one app pod
+        plus system daemonsets.  If the CNI budget cannot cover it the
+        construction fails with a :class:`ConfigurationError` naming the
+        fix (prefix delegation), which the environment layer applies.
+        """
+        cloud = cloud_cluster.cloud
+        cni = cni or default_cni(cloud)
+        plugin = CniPlugin(cni)
+        n = cloud_cluster.size
+        if not plugin.sufficient_for(min_pods_per_node, cluster_nodes=n):
+            raise ConfigurationError(
+                f"CNI {cni.plugin} provides "
+                f"{plugin.pod_ip_capacity(cluster_nodes=n)} pod IPs/node at "
+                f"{n} nodes; need {min_pods_per_node}. "
+                "Patch the CNI daemonset to enable prefix delegation."
+            )
+        itype = cloud_cluster.instance_type
+        ip_cap = plugin.pod_ip_capacity(cluster_nodes=n)
+        nodes = []
+        for inst in cloud_cluster.healthy_nodes:
+            ext = {}
+            if inst.usable_gpus:
+                # Capacity appears only after the device-plugin daemonset.
+                pass
+            nodes.append(
+                KubeNode(
+                    name=inst.node_id,
+                    cpu_cores=float(itype.cores),
+                    memory_bytes=itype.memory_gb << 30,
+                    extended_capacity=ext,
+                    ip_capacity=ip_cap,
+                    labels={"pool": "workers", "instance-type": itype.name},
+                )
+            )
+        return cls(
+            cloud_cluster=cloud_cluster,
+            cni=cni,
+            version=SERVICE_VERSIONS.get(cloud, "1.29"),
+            service=SERVICE_NAMES.get(cloud, "k8s"),
+            nodes=nodes,
+            setup_seconds=90.0 + 0.4 * n,  # control plane + node registration
+        )
+
+    # -- operations -----------------------------------------------------------
+
+    def deploy_daemonset(self, spec: DaemonSetSpec) -> DaemonSetRollout:
+        rollout = DaemonSetRollout(spec)
+        self.setup_seconds += rollout.deploy(self.nodes)
+        self.daemonsets.append(rollout)
+        return rollout
+
+    def scheduler(self) -> KubeScheduler:
+        return KubeScheduler(self.nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def total_extended(self, resource: str) -> int:
+        return sum(n.extended_capacity.get(resource, 0) for n in self.nodes)

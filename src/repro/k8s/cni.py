@@ -1,0 +1,85 @@
+"""Container Networking Interface address budgeting.
+
+§3.1 (Development, AWS EKS): "For the largest cluster size (256 nodes)
+we ran out of network prefixes for the container networking interface
+(CNI) and fixed the issue by patching the CNI daemonset to allow for
+prefix delegation to increase the number of addresses available."
+
+The AWS VPC CNI assigns pod IPs from the node's ENI secondary-IP slots;
+an Hpc6a-class instance supports ~50 secondary IPs across its ENIs.
+With *prefix delegation* each slot instead holds a /28 prefix (16
+addresses), multiplying capacity.  At 256 nodes the cluster-wide
+subnet also feels pressure: system daemonsets plus operator pods exceed
+the per-node budget precisely at the largest size, which is the
+behaviour this module reproduces.
+
+GKE and AKS use different CNIs (VPC-native aliasing / Azure CNI) with
+larger defaults; they are modelled with generous fixed budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CniConfig:
+    """CNI tuning for a cluster."""
+
+    plugin: str  # "aws-vpc-cni" | "azure-cni" | "gke-native"
+    prefix_delegation: bool = False
+
+
+@dataclass(frozen=True)
+class CniPlugin:
+    """Per-node pod-IP capacity calculator for one CNI plugin."""
+
+    config: CniConfig
+
+    #: ENI secondary-IP slots available on the study's AWS instance class.
+    AWS_ENI_SLOTS = 49
+    #: Addresses per delegated /28 prefix.
+    PREFIX_SIZE = 16
+    #: Kubernetes' own default pod cap per node.
+    KUBELET_DEFAULT_MAX_PODS = 110
+
+    def pod_ip_capacity(self, *, cluster_nodes: int) -> int:
+        """Pod IPs available on each node of a ``cluster_nodes`` cluster.
+
+        For the AWS VPC CNI without prefix delegation, the per-node VPC
+        address pool is shared with cluster-scale overhead: beyond ~200
+        nodes the subnet's usable space per node drops below the ENI
+        slot count, reproducing the exhaustion incident.
+        """
+        if cluster_nodes < 1:
+            raise ConfigurationError("cluster_nodes must be >= 1")
+        if self.config.plugin == "aws-vpc-cni":
+            if self.config.prefix_delegation:
+                return min(
+                    self.AWS_ENI_SLOTS * self.PREFIX_SIZE,
+                    self.KUBELET_DEFAULT_MAX_PODS,
+                )
+            # Shared /21 subnet: 2048 addresses minus node/ELB/system
+            # reservations, divided across nodes, capped by ENI slots.
+            # At 256 nodes this drops below the Flux Operator's per-node
+            # pod requirement — the §3.1 exhaustion incident.
+            subnet_per_node = max(1, (2048 - 256) // cluster_nodes)
+            return min(self.AWS_ENI_SLOTS, subnet_per_node)
+        if self.config.plugin in ("azure-cni", "gke-native"):
+            return self.KUBELET_DEFAULT_MAX_PODS
+        raise ConfigurationError(f"unknown CNI plugin {self.config.plugin!r}")
+
+    def sufficient_for(self, pods_per_node: int, *, cluster_nodes: int) -> bool:
+        """Whether the per-node budget covers ``pods_per_node``."""
+        return self.pod_ip_capacity(cluster_nodes=cluster_nodes) >= pods_per_node
+
+
+def default_cni(cloud: str) -> CniConfig:
+    """The CNI each managed service ships by default."""
+    return {
+        "aws": CniConfig("aws-vpc-cni", prefix_delegation=False),
+        "az": CniConfig("azure-cni"),
+        "g": CniConfig("gke-native"),
+    }.get(cloud, CniConfig("gke-native"))

@@ -1,0 +1,72 @@
+"""GPU model: the NVIDIA V100 in its study configurations.
+
+The V100 was "the only way to do a comparison with the same hardware
+across clouds at our desired scale" (§2.2).  Three variants appear:
+16 GB (Google Cloud, on-prem B) and 32 GB (AWS p3dn, Azure ND40rs_v2).
+
+ECC: §3.3 (Mixbench) found every cloud defaults ECC **on** except
+Azure, whose fleet was mixed (12.5–25% off per cluster); ECC costs up
+to 15% of memory bandwidth.  :class:`GpuModel.effective_mem_bw` applies
+the penalty, and :func:`sample_ecc_settings` reproduces the fleet
+survey that discovered the inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import stream
+
+#: Bandwidth penalty when ECC is enabled (paper cites "up to 15%").
+ECC_BANDWIDTH_PENALTY = 0.15
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Sustained-rate model for one GPU."""
+
+    name: str
+    memory_gb: int
+    #: sustained FP64 GFLOP/s (dense)
+    fp64_gflops: float
+    #: sustained memory bandwidth, GB/s (ECC off)
+    mem_bw_gbs: float
+    ecc_on: bool = True
+
+    def effective_mem_bw(self) -> float:
+        """Memory bandwidth after the ECC penalty."""
+        return self.mem_bw_gbs * (1.0 - ECC_BANDWIDTH_PENALTY if self.ecc_on else 1.0)
+
+    def with_ecc(self, on: bool) -> "GpuModel":
+        return GpuModel(self.name, self.memory_gb, self.fp64_gflops, self.mem_bw_gbs, on)
+
+
+#: V100 SXM2: 7.8 TF FP64 peak, ~900 GB/s HBM2; sustained figures below.
+V100 = GpuModel("NVIDIA V100", memory_gb=16, fp64_gflops=6400.0, mem_bw_gbs=920.0)
+V100_32GB = GpuModel("NVIDIA V100 32GB", memory_gb=32, fp64_gflops=6400.0, mem_bw_gbs=920.0)
+
+
+#: Fraction of nodes with ECC *off* per cloud fleet (§3.3 Mixbench).
+ECC_OFF_FRACTION: dict[str, float] = {
+    "aws": 0.0,
+    "g": 0.0,
+    "p": 0.0,
+    "az": 0.1875,  # midpoint of the observed 12.5–25% range
+}
+
+
+def sample_ecc_settings(cloud: str, nodes: int, *, seed: int = 0) -> np.ndarray:
+    """Per-node ECC state for a freshly provisioned GPU cluster.
+
+    Returns a boolean array (True = ECC on).  Azure draws a mixed fleet;
+    all other clouds (and on-prem) come up uniformly on.
+    """
+    if nodes < 0:
+        raise ValueError("nodes must be non-negative")
+    frac_off = ECC_OFF_FRACTION.get(cloud, 0.0)
+    if frac_off == 0.0:
+        return np.ones(nodes, dtype=bool)
+    rng = stream(seed, "ecc", cloud, nodes)
+    return rng.random(nodes) >= frac_off

@@ -1,0 +1,35 @@
+"""Real NumPy implementations of each proxy application's numerical core.
+
+These are genuine, tested numerics — not models: a conjugate-gradient
+solver (MiniFE), a geometric-multigrid V-cycle (AMG2023), Stream Triad,
+blocked GEMM (MT-GEMM), Monte Carlo particle transport (Quicksilver), a
+Lennard-Jones MD force loop (LAMMPS), and a KBA-style transport sweep
+(Kripke).  The examples and benchmark harness run them for real; tests
+validate their mathematical properties (CG converges on SPD systems, MG
+contracts the residual, MC conserves particles, ...).
+"""
+
+from repro.machine.kernels.cg import CGResult, conjugate_gradient, poisson_2d
+from repro.machine.kernels.gemm import blocked_gemm, gemm_gflops
+from repro.machine.kernels.mc import MCTransportResult, mc_transport
+from repro.machine.kernels.md import lj_forces, md_step
+from repro.machine.kernels.multigrid import MGResult, v_cycle_solve
+from repro.machine.kernels.sweep import kba_sweep
+from repro.machine.kernels.triad import measure_triad_bandwidth, triad
+
+__all__ = [
+    "CGResult",
+    "MCTransportResult",
+    "MGResult",
+    "blocked_gemm",
+    "conjugate_gradient",
+    "gemm_gflops",
+    "kba_sweep",
+    "lj_forces",
+    "mc_transport",
+    "md_step",
+    "measure_triad_bandwidth",
+    "poisson_2d",
+    "triad",
+    "v_cycle_solve",
+]

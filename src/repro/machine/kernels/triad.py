@@ -1,0 +1,48 @@
+"""Stream Triad kernel: ``a = b + scalar * c``.
+
+The paper uses the Triad kernel to measure memory bandwidth (§2.8,
+Stream).  Triad moves 24 bytes and performs 2 flops per element, so
+bandwidth = 24 * n / time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: bytes moved per element: load b, load c, store a (8 B doubles)
+TRIAD_BYTES_PER_ELEMENT = 24
+
+
+def triad(b: np.ndarray, c: np.ndarray, scalar: float, out: np.ndarray | None = None) -> np.ndarray:
+    """One Triad sweep; writes into ``out`` if given (no allocation)."""
+    if b.shape != c.shape:
+        raise ValueError("b and c must have the same shape")
+    if out is None:
+        out = np.empty_like(b)
+    # In-place composition avoids a temporary (guide: in-place ops).
+    np.multiply(c, scalar, out=out)
+    out += b
+    return out
+
+
+def measure_triad_bandwidth(n: int = 2_000_000, repeats: int = 5) -> float:
+    """Measured host Triad bandwidth in GB/s (best of ``repeats``).
+
+    Arrays are sized to spill the last-level cache so the figure reflects
+    DRAM bandwidth, matching how STREAM is run.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(0)
+    b = rng.random(n)
+    c = rng.random(n)
+    a = np.empty_like(b)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        triad(b, c, 3.0, out=a)
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    return (TRIAD_BYTES_PER_ELEMENT * n) / best / 1e9

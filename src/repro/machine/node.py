@@ -1,0 +1,67 @@
+"""Node-level capability model assembled from catalog + rates + GPUs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.catalog import InstanceType
+from repro.machine.gpu import V100, V100_32GB, GpuModel
+from repro.machine.rates import KernelClass, arch_rates, node_rate
+from repro.units import GFLOP
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """Compute capability of one node of an instance type."""
+
+    instance_type: InstanceType
+    gpu_model: GpuModel | None
+
+    @classmethod
+    def for_instance(cls, itype: InstanceType, *, ecc_on: bool = True) -> "NodeModel":
+        gpu = None
+        if itype.gpu is not None:
+            base = V100_32GB if itype.gpu.memory_gb >= 32 else V100
+            gpu = base.with_ecc(ecc_on)
+        return cls(instance_type=itype, gpu_model=gpu)
+
+    # -- CPU ------------------------------------------------------------------
+
+    def cpu_rate_gflops(self, kernel_class: KernelClass) -> float:
+        """Node-level sustained CPU rate for a kernel class (GFLOP/s)."""
+        return node_rate(
+            self.instance_type.processor.arch, self.instance_type.cores, kernel_class
+        )
+
+    def cpu_time(self, gflops_of_work: float, kernel_class: KernelClass) -> float:
+        """Seconds for this node to do ``gflops_of_work`` of one class."""
+        if gflops_of_work < 0:
+            raise ValueError("work must be non-negative")
+        return gflops_of_work / self.cpu_rate_gflops(kernel_class)
+
+    @property
+    def mem_bw_gbs(self) -> float:
+        return arch_rates(self.instance_type.processor.arch).mem_bw_gbs
+
+    # -- GPU ------------------------------------------------------------------
+
+    def gpu_rate_gflops(self, kernel_class: KernelClass) -> float:
+        """Node-level sustained GPU rate (all usable GPUs)."""
+        if self.gpu_model is None or self.instance_type.gpu is None:
+            raise ValueError(f"{self.instance_type.name} has no GPUs")
+        count = self.instance_type.gpu.count
+        if kernel_class is KernelClass.MEMORY:
+            # Bandwidth-bound: Triad intensity on HBM.
+            return count * self.gpu_model.effective_mem_bw() * (2.0 / 24.0)
+        if kernel_class is KernelClass.COMPUTE:
+            return count * self.gpu_model.fp64_gflops
+        if kernel_class is KernelClass.LATENCY:
+            return count * self.gpu_model.fp64_gflops * 0.08
+        if kernel_class is KernelClass.BANDWIDTH:
+            return count * self.gpu_model.effective_mem_bw() * 0.25
+        raise ValueError(f"unknown kernel class {kernel_class}")
+
+    def gpu_time(self, gflops_of_work: float, kernel_class: KernelClass) -> float:
+        if gflops_of_work < 0:
+            raise ValueError("work must be non-negative")
+        return gflops_of_work / self.gpu_rate_gflops(kernel_class)

@@ -1,0 +1,87 @@
+"""Sustained per-core compute rates by architecture and kernel class.
+
+App performance models need "how fast does one core of arch X run
+kernel class Y".  We classify kernels the standard way:
+
+* ``COMPUTE`` — dense flops (GEMM-like); scales with vector width/freq.
+* ``MEMORY`` — streaming, memory-bandwidth-bound (Stream, SpMV, CG).
+* ``LATENCY`` — irregular access / branchy (Monte Carlo, graph walks).
+* ``BANDWIDTH`` — structured sweeps, bound by cache+memory bandwidth
+  with some reuse (Kripke, stencils).
+
+Values are sustained GFLOP/s *per core* (COMPUTE/BANDWIDTH/LATENCY) or
+per-node GB/s (``mem_bw_gbs``), calibrated to public STREAM and HPL
+figures for each Table 2 processor.  Absolute accuracy is not the goal;
+ratios between architectures drive the reproduced orderings (e.g. the
+Xeon 8480+ node on-prem beats a 96-core EPYC Milan cloud node on AMG,
+matching Figure 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+
+
+class KernelClass(enum.Enum):
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    LATENCY = "latency"
+    BANDWIDTH = "bandwidth"
+
+
+@dataclass(frozen=True)
+class ArchRates:
+    """Sustained rates for one CPU architecture."""
+
+    #: dense flops, GFLOP/s per core
+    compute_gflops: float
+    #: node memory bandwidth, GB/s (not per core — shared resource)
+    mem_bw_gbs: float
+    #: irregular-kernel rate, GFLOP/s-equivalent per core
+    latency_gflops: float
+    #: structured-sweep rate, GFLOP/s per core
+    bandwidth_gflops: float
+
+
+ARCH_RATES: dict[str, ArchRates] = {
+    # Intel Sapphire Rapids (on-prem A): wide AVX-512, DDR5-4800 x8ch.
+    "sapphire_rapids": ArchRates(38.0, 307.0, 3.2, 11.0),
+    # AMD Milan (Hpc6a / c2d / HB96rs_v3): Zen3, DDR4-3200 x8ch.
+    "milan": ArchRates(26.0, 190.0, 2.6, 8.0),
+    # IBM POWER9 (on-prem B): strong memory subsystem, modest flops.
+    "power9": ArchRates(17.0, 230.0, 2.2, 6.5),
+    # Intel Skylake-SP (p3dn, ND40rs_v2 hosts).
+    "skylake": ArchRates(24.0, 110.0, 2.4, 7.0),
+    # Intel Haswell (n1-standard-32 hosts): oldest in the study.
+    "haswell": ArchRates(14.0, 60.0, 1.8, 4.5),
+}
+
+
+def arch_rates(arch: str) -> ArchRates:
+    try:
+        return ARCH_RATES[arch]
+    except KeyError:
+        raise CatalogError(f"unknown architecture {arch!r}") from None
+
+
+def node_rate(arch: str, cores: int, kernel_class: KernelClass) -> float:
+    """Node-level sustained rate in GFLOP/s for a kernel class.
+
+    Memory-bound kernels saturate the node's bandwidth regardless of
+    core count (we convert GB/s to GFLOP/s at the Stream Triad intensity
+    of 2 flops per 24 bytes); other classes scale with cores.
+    """
+    r = arch_rates(arch)
+    if kernel_class is KernelClass.MEMORY:
+        return r.mem_bw_gbs * (2.0 / 24.0)
+    if kernel_class is KernelClass.COMPUTE:
+        return r.compute_gflops * cores
+    if kernel_class is KernelClass.LATENCY:
+        return r.latency_gflops * cores
+    if kernel_class is KernelClass.BANDWIDTH:
+        # Sweep kernels scale with cores until they hit memory bandwidth.
+        return min(r.bandwidth_gflops * cores, r.mem_bw_gbs * 0.5)
+    raise CatalogError(f"unknown kernel class {kernel_class}")

@@ -1,0 +1,37 @@
+"""Network fabric models: LogGP parameters, collectives, topology, hookup.
+
+The fabric layer is what makes one environment beat another in this
+study: Laghos lives or dies on small-message latency, Kripke on
+bandwidth, and AMG on allreduce scaling.  Every fabric from Table 2 is
+parameterised here, including documented quirks such as the AWS OpenMPI
+AllReduce latency spike at 32 KiB.
+"""
+
+from repro.network.collectives import (
+    CollectiveModel,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    bcast_time,
+)
+from repro.network.fabric import Fabric, FabricQuirk
+from repro.network.fabrics import FABRICS, fabric
+from repro.network.hookup import hookup_time
+from repro.network.loggp import LogGP
+from repro.network.topology import TopologyModel, effective_fabric
+
+__all__ = [
+    "CollectiveModel",
+    "FABRICS",
+    "Fabric",
+    "FabricQuirk",
+    "LogGP",
+    "TopologyModel",
+    "allgather_time",
+    "allreduce_time",
+    "alltoall_time",
+    "bcast_time",
+    "effective_fabric",
+    "fabric",
+    "hookup_time",
+]

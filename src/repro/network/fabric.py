@@ -1,0 +1,129 @@
+"""Fabric abstraction: point-to-point latency/bandwidth with quirks.
+
+A :class:`Fabric` is described by a small LogGP-flavoured parameter set:
+
+* ``latency_us`` — zero-byte one-way latency between two nodes;
+* ``bandwidth_gbps`` — sustained large-message point-to-point bandwidth;
+* ``per_message_overhead_us`` — software send/receive overhead (``o`` in
+  LogGP); OS-bypass fabrics have small values, kernel-path networking
+  large ones;
+* ``os_bypass`` / ``rdma`` — capability flags used by the apps layer
+  (e.g. GPU Direct requires RDMA, §2.8 OSU discussion);
+* ``jitter_cv`` — run-to-run coefficient of variation, larger for
+  shared-tenancy cloud fabrics than for dedicated HPC interconnects.
+
+Quirks are message-size-dependent multipliers modelling documented
+pathologies (see :mod:`repro.network.quirks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import gbps, usec
+
+
+@dataclass(frozen=True)
+class FabricQuirk:
+    """A latency multiplier active on a message-size interval.
+
+    The canonical example is the AWS OpenMPI AllReduce spike at 32 KiB
+    (Figure 5), which the paper notes was later fixed by AWS.  ``scope``
+    restricts the quirk to a collective kind (``"allreduce"``) or ``"*"``
+    for all traffic.
+    """
+
+    name: str
+    min_bytes: int
+    max_bytes: int
+    latency_multiplier: float
+    scope: str = "*"
+
+    def applies(self, nbytes: int, scope: str) -> bool:
+        return (
+            self.min_bytes <= nbytes <= self.max_bytes
+            and (self.scope == "*" or self.scope == scope)
+        )
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """An interconnect with LogGP-style parameters."""
+
+    name: str
+    latency_us: float
+    bandwidth_gbps: float
+    per_message_overhead_us: float
+    os_bypass: bool
+    rdma: bool
+    jitter_cv: float
+    quirks: tuple[FabricQuirk, ...] = ()
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def latency_s(self) -> float:
+        return usec(self.latency_us)
+
+    @property
+    def bandwidth_Bps(self) -> float:
+        return gbps(self.bandwidth_gbps)
+
+    @property
+    def overhead_s(self) -> float:
+        return usec(self.per_message_overhead_us)
+
+    def quirk_multiplier(self, nbytes: int, scope: str = "*") -> float:
+        """Combined latency multiplier from all active quirks."""
+        mult = 1.0
+        for q in self.quirks:
+            if q.applies(nbytes, scope):
+                mult *= q.latency_multiplier
+        return mult
+
+    def p2p_time(self, nbytes: int, *, scope: str = "*") -> float:
+        """One-way point-to-point message time in seconds.
+
+        Simple latency + overhead + size/bandwidth model; quirks scale
+        the latency term only (they are protocol-switch artefacts, not
+        wire slowdowns).
+        """
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        lat = (self.latency_s + self.overhead_s) * self.quirk_multiplier(nbytes, scope)
+        return lat + nbytes / self.bandwidth_Bps
+
+    def with_jitter(self, jitter_cv: float) -> "Fabric":
+        """A copy with a different run-to-run jitter level.
+
+        The execution engine raises jitter for cloud tenancy: the same
+        physical fabric (e.g. InfiniBand EDR) shows more variability
+        under SR-IOV virtualization and shared switches than on a
+        dedicated on-prem machine.
+        """
+        return Fabric(
+            name=self.name,
+            latency_us=self.latency_us,
+            bandwidth_gbps=self.bandwidth_gbps,
+            per_message_overhead_us=self.per_message_overhead_us,
+            os_bypass=self.os_bypass,
+            rdma=self.rdma,
+            jitter_cv=jitter_cv,
+            quirks=self.quirks,
+        )
+
+    def degraded(self, latency_multiplier: float, bandwidth_multiplier: float) -> "Fabric":
+        """A copy of this fabric with worse effective parameters.
+
+        Used by the topology layer: non-colocated nodes pay extra hops.
+        """
+        return Fabric(
+            name=self.name,
+            latency_us=self.latency_us * latency_multiplier,
+            bandwidth_gbps=self.bandwidth_gbps * bandwidth_multiplier,
+            per_message_overhead_us=self.per_message_overhead_us,
+            os_bypass=self.os_bypass,
+            rdma=self.rdma,
+            jitter_cv=self.jitter_cv,
+            quirks=self.quirks,
+        )

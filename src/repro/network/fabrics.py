@@ -1,0 +1,117 @@
+"""The fabric registry: every network from Table 2, parameterised.
+
+Parameter choices (one-way latency, sustained bandwidth) follow public
+measurements of each interconnect generation; what matters for the
+reproduction is their *relative* ordering, which drives every
+who-wins result in the paper:
+
+==================  ==========  ===========  =========================
+fabric              latency us  bw (Gbps)    role in the paper
+==================  ==========  ===========  =========================
+omnipath-100        1.1         100          on-prem A: lowest latency
+infiniband-edr      1.0         100          on-prem B / Azure GPU
+infiniband-hdr      1.0         200          Azure CPU: highest bw
+efa-gen1.5          15.0        100          AWS CPU (Hpc6a)
+efa-gen1            20.0        100          AWS GPU (p3dn)
+gcp-tier1           22.0        100          GKE CPU premium Tier_1
+gcp-premium         25.0        32           Compute Engine default
+gcp-standard        35.0        16           CE "Standard" tier
+==================  ==========  ===========  =========================
+
+OS-bypass: EFA and InfiniBand bypass the kernel; Google's fabric does
+not, which is why its per-message overhead is higher even on Tier_1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.network.fabric import Fabric
+from repro.network.quirks import AWS_ALLREDUCE_SPIKE
+
+FABRICS: dict[str, Fabric] = {
+    f.name: f
+    for f in (
+        Fabric(
+            name="omnipath-100",
+            latency_us=1.1,
+            bandwidth_gbps=100.0,
+            per_message_overhead_us=0.4,
+            os_bypass=True,
+            rdma=True,
+            jitter_cv=0.03,
+        ),
+        Fabric(
+            name="infiniband-edr",
+            latency_us=1.0,
+            bandwidth_gbps=100.0,
+            per_message_overhead_us=0.3,
+            os_bypass=True,
+            rdma=True,
+            jitter_cv=0.05,
+        ),
+        Fabric(
+            name="infiniband-hdr",
+            latency_us=1.0,
+            bandwidth_gbps=200.0,
+            per_message_overhead_us=0.3,
+            os_bypass=True,
+            rdma=True,
+            jitter_cv=0.08,
+        ),
+        Fabric(
+            name="efa-gen1.5",
+            latency_us=15.0,
+            bandwidth_gbps=100.0,
+            per_message_overhead_us=1.2,
+            os_bypass=True,
+            rdma=False,
+            jitter_cv=0.10,
+            quirks=(AWS_ALLREDUCE_SPIKE,),
+        ),
+        Fabric(
+            name="efa-gen1",
+            latency_us=20.0,
+            bandwidth_gbps=100.0,
+            per_message_overhead_us=1.5,
+            os_bypass=True,
+            rdma=False,
+            jitter_cv=0.12,
+            quirks=(AWS_ALLREDUCE_SPIKE,),
+        ),
+        Fabric(
+            name="gcp-tier1",
+            latency_us=22.0,
+            bandwidth_gbps=100.0,
+            per_message_overhead_us=3.0,
+            os_bypass=False,
+            rdma=False,
+            jitter_cv=0.15,
+        ),
+        Fabric(
+            name="gcp-premium",
+            latency_us=25.0,
+            bandwidth_gbps=32.0,
+            per_message_overhead_us=3.5,
+            os_bypass=False,
+            rdma=False,
+            jitter_cv=0.15,
+        ),
+        Fabric(
+            name="gcp-standard",
+            latency_us=35.0,
+            bandwidth_gbps=16.0,
+            per_message_overhead_us=4.0,
+            os_bypass=False,
+            rdma=False,
+            jitter_cv=0.18,
+        ),
+    )
+}
+
+
+def fabric(name: str) -> Fabric:
+    """Look up a fabric by registry name."""
+    try:
+        return FABRICS[name]
+    except KeyError:
+        raise CatalogError(f"unknown fabric {name!r}") from None

@@ -1,0 +1,61 @@
+"""LogGP point-to-point cost model.
+
+LogGP (Alexandrov et al.) extends LogP with a per-byte gap ``G`` for
+long messages.  We derive the parameters from a :class:`Fabric`:
+
+* ``L`` — wire latency (fabric ``latency_us``);
+* ``o`` — CPU send/receive overhead (fabric ``per_message_overhead_us``);
+* ``g`` — inter-message gap, taken equal to ``o`` (one outstanding
+  message per overhead slot, a common simplification);
+* ``G`` — per-byte gap, the reciprocal of bandwidth.
+
+The collectives module composes these into algorithm cost formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.fabric import Fabric
+
+
+@dataclass(frozen=True)
+class LogGP:
+    """LogGP parameters, all in seconds (G in seconds/byte)."""
+
+    L: float
+    o: float
+    g: float
+    G: float
+
+    @classmethod
+    def from_fabric(cls, fab: Fabric) -> "LogGP":
+        return cls(
+            L=fab.latency_s,
+            o=fab.overhead_s,
+            g=fab.overhead_s,
+            G=1.0 / fab.bandwidth_Bps,
+        )
+
+    def send_time(self, nbytes: int) -> float:
+        """End-to-end time for one message of ``nbytes``.
+
+        LogGP: ``o + L + (k-1)G + o`` — sender overhead, wire latency,
+        streaming of the remaining bytes, receiver overhead.
+        """
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        stream_bytes = max(nbytes - 1, 0)
+        return 2 * self.o + self.L + stream_bytes * self.G
+
+    def round_trip(self, nbytes: int) -> float:
+        """Ping-pong round trip (what ``osu_latency`` reports ×2)."""
+        return 2 * self.send_time(nbytes)
+
+    def pipelined_time(self, nbytes: int, segments: int) -> float:
+        """Time to send ``nbytes`` cut into ``segments`` pipelined chunks."""
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        seg = nbytes / segments
+        # First segment pays full latency; the rest stream behind it.
+        return self.send_time(int(seg)) + (segments - 1) * max(self.g, seg * self.G)

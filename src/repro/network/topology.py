@@ -1,0 +1,50 @@
+"""Placement quality → effective fabric parameters.
+
+Cloud proximity mechanisms (§2.6) exist because inter-zone or
+cross-spine traffic pays extra switch hops.  The topology model maps a
+:class:`~repro.cloud.placement.PlacementResult` to latency/bandwidth
+multipliers: a fully colocated cluster sees the nominal fabric; a
+cluster with colocation fraction ``f`` pays up to the penalty factors
+below on the non-colocated share of paths.
+
+The expected path penalty for random pairs when a fraction ``f`` of
+nodes is colocated: both endpoints colocated with probability ``f**2``
+(no penalty); otherwise penalised.  We fold this into a single effective
+multiplier rather than sampling pairs, which keeps app models closed-form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.placement import PlacementResult
+from repro.network.fabric import Fabric
+
+#: Extra latency for a cross-rack / cross-zone path, per cloud.
+SPREAD_LATENCY_FACTOR: dict[str, float] = {"aws": 2.5, "az": 2.5, "g": 2.0, "p": 1.3}
+#: Bandwidth derate for non-colocated paths (oversubscription).
+SPREAD_BANDWIDTH_FACTOR: dict[str, float] = {"aws": 0.5, "az": 0.5, "g": 0.6, "p": 0.9}
+
+
+@dataclass(frozen=True)
+class TopologyModel:
+    """Effective multipliers for a concrete cluster placement."""
+
+    latency_multiplier: float
+    bandwidth_multiplier: float
+
+    @classmethod
+    def from_placement(cls, cloud: str, placement: PlacementResult) -> "TopologyModel":
+        f = min(max(placement.colocated_fraction, 0.0), 1.0)
+        colocated_pair = f * f
+        lat_pen = SPREAD_LATENCY_FACTOR.get(cloud, 2.0)
+        bw_pen = SPREAD_BANDWIDTH_FACTOR.get(cloud, 0.6)
+        latency_multiplier = colocated_pair * 1.0 + (1.0 - colocated_pair) * lat_pen
+        bandwidth_multiplier = colocated_pair * 1.0 + (1.0 - colocated_pair) * bw_pen
+        return cls(latency_multiplier, bandwidth_multiplier)
+
+
+def effective_fabric(base: Fabric, cloud: str, placement: PlacementResult) -> Fabric:
+    """The fabric an application actually experiences on this cluster."""
+    topo = TopologyModel.from_placement(cloud, placement)
+    return base.degraded(topo.latency_multiplier, topo.bandwidth_multiplier)

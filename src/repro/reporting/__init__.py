@@ -1,0 +1,14 @@
+"""Report rendering: ASCII tables, series, paper-vs-measured comparisons."""
+
+from repro.reporting.compare import Expectation, check_expectations
+from repro.reporting.series import Series, render_series
+from repro.reporting.tables import Table, render_table
+
+__all__ = [
+    "Expectation",
+    "Series",
+    "Table",
+    "check_expectations",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,61 @@
+"""Paper-vs-measured comparison machinery.
+
+Each experiment declares :class:`Expectation` records — qualitative
+claims from the paper ("on-prem A has the highest AMG CPU FOM at every
+size", "AWS allreduce spikes at 32 KiB").  :func:`check_expectations`
+evaluates them against regenerated results and produces the
+paper-vs-measured report EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """A falsifiable claim about a regenerated result."""
+
+    experiment: str
+    claim: str
+    check: Callable[[], bool]
+    paper_ref: str = ""
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    experiment: str
+    claim: str
+    holds: bool
+    paper_ref: str
+
+
+def check_expectations(expectations: list[Expectation]) -> list[ExpectationResult]:
+    """Evaluate claims; a check that raises counts as failed."""
+    results = []
+    for exp in expectations:
+        try:
+            holds = bool(exp.check())
+        except Exception:
+            holds = False
+        results.append(
+            ExpectationResult(
+                experiment=exp.experiment,
+                claim=exp.claim,
+                holds=holds,
+                paper_ref=exp.paper_ref,
+            )
+        )
+    return results
+
+
+def summarize(results: list[ExpectationResult]) -> str:
+    lines = []
+    held = sum(1 for r in results if r.holds)
+    lines.append(f"{held}/{len(results)} paper claims reproduced")
+    for r in results:
+        mark = "PASS" if r.holds else "FAIL"
+        ref = f" [{r.paper_ref}]" if r.paper_ref else ""
+        lines.append(f"  {mark}  {r.experiment}: {r.claim}{ref}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Series containers for figure-style results (FOM vs scale per env)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One figure: named lines of (x, mean, std) points."""
+
+    title: str
+    x_label: str
+    y_label: str
+    lines: dict[str, list[tuple[float, float, float]]] = field(default_factory=dict)
+    higher_is_better: bool = True
+
+    def add_point(self, line: str, x: float, mean: float, std: float = 0.0) -> None:
+        self.lines.setdefault(line, []).append((x, mean, std))
+
+    def line_means(self, line: str) -> list[tuple[float, float]]:
+        return [(x, m) for x, m, _ in sorted(self.lines.get(line, []))]
+
+    def value_at(self, line: str, x: float) -> float | None:
+        for px, m, _ in self.lines.get(line, []):
+            if px == x:
+                return m
+        return None
+
+    def best_line_at(self, x: float) -> str | None:
+        """Which line wins at a given x (respecting FOM direction)."""
+        candidates = {
+            name: self.value_at(name, x)
+            for name in self.lines
+            if self.value_at(name, x) is not None
+        }
+        if not candidates:
+            return None
+        pick = max if self.higher_is_better else min
+        return pick(candidates, key=lambda k: candidates[k])
+
+
+def render_series(series: Series, *, width: int = 72) -> str:
+    """Text rendering: one block per line with a unicode sparkbar."""
+    out = [series.title, "=" * len(series.title)]
+    out.append(f"x: {series.x_label}   y: {series.y_label}")
+    all_means = [m for pts in series.lines.values() for _, m, _ in pts]
+    if not all_means:
+        return "\n".join(out + ["(no data)"])
+    peak = max(abs(m) for m in all_means) or 1.0
+    for name in sorted(series.lines):
+        out.append(f"\n{name}")
+        for x, mean, std in sorted(series.lines[name]):
+            bar = "#" * max(1, int(abs(mean) / peak * 40))
+            out.append(f"  {x:>8g}  {mean:>12.4g} ± {std:<10.3g} {bar}")
+    return "\n".join(out)

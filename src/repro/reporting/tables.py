@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment returns a :class:`Table`; the benchmark harness prints
+it so a run regenerates the same rows the paper reports.  Markdown and
+CSV renderers are provided for documentation and archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of rows."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    caption: str = ""
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values; table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def to_markdown(self) -> str:
+        lines = [
+            "| " + " | ".join(self.columns) + " |",
+            "|" + "|".join("---" for _ in self.columns) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def render_table(table: Table) -> str:
+    """Fixed-width ASCII rendering."""
+    str_rows = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [len(c) for c in table.columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [table.title, "=" * len(table.title)]
+    out.append(" | ".join(c.ljust(w) for c, w in zip(table.columns, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if table.caption:
+        out.append("")
+        out.append(table.caption)
+    return "\n".join(out)

@@ -1,0 +1,58 @@
+"""Deterministic random-stream management.
+
+Cloud studies are full of stochastic behaviour — provisioning failures,
+run-to-run FOM variation, hookup jitter.  For reproducibility every
+stochastic component draws from a :class:`numpy.random.Generator` derived
+from a single study seed plus a *key path* naming the component, e.g.::
+
+    rng = stream(seed, "aws", "eks", "lammps", 128, 3)
+
+Identical key paths always yield identical streams, independent of the
+order in which components are simulated, which keeps results stable when
+experiments are run individually or as a full study.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+
+def _key_to_int(parts: tuple[Any, ...]) -> int:
+    """Hash a heterogeneous key path to a 64-bit integer."""
+    text = "\x1f".join(str(p) for p in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def stream(seed: int, *key: Any) -> np.random.Generator:
+    """Return a generator unique to ``(seed, *key)``.
+
+    Parameters
+    ----------
+    seed:
+        Study-level seed.
+    *key:
+        Any hashable path components (strings, ints, enum values).
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed & 0xFFFFFFFF, _key_to_int(key)]))
+
+
+def jitter(rng: np.random.Generator, scale: float) -> float:
+    """A multiplicative noise factor centred on 1.0.
+
+    ``scale`` is the coefficient of variation; draws are clipped to stay
+    positive so timings never go negative.  Cloud environments get larger
+    scales than on-prem fabrics.
+    """
+    return float(max(0.05, rng.normal(1.0, scale)))
+
+
+def lognormal_jitter(rng: np.random.Generator, sigma: float) -> float:
+    """Multiplicative log-normal noise with median 1.0.
+
+    Used for queueing/hookup times whose distributions are right-skewed.
+    """
+    return float(rng.lognormal(mean=0.0, sigma=sigma))

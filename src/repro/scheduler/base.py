@@ -1,0 +1,204 @@
+"""Scheduler interface shared by Slurm, Flux, and LSF.
+
+A :class:`Scheduler` owns a :class:`NodePool`, accepts :class:`Job`
+submissions, and decides when each job gets an :class:`Allocation`.
+Jobs carry a ``runtime`` (what the application will take, supplied by
+the execution engine) and a ``walltime_limit``; jobs whose runtime
+exceeds the limit end ``TIMEOUT`` — this is how Laghos runs beyond 64
+cloud nodes die in the reproduction, mirroring §3.3 ("increasing
+slowdown that prevented runs from completing in under 15-20 minutes").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.scheduler.events import EventQueue
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.TIMEOUT,
+            JobState.CANCELLED,
+        )
+
+
+@dataclass
+class Job:
+    """A batch job."""
+
+    job_id: str
+    nodes: int
+    runtime: float  # true runtime if allowed to finish, seconds
+    walltime_limit: float = 1800.0
+    tasks_per_node: int = 1
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: float | None = None
+    end_time: float | None = None
+    #: set True by the execution engine when the app itself fails
+    app_failure: bool = False
+
+    @property
+    def wait_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def will_timeout(self) -> bool:
+        return self.runtime > self.walltime_limit
+
+
+@dataclass
+class NodePool:
+    """A set of identical nodes tracked by id."""
+
+    total: int
+    free: set[int] = field(default_factory=set)
+    allocated: dict[str, frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.free and not self.allocated:
+            self.free = set(range(self.total))
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free)
+
+    def allocate(self, job_id: str, count: int) -> frozenset[int]:
+        if count > len(self.free):
+            raise SchedulingError(
+                f"cannot allocate {count} nodes; only {len(self.free)} free"
+            )
+        if job_id in self.allocated:
+            raise SchedulingError(f"job {job_id} already holds an allocation")
+        picked = frozenset(sorted(self.free)[:count])
+        self.free -= picked
+        self.allocated[job_id] = picked
+        return picked
+
+    def release(self, job_id: str) -> None:
+        nodes = self.allocated.pop(job_id, None)
+        if nodes is None:
+            raise SchedulingError(f"job {job_id} holds no allocation")
+        self.free |= nodes
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Nodes granted to a job."""
+
+    job: Job
+    node_ids: frozenset[int]
+    granted_at: float
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate behaviour over a scheduler's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeout: int = 0
+    total_wait: float = 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        done = self.completed + self.failed + self.timeout
+        return self.total_wait / done if done else 0.0
+
+
+class Scheduler:
+    """Abstract workload manager.
+
+    Subclasses implement :meth:`_try_schedule`, invoked whenever the
+    pool state changes.  ``submit_overhead`` models the manager's
+    job-launch latency (prolog, PMI wire-up), which differs per manager.
+    """
+
+    name = "abstract"
+    submit_overhead = 1.0  # seconds between allocation and job start
+
+    def __init__(self, nodes: int, events: EventQueue | None = None):
+        self.pool = NodePool(total=nodes)
+        self.events = events or EventQueue()
+        self.queue: list[Job] = []
+        self.stats = SchedulerStats()
+        self._jobs: dict[str, Job] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        if job.nodes < 1:
+            raise SchedulingError("job must request at least one node")
+        if job.nodes > self.pool.total:
+            raise SchedulingError(
+                f"job requests {job.nodes} nodes; pool has {self.pool.total}"
+            )
+        if job.job_id in self._jobs:
+            raise SchedulingError(f"duplicate job id {job.job_id}")
+        job.submit_time = self.events.clock.now
+        self._jobs[job.job_id] = job
+        self.queue.append(job)
+        self.stats.submitted += 1
+        self._try_schedule()
+        return job
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drive the event loop until all submitted jobs are terminal."""
+        self.events.run(max_events=max_events)
+        stuck = [j for j in self._jobs.values() if not j.state.terminal]
+        if stuck:
+            raise SchedulingError(
+                f"{len(stuck)} job(s) never reached a terminal state: "
+                + ", ".join(j.job_id for j in stuck[:5])
+            )
+
+    def job(self, job_id: str) -> Job:
+        return self._jobs[job_id]
+
+    # -- machinery ------------------------------------------------------------
+
+    def _start_job(self, job: Job) -> None:
+        node_ids = self.pool.allocate(job.job_id, job.nodes)
+        job.state = JobState.RUNNING
+        job.start_time = self.events.clock.now + self.submit_overhead
+        self.stats.total_wait += job.start_time - job.submit_time
+        duration = min(job.runtime, job.walltime_limit)
+
+        def finish() -> None:
+            self._finish_job(job)
+
+        self.events.schedule(self.submit_overhead + duration, finish)
+
+    def _finish_job(self, job: Job) -> None:
+        job.end_time = self.events.clock.now
+        if job.will_timeout:
+            job.state = JobState.TIMEOUT
+            self.stats.timeout += 1
+        elif job.app_failure:
+            job.state = JobState.FAILED
+            self.stats.failed += 1
+        else:
+            job.state = JobState.COMPLETED
+            self.stats.completed += 1
+        self.pool.release(job.job_id)
+        self._try_schedule()
+
+    def _try_schedule(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,101 @@
+"""Discrete-event simulation core.
+
+A minimal event engine: a priority queue of ``(time, seq, callback)``
+entries and a clock.  Schedulers and the Kubernetes model are written
+against this so that queueing, backfill, and pod scheduling all advance
+on one timeline.  The sequence number makes ordering of simultaneous
+events deterministic (FIFO among equal timestamps).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimClock:
+    """Monotonic simulation clock in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = t
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Priority queue of timed callbacks driving a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock or SimClock()
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        ev = _Event(self.clock.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(time - self.clock.now, callback)
+
+    def cancel(self, event: _Event) -> None:
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time)
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the number of events executed.  ``max_events`` guards
+        against runaway feedback loops in scheduler logic.
+        """
+        executed = 0
+        while executed < max_events:
+            # Peek for the until-bound without popping cancelled entries.
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            if until is not None and self._heap[0].time > until:
+                self.clock.advance_to(until)
+                break
+            if not self.step():
+                break
+            executed += 1
+        else:
+            raise RuntimeError(f"event loop exceeded {max_events} events")
+        return executed

@@ -1,0 +1,42 @@
+"""LSF: the workload manager of on-prem cluster B.
+
+IBM Spectrum LSF schedules in periodic *dispatch cycles* rather than
+event-driven like our Slurm/Flux models: ``bsub`` places the job in a
+queue and the ``mbatchd`` daemon dispatches every ``MBD_SLEEP_TIME``
+(default 10 s on large systems, we use 5).  This gives LSF noticeably
+higher launch latency — visible in the on-prem GPU hookup numbers — and
+coarser backfill behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.base import Scheduler
+
+
+class LsfScheduler(Scheduler):
+    """Cycle-based FIFO dispatch."""
+
+    name = "lsf"
+    submit_overhead = 4.0  # bsub -> mbatchd -> sbatchd -> res chain
+    dispatch_interval = 5.0
+
+    def __init__(self, nodes, events=None):
+        super().__init__(nodes, events)
+        self._cycle_scheduled = False
+
+    def _try_schedule(self) -> None:
+        # Defer all decisions to the next dispatch cycle.
+        if self._cycle_scheduled or not self.queue:
+            return
+        self._cycle_scheduled = True
+        self.events.schedule(self.dispatch_interval, self._dispatch_cycle)
+
+    def _dispatch_cycle(self) -> None:
+        self._cycle_scheduled = False
+        # Strict FIFO within a cycle; no backfill past the head job.
+        while self.queue and self.pool.free_count >= self.queue[0].nodes:
+            job = self.queue.pop(0)
+            self._start_job(job)
+        if self.queue:
+            self._cycle_scheduled = True
+            self.events.schedule(self.dispatch_interval, self._dispatch_cycle)

@@ -1,0 +1,51 @@
+"""On-premises queue-wait model.
+
+Cloud clusters in the study were dedicated; on-prem jobs "needed to wait
+in the queue" (§2.9) behind the center's production workload.  Rather
+than simulate 1,544 nodes of background load, :class:`OnPremQueueModel`
+draws queue waits from a size-dependent log-normal: bigger allocations
+wait disproportionately longer, matching the shared-center experience
+that motivates the paper's elasticity argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rng import stream
+from repro.units import HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class OnPremQueueModel:
+    """Queue-wait sampler for a shared on-prem cluster.
+
+    ``cluster_nodes`` is the machine's total size; a request for a large
+    fraction of the machine waits much longer (draining effect).
+    """
+
+    cluster_nodes: int
+    seed: int = 0
+    base_wait_s: float = 5 * MINUTE
+    max_fraction_penalty: float = 20.0  # multiplier when asking for the whole machine
+
+    def sample_wait(self, nodes: int, *, iteration: int = 0) -> float:
+        """Queue wait in seconds for an allocation of ``nodes``."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if nodes > self.cluster_nodes:
+            raise ValueError(
+                f"request of {nodes} exceeds cluster size {self.cluster_nodes}"
+            )
+        fraction = nodes / self.cluster_nodes
+        # Superlinear penalty as the request approaches machine scale.
+        penalty = 1.0 + self.max_fraction_penalty * fraction**1.5
+        rng = stream(self.seed, "onprem-queue", nodes, iteration)
+        return float(self.base_wait_s * penalty * rng.lognormal(0.0, 0.8))
+
+    def expected_wait(self, nodes: int, samples: int = 64) -> float:
+        """Monte-Carlo mean wait, for planning tools."""
+        total = 0.0
+        for i in range(samples):
+            total += self.sample_wait(nodes, iteration=10_000 + i)
+        return total / samples

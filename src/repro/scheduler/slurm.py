@@ -1,0 +1,73 @@
+"""Slurm: FIFO with conservative backfill.
+
+Slurm (ParallelCluster, CycleCloud, on-prem A) processes the queue in
+priority order; a job that cannot start reserves its nodes at the
+earliest feasible time, and later jobs may *backfill* into the gap only
+if they cannot delay the reservation.  We implement conservative
+backfill using each job's walltime limit as its expected duration —
+the same information real backfill uses.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.base import Job, JobState, Scheduler
+
+
+class SlurmScheduler(Scheduler):
+    """FIFO + conservative backfill."""
+
+    name = "slurm"
+    submit_overhead = 2.0  # sbatch -> prolog -> srun wire-up
+
+    def _running_end_times(self) -> list[tuple[float, int]]:
+        """(end_time, nodes) for currently running jobs, soonest first."""
+        out = []
+        for job_id, node_ids in self.pool.allocated.items():
+            job = self._jobs[job_id]
+            assert job.start_time is not None
+            end = job.start_time + min(job.runtime, job.walltime_limit)
+            out.append((end, len(node_ids)))
+        out.sort()
+        return out
+
+    def _earliest_start_for(self, nodes_needed: int) -> float:
+        """When ``nodes_needed`` nodes will be free, by simulated drain."""
+        free = self.pool.free_count
+        if free >= nodes_needed:
+            return self.events.clock.now
+        for end, released in self._running_end_times():
+            free += released
+            if free >= nodes_needed:
+                return end
+        return float("inf")
+
+    def _try_schedule(self) -> None:
+        if not self.queue:
+            return
+        started: list[Job] = []
+        # Head-of-line job defines the backfill shadow.
+        head = self.queue[0]
+        if self.pool.free_count >= head.nodes:
+            self._start_job(head)
+            started.append(head)
+            self.queue.remove(head)
+            # Pool changed; re-enter to re-evaluate from the new head.
+            self._try_schedule()
+            return
+
+        shadow_start = self._earliest_start_for(head.nodes)
+        now = self.events.clock.now
+        for job in list(self.queue[1:]):
+            if self.pool.free_count < job.nodes:
+                continue
+            # Conservative backfill: job must finish before the shadow,
+            # or use nodes the head job will not need.
+            job_end = now + self.submit_overhead + min(job.runtime, job.walltime_limit)
+            spare_after_head = self.pool.free_count - job.nodes >= 0 and (
+                self.pool.free_count - job.nodes
+            ) + sum(
+                n for e, n in self._running_end_times() if e <= shadow_start
+            ) >= head.nodes
+            if job_end <= shadow_start or spare_after_head:
+                self._start_job(job)
+                self.queue.remove(job)

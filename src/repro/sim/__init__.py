@@ -1,0 +1,6 @@
+"""Execution engine: runs application models on environments."""
+
+from repro.sim.execution import ExecutionEngine
+from repro.sim.run_result import RunRecord, RunState
+
+__all__ = ["ExecutionEngine", "RunRecord", "RunState"]

@@ -1,0 +1,242 @@
+"""The execution engine: environment + app + scale → run record.
+
+:class:`ExecutionEngine` performs, for each run, what the study's
+orchestration did for each job:
+
+1. resolve the environment's placement at this size (and hence the
+   *effective* fabric via the topology model);
+2. apply the container stack's fabric state (an untuned Azure UCX image
+   carries the latency quirk; tuned images do not — the engine assumes
+   the study's final, tuned containers unless told otherwise);
+3. sample the hookup time (Azure's anomaly lives here);
+4. run the application model;
+5. apply the walltime policy (cloud runs had to finish within the
+   budget-dictated window; §3.3 gives 15–20 minutes for Laghos) and
+   the app's own failure modes;
+6. price the run (nodes × instance cost × wall time).
+
+Engines are deterministic given (seed, env, app, scale, iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.base import AppModel, RunContext
+from repro.apps.registry import app as app_lookup
+from repro.cloud.placement import apply_placement
+from repro.envs.environment import Environment, EnvironmentKind
+from repro.errors import EnvironmentUnavailableError
+from repro.machine.gpu import sample_ecc_settings
+from repro.network.fabric import Fabric
+from repro.network.hookup import hookup_time
+from repro.network.quirks import AZURE_UNTUNED_UCX
+from repro.network.topology import effective_fabric
+from repro.rng import stream
+from repro.sim.run_result import RunRecord, RunState
+from repro.units import HOUR
+
+#: walltime ceiling for cloud runs (15–20 min; we use the upper bound
+#: minus scheduling slack)
+CLOUD_WALLTIME_S = 1000.0
+#: on-prem queue-slot ceiling (center jobs ran under generous limits)
+ONPREM_WALLTIME_S = 4 * 3600.0
+
+
+@dataclass
+class ExecutionEngine:
+    """Runs apps on environments deterministically."""
+
+    seed: int = 0
+    #: set False to simulate the study's *initial* Azure containers,
+    #: before the UCX transport hunt of §3.1 succeeded
+    azure_ucx_tuned: bool = True
+    #: records every run made through this engine
+    history: list[RunRecord] = field(default_factory=list)
+
+    # -- fabric resolution ----------------------------------------------------
+
+    #: cloud tenancy multiplies fabric jitter: the same interconnect shows
+    #: more run-to-run variability under SR-IOV and shared switching than
+    #: on a dedicated on-prem machine
+    CLOUD_JITTER_MULTIPLIER = 1.5
+
+    #: extra small-message latency on CycleCloud's tuned UCX transport
+    #: (UCX_TLS=ud,shm,rc — §3.1): the unreliable-datagram path costs a
+    #: little over AKS's unified `ib` transport, which is why AKS edges
+    #: out CycleCloud on allreduce-bound codes (MiniFE, Figure 6)
+    AZURE_VM_UD_PENALTY_US = 0.3
+
+    def _effective_fabric(self, env: Environment, nodes: int) -> Fabric:
+        base = env.base_fabric()
+        if env.cloud == "az" and env.kind is EnvironmentKind.VM:
+            base = Fabric(
+                name=base.name,
+                latency_us=base.latency_us + self.AZURE_VM_UD_PENALTY_US,
+                bandwidth_gbps=base.bandwidth_gbps,
+                per_message_overhead_us=base.per_message_overhead_us,
+                os_bypass=base.os_bypass,
+                rdma=base.rdma,
+                jitter_cv=base.jitter_cv,
+                quirks=base.quirks,
+            )
+        if env.is_cloud:
+            base = base.with_jitter(base.jitter_cv * self.CLOUD_JITTER_MULTIPLIER)
+        if env.cloud == "az" and not self.azure_ucx_tuned:
+            base = Fabric(
+                name=base.name,
+                latency_us=base.latency_us,
+                bandwidth_gbps=base.bandwidth_gbps,
+                per_message_overhead_us=base.per_message_overhead_us,
+                os_bypass=base.os_bypass,
+                rdma=base.rdma,
+                jitter_cv=base.jitter_cv,
+                quirks=base.quirks + (AZURE_UNTUNED_UCX,),
+            )
+        if env.kind is EnvironmentKind.ONPREM:
+            return base
+        placement = apply_placement(
+            env.cloud,
+            "k8s" if env.kind is EnvironmentKind.K8S else "vm",
+            nodes,
+            seed=self.seed,
+        )
+        return effective_fabric(base, env.cloud, placement)
+
+    # -- context construction --------------------------------------------------
+
+    def context(
+        self,
+        env: Environment,
+        scale: int,
+        *,
+        iteration: int = 0,
+        options: dict[str, Any] | None = None,
+    ) -> RunContext:
+        """Build the :class:`RunContext` an app model will see."""
+        nodes = env.nodes_for(scale)
+        ranks = env.ranks_for(scale)
+        rng = stream(self.seed, "run", env.env_id, scale, iteration)
+        ecc_on = True
+        if env.is_gpu:
+            # The node's ECC state: Azure fleets are mixed (§3.3).
+            states = sample_ecc_settings(env.cloud, nodes, seed=self.seed)
+            ecc_on = bool(states.all()) if states.size else True
+        return RunContext(
+            env=env,
+            scale=scale,
+            nodes=nodes,
+            ranks=ranks,
+            node_model=env.node_model(ecc_on=ecc_on),
+            fabric=self._effective_fabric(env, nodes),
+            rng=rng,
+            iteration=iteration,
+            options=options or {},
+        )
+
+    # -- running ----------------------------------------------------------------
+
+    def run(
+        self,
+        env: Environment,
+        app: AppModel | str,
+        scale: int,
+        *,
+        iteration: int = 0,
+        options: dict[str, Any] | None = None,
+    ) -> RunRecord:
+        """Execute one run; never raises for in-study failure modes."""
+        model = app_lookup(app) if isinstance(app, str) else app
+
+        if not env.deployable:
+            record = self._skip(env, model, scale, iteration, "environment undeployable")
+        elif not model.supports(env.accelerator):
+            reason = model.unsupported_reason.get(env.accelerator, "unsupported")
+            record = self._skip(env, model, scale, iteration, reason)
+        else:
+            record = self._execute(env, model, scale, iteration, options)
+        self.history.append(record)
+        return record
+
+    def _skip(
+        self,
+        env: Environment,
+        model: AppModel,
+        scale: int,
+        iteration: int,
+        reason: str,
+    ) -> RunRecord:
+        return RunRecord(
+            env_id=env.env_id,
+            app=model.name,
+            scale=scale,
+            nodes=env.nodes_for(scale) if env.gpus_per_node or not env.is_gpu else scale,
+            iteration=iteration,
+            state=RunState.SKIPPED,
+            fom=None,
+            fom_units=model.fom_units,
+            wall_seconds=0.0,
+            hookup_seconds=0.0,
+            cost_usd=0.0,
+            failure_kind="skipped",
+            extra={"reason": reason},
+        )
+
+    def _execute(
+        self,
+        env: Environment,
+        model: AppModel,
+        scale: int,
+        iteration: int,
+        options: dict[str, Any] | None,
+    ) -> RunRecord:
+        ctx = self.context(env, scale, iteration=iteration, options=options)
+        hookup = hookup_time(
+            env.cloud,
+            env.is_gpu,
+            ctx.nodes,
+            environment_kind=env.kind.value,
+            seed=self.seed,
+            iteration=iteration,
+        )
+        result = model.simulate(ctx)
+
+        limit = ONPREM_WALLTIME_S if env.cloud == "p" else CLOUD_WALLTIME_S
+        if result.failed:
+            state = RunState.FAILED
+            fom = None
+            wall = result.wall_seconds
+        elif result.wall_seconds > limit:
+            state = RunState.TIMEOUT
+            fom = None
+            wall = limit
+        else:
+            state = RunState.COMPLETED
+            fom = result.fom
+            wall = result.wall_seconds
+
+        cost = (
+            ctx.nodes
+            * env.instance().cost_per_hour
+            * (wall + hookup)
+            / HOUR
+        )
+        return RunRecord(
+            env_id=env.env_id,
+            app=model.name,
+            scale=scale,
+            nodes=ctx.nodes,
+            iteration=iteration,
+            state=state,
+            fom=fom,
+            fom_units=model.fom_units,
+            wall_seconds=wall,
+            hookup_seconds=hookup,
+            cost_usd=cost,
+            phases=result.phases,
+            failure_kind=result.failure_kind if result.failed else (
+                "walltime" if state is RunState.TIMEOUT else None
+            ),
+            extra=result.extra,
+        )

@@ -1,0 +1,42 @@
+"""Run records: the study's unit dataset (the paper collected 25,541)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class RunState(enum.Enum):
+    COMPLETED = "completed"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    SKIPPED = "skipped"  # environment undeployable or app unsupported
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One application run in one environment at one scale."""
+
+    env_id: str
+    app: str
+    scale: int  # nodes (CPU) or GPUs (GPU environments)
+    nodes: int
+    iteration: int
+    state: RunState
+    fom: float | None
+    fom_units: str
+    wall_seconds: float
+    hookup_seconds: float
+    cost_usd: float
+    phases: dict[str, float] = field(default_factory=dict)
+    failure_kind: str | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.state is RunState.COMPLETED and self.fom is not None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.wall_seconds + self.hookup_seconds

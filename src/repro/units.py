@@ -1,0 +1,86 @@
+"""Unit helpers and constants.
+
+All internal quantities use SI base units: seconds, bytes, bytes/second,
+flop/s.  Currency is USD.  These helpers exist so that module code reads
+like the paper ("100 Gbps fabric", "16GB GPU") while arithmetic stays in
+base units.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes
+# ---------------------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * 1e9 / 8.0
+
+
+def gib(value: float) -> float:
+    """Convert GiB to bytes."""
+    return value * GiB
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * HOUR
+
+
+# ---------------------------------------------------------------------------
+# Compute
+# ---------------------------------------------------------------------------
+
+GFLOP = 1e9
+TFLOP = 1e12
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units, matching OSU output)."""
+    for unit, size in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if n >= size:
+            value = n / size
+            return f"{value:.0f}{unit}" if value == int(value) else f"{value:.1f}{unit}"
+    return f"{int(n)}B"
+
+
+def fmt_usd(x: float) -> str:
+    """Format a dollar amount the way the paper's tables do."""
+    return f"${x:,.2f}"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-readable duration."""
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f}ms"
+    if t < 120.0:
+        return f"{t:.1f}s"
+    if t < 2 * HOUR:
+        return f"{t / 60.0:.1f}min"
+    return f"{t / HOUR:.2f}h"

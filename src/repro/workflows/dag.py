@@ -1,0 +1,132 @@
+"""Workflow graphs: components, requirements, data flow.
+
+A :class:`Workflow` is a DAG (networkx) of :class:`Component` nodes.
+Edges carry the bytes exchanged per workflow cycle, which the
+portability scorer uses to penalise splitting chatty component pairs
+across environments (cloud egress + WAN latency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+
+class ComponentKind(enum.Enum):
+    SIMULATION = "simulation"  # tightly coupled MPI
+    AI = "ai"  # training/inference services
+    DATABASE = "database"
+    SERVICE = "service"  # messaging, dashboards, coordination
+
+
+@dataclass(frozen=True)
+class Component:
+    """One workflow component and its resource requirements."""
+
+    name: str
+    kind: ComponentKind
+    min_nodes: int = 1
+    needs_gpu: bool = False
+    #: tightly coupled: requires a low-latency fabric (< ~5 us)
+    needs_low_latency: bool = False
+    #: needs to scale up/down during the run (favors Kubernetes)
+    needs_elasticity: bool = False
+    #: must run containerized (cloud-native component)
+    needs_containers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ConfigurationError("min_nodes must be >= 1")
+
+
+class Workflow:
+    """A DAG of components with data-flow edges."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        if component.name in self._graph:
+            raise ConfigurationError(f"duplicate component {component.name!r}")
+        self._graph.add_node(component.name, component=component)
+        return component
+
+    def connect(self, src: str, dst: str, *, bytes_per_cycle: int) -> None:
+        for name in (src, dst):
+            if name not in self._graph:
+                raise ConfigurationError(f"unknown component {name!r}")
+        if bytes_per_cycle < 0:
+            raise ConfigurationError("bytes_per_cycle must be non-negative")
+        self._graph.add_edge(src, dst, bytes_per_cycle=bytes_per_cycle)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src, dst)
+            raise ConfigurationError(
+                f"edge {src}->{dst} would create a cycle"
+            )
+
+    # -- queries ----------------------------------------------------------------
+
+    def components(self) -> list[Component]:
+        return [self._graph.nodes[n]["component"] for n in nx.topological_sort(self._graph)]
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._graph.nodes[name]["component"]
+        except KeyError:
+            raise ConfigurationError(f"unknown component {name!r}") from None
+
+    def edges(self) -> list[tuple[str, str, int]]:
+        return [
+            (u, v, data["bytes_per_cycle"])
+            for u, v, data in self._graph.edges(data=True)
+        ]
+
+    def traffic_between(self, a: str, b: str) -> int:
+        total = 0
+        for u, v, nbytes in self.edges():
+            if {u, v} == {a, b}:
+                total += nbytes
+        return total
+
+    def total_nodes(self) -> int:
+        return sum(c.min_nodes for c in self.components())
+
+    def critical_path(self) -> list[str]:
+        """Longest chain of components by node weight."""
+        return nx.dag_longest_path(
+            self._graph,
+            weight=None,
+        )
+
+
+def mummi_style_workflow() -> Workflow:
+    """A canonical composite workflow from the paper's motivation.
+
+    Modeled on the multiscale simulation campaigns cited in §1.1
+    (MuMMI-like): a tightly coupled MPI simulation feeding an AI model
+    selector, backed by a database and a coordination service.
+    """
+    wf = Workflow("multiscale-campaign")
+    wf.add(Component("macro-sim", ComponentKind.SIMULATION, min_nodes=64,
+                     needs_low_latency=True))
+    wf.add(Component("micro-sim", ComponentKind.SIMULATION, min_nodes=16,
+                     needs_gpu=True, needs_low_latency=True))
+    wf.add(Component("ml-selector", ComponentKind.AI, min_nodes=4,
+                     needs_gpu=True, needs_elasticity=True, needs_containers=True))
+    wf.add(Component("feature-db", ComponentKind.DATABASE, min_nodes=2,
+                     needs_containers=True))
+    wf.add(Component("orchestrator", ComponentKind.SERVICE, min_nodes=1,
+                     needs_elasticity=True, needs_containers=True))
+    wf.connect("macro-sim", "ml-selector", bytes_per_cycle=2 << 30)
+    wf.connect("macro-sim", "feature-db", bytes_per_cycle=256 << 20)
+    wf.connect("ml-selector", "micro-sim", bytes_per_cycle=64 << 20)
+    wf.connect("micro-sim", "feature-db", bytes_per_cycle=512 << 20)
+    wf.connect("orchestrator", "macro-sim", bytes_per_cycle=1 << 20)
+    return wf

@@ -1,0 +1,33 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.envs.registry import ENVIRONMENTS
+from repro.sim.execution import ExecutionEngine
+
+
+@pytest.fixture
+def engine() -> ExecutionEngine:
+    return ExecutionEngine(seed=0)
+
+
+@pytest.fixture
+def eks_cpu():
+    return ENVIRONMENTS["cpu-eks-aws"]
+
+
+@pytest.fixture
+def onprem_a():
+    return ENVIRONMENTS["cpu-onprem-a"]
+
+
+@pytest.fixture
+def onprem_b():
+    return ENVIRONMENTS["gpu-onprem-b"]
+
+
+@pytest.fixture
+def aks_gpu():
+    return ENVIRONMENTS["gpu-aks-az"]

@@ -1,0 +1,186 @@
+"""Per-application behavioural tests beyond the registry-level checks."""
+
+import pytest
+
+from repro.envs.registry import environment
+from repro.sim.execution import ExecutionEngine
+
+
+@pytest.fixture
+def engine():
+    return ExecutionEngine(seed=0)
+
+
+# ------------------------------------------------------------------ AMG2023
+
+
+class TestAMG2023:
+    def test_weak_scaling_keeps_wall_near_constant(self, engine):
+        env = environment("cpu-onprem-a")
+        w32 = engine.run(env, "amg2023", 32).wall_seconds
+        w256 = engine.run(env, "amg2023", 256).wall_seconds
+        assert w256 < 2.5 * w32  # only comm grows
+
+    def test_nnz_scales_with_units(self, engine):
+        env = environment("cpu-eks-aws")
+        n32 = engine.run(env, "amg2023", 32).extra["nnz_AP"]
+        n256 = engine.run(env, "amg2023", 256).extra["nnz_AP"]
+        assert n256 == pytest.approx(8 * n32)
+
+    def test_gpu_units_are_gpus(self, engine):
+        rec = engine.run(environment("gpu-eks-aws"), "amg2023", 64)
+        assert rec.extra["units"] == 64
+        assert rec.nodes == 8
+
+    def test_solve_phase_dominates(self, engine):
+        rec = engine.run(environment("cpu-eks-aws"), "amg2023", 64)
+        assert rec.phases["solve"] > rec.phases["setup"]
+
+
+# ------------------------------------------------------------------- Laghos
+
+
+class TestLaghos:
+    def test_onprem_comm_fraction_small(self, engine):
+        rec = engine.run(environment("cpu-onprem-a"), "laghos", 32)
+        assert rec.phases["comm"] < rec.phases["compute"]
+
+    def test_cloud_comm_dominates(self, engine):
+        rec = engine.run(environment("cpu-eks-aws"), "laghos", 32)
+        assert rec.phases["comm"] > rec.phases["compute"]
+
+    def test_dofs_per_rank_reported(self, engine):
+        rec = engine.run(environment("cpu-gke-g"), "laghos", 32)
+        assert rec.extra["dofs_per_rank"] == pytest.approx(3.7e6 / (32 * 56))
+
+    def test_cliff_is_beyond_64_nodes(self, engine):
+        env = environment("cpu-aks-az")
+        ok = engine.run(env, "laghos", 64)
+        dead = engine.run(env, "laghos", 128)
+        assert ok.ok
+        assert not dead.ok
+
+
+# ------------------------------------------------------------------- LAMMPS
+
+
+class TestLAMMPS:
+    def test_gpu_problem_smaller_than_cpu(self, engine):
+        cpu = engine.run(environment("cpu-eks-aws"), "lammps", 32)
+        gpu = engine.run(environment("gpu-eks-aws"), "lammps", 32)
+        # §2.8: GPU size 64x32x32 chosen to fit 16GB V100s.
+        assert gpu.extra["atoms"] < cpu.extra["atoms"]
+
+    def test_qeq_phase_present(self, engine):
+        rec = engine.run(environment("cpu-cyclecloud-az"), "lammps", 64)
+        assert rec.phases["qeq"] > 0
+        assert rec.phases["force"] > 0
+
+    def test_strong_scaling_improves_then_saturates_on_gke(self, engine):
+        env = environment("cpu-gke-g")
+        foms = {}
+        for s in (32, 128, 256):
+            vals = [engine.run(env, "lammps", s, iteration=i).fom for i in range(5)]
+            foms[s] = sum(vals) / len(vals)
+        assert foms[128] > foms[32]
+        assert foms[256] < foms[128] * 1.1  # inflection (§3.3)
+
+
+# ------------------------------------------------------------------- Kripke
+
+
+class TestKripke:
+    def test_grind_time_positive_and_small(self, engine):
+        rec = engine.run(environment("cpu-eks-aws"), "kripke", 64)
+        assert 0 < rec.fom < 1.0  # ns per unknown-iteration
+
+    def test_pipeline_stages_grow_with_ranks(self, engine):
+        small = engine.run(environment("cpu-eks-aws"), "kripke", 32)
+        large = engine.run(environment("cpu-eks-aws"), "kripke", 256)
+        assert large.extra["stages"] > small.extra["stages"]
+
+    def test_unknowns_scale_with_ranks(self, engine):
+        rec = engine.run(environment("cpu-gke-g"), "kripke", 32)
+        assert rec.extra["unknowns"] == 16**3 * 32 * 72 * 32 * 56
+
+
+# ------------------------------------------------------------------- MiniFE
+
+
+class TestMiniFE:
+    def test_allreduce_dominates_at_scale(self, engine):
+        rec = engine.run(environment("cpu-eks-aws"), "minife", 256)
+        assert rec.phases["allreduce"] > rec.phases["matvec"]
+
+    def test_azure_ib_shrinks_allreduce_share(self, engine):
+        eks = engine.run(environment("cpu-eks-aws"), "minife", 64)
+        aks = engine.run(environment("cpu-aks-az"), "minife", 64)
+        assert aks.phases["allreduce"] < eks.phases["allreduce"]
+
+
+# ------------------------------------------------------------------ MT-GEMM
+
+
+class TestMTGemm:
+    def test_gpu_and_cpu_use_different_problems(self, engine):
+        gpu = engine.run(environment("gpu-gke-g"), "mt-gemm", 32)
+        cpu = engine.run(environment("cpu-gke-g"), "mt-gemm", 32)
+        assert gpu.extra["n"] > cpu.extra["n"]
+
+    def test_cpu_comm_bound_from_smallest_size(self, engine):
+        rec = engine.run(environment("cpu-eks-aws"), "mt-gemm", 32)
+        assert rec.phases["comm"] > rec.phases["gemm"]
+
+    def test_gpu_compute_bound(self, engine):
+        rec = engine.run(environment("gpu-aks-az"), "mt-gemm", 32)
+        assert rec.phases["gemm"] > rec.phases["comm"]
+
+
+# ------------------------------------------------------------------- Stream
+
+
+class TestStream:
+    def test_gpu_triad_near_ecc_on_bandwidth(self, engine):
+        rec = engine.run(environment("gpu-gke-g"), "stream", 32)
+        assert rec.fom == pytest.approx(920 * 0.85, rel=0.05)
+
+    def test_cpu_aggregate_scales_with_cluster(self, engine):
+        f64 = engine.run(environment("cpu-gke-g"), "stream", 64).fom
+        f128 = engine.run(environment("cpu-gke-g"), "stream", 128).fom
+        assert f128 > 1.5 * f64
+
+
+# -------------------------------------------------------------- Quicksilver
+
+
+class TestQuicksilver:
+    def test_segments_accounting(self, engine):
+        rec = engine.run(environment("cpu-eks-aws"), "quicksilver", 32)
+        assert rec.extra["segments_per_cycle"] == pytest.approx(
+            rec.extra["particles"] * 9.0
+        )
+
+    def test_gpu_failure_burns_budget(self, engine):
+        # §3.3: GPU runs "did not finish within the allocated time
+        # dictated by our budget" — the failure still costs money.
+        rec = engine.run(environment("gpu-gke-g"), "quicksilver", 32)
+        assert not rec.ok
+        assert rec.cost_usd > 0
+
+
+# ----------------------------------------------------------------- Mixbench
+
+
+class TestMixbench:
+    def test_cpu_variant_supported(self, engine):
+        rec = engine.run(environment("cpu-onprem-a"), "mixbench", 32)
+        assert rec.ok
+
+    def test_gpu_reports_ecc_state(self, engine):
+        rec = engine.run(environment("gpu-gke-g"), "mixbench", 32)
+        assert rec.extra["ecc_on"] is True
+
+    def test_roofline_in_extra(self, engine):
+        rec = engine.run(environment("gpu-eks-aws"), "mixbench", 32)
+        roof = rec.extra["roofline"]
+        assert len(roof) == 10

@@ -1,0 +1,86 @@
+"""OSU benchmark app tests."""
+
+import pytest
+
+from repro.apps.osu import MESSAGE_SIZES, OSUBenchmarks
+from repro.envs.registry import environment
+from repro.sim.execution import ExecutionEngine
+
+
+@pytest.fixture
+def engine():
+    return ExecutionEngine(seed=0)
+
+
+@pytest.fixture
+def osu():
+    return OSUBenchmarks()
+
+
+def test_message_sweep_is_osu_default():
+    assert MESSAGE_SIZES[0] == 1
+    assert MESSAGE_SIZES[-1] == 4 * 1024 * 1024
+    assert all(b == 2 * a for a, b in zip(MESSAGE_SIZES, MESSAGE_SIZES[1:]))
+
+
+def test_latency_monotone_in_message_size(engine, osu):
+    ctx = engine.context(environment("cpu-onprem-a"), 256)
+    lats = [osu.latency_us(ctx, s) for s in (8, 1 << 16, 1 << 22)]
+    assert lats[0] < lats[1] < lats[2]
+
+
+def test_small_message_latency_matches_fabric(engine, osu):
+    # Omni-Path ~1.5us one-way; IB HDR similar; EFA ~16us.
+    a = engine.context(environment("cpu-onprem-a"), 256)
+    eks = engine.context(environment("cpu-eks-aws"), 256)
+    assert osu.latency_us(a, 8) < 3.0
+    assert osu.latency_us(eks, 8) > 10.0
+
+
+def test_bandwidth_approaches_line_rate(engine, osu):
+    ctx = engine.context(environment("cpu-cyclecloud-az"), 64)  # IB HDR 200Gb/s
+    peak = max(osu.bandwidth_mbps(ctx, s) for s in MESSAGE_SIZES)
+    assert 15_000 < peak < 30_000  # MB/s, ~25 GB/s line rate
+
+
+def test_allreduce_grows_with_ranks(engine, osu):
+    small = engine.context(environment("cpu-eks-aws"), 32)
+    large = engine.context(environment("cpu-eks-aws"), 256)
+    assert osu.allreduce_us(large, 8) > osu.allreduce_us(small, 8)
+
+
+def test_aws_spike_at_32k(engine, osu):
+    ctx = engine.context(environment("cpu-parallelcluster-aws"), 256)
+    assert osu.allreduce_us(ctx, 32768) > 2.0 * osu.allreduce_us(ctx, 8192)
+
+
+def test_device_mode_host_to_host_without_rdma(engine, osu):
+    # §2.8: only InfiniBand fabrics support GPU Direct.
+    efa = engine.context(environment("gpu-eks-aws"), 32)
+    ib = engine.context(environment("gpu-aks-az"), 32)
+    assert osu.device_mode(efa) == "H H"
+    assert osu.device_mode(ib) == "D D"
+    with pytest.raises(ValueError):
+        osu.device_mode(engine.context(environment("cpu-eks-aws"), 32))
+
+
+def test_simulate_returns_full_sweeps(engine, osu):
+    rec = engine.run(environment("cpu-gke-g"), "osu", 64)
+    assert rec.ok
+    for key in ("latency_us", "bandwidth_mbps", "allreduce_us"):
+        sweep = rec.extra[key]
+        assert set(sweep) == set(MESSAGE_SIZES)
+        assert all(v > 0 for v in sweep.values())
+
+
+def test_cyclecloud_allreduce_noisier_than_aks(engine, osu):
+    import numpy as np
+
+    def cv(env_id):
+        vals = []
+        for it in range(20):
+            ctx = engine.context(environment(env_id), 64, iteration=it)
+            vals.append(osu.allreduce_us(ctx, 1024))
+        return np.std(vals) / np.mean(vals)
+
+    assert cv("cpu-cyclecloud-az") > cv("cpu-aks-az")

@@ -1,0 +1,73 @@
+"""Hypothesis properties for the auto-scaling and static strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.autoscaler import Autoscaler, TraceJob, run_static
+from repro.cloud.catalog import instance
+from repro.units import HOUR
+
+ITYPE = instance("hpc6a.48xlarge")
+
+traces = st.lists(
+    st.builds(
+        TraceJob,
+        arrival=st.floats(min_value=0.0, max_value=24 * HOUR),
+        nodes=st.integers(min_value=1, max_value=32),
+        duration=st.floats(min_value=10.0, max_value=2 * HOUR),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_autoscale_cost_covers_the_work(trace):
+    """Node-seconds billed can never be less than node-seconds of work."""
+    result = Autoscaler(ITYPE, cooldown=120.0).run_trace(trace)
+    work = sum(j.nodes * j.duration for j in trace)
+    assert result.node_seconds >= work * 0.99
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_static_cost_covers_the_work(trace):
+    result = run_static(trace, ITYPE)
+    work = sum(j.nodes * j.duration for j in trace)
+    assert result.node_seconds >= work * 0.99
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_makespan_at_least_longest_job(trace):
+    longest = max(j.duration for j in trace)
+    for result in (
+        Autoscaler(ITYPE, cooldown=120.0).run_trace(trace),
+        run_static(trace, ITYPE),
+    ):
+        assert result.makespan >= longest * 0.99
+
+
+@given(trace=traces, cooldown=st.floats(min_value=10.0, max_value=HOUR))
+@settings(max_examples=40, deadline=None)
+def test_costs_and_waits_nonnegative(trace, cooldown):
+    result = Autoscaler(ITYPE, cooldown=cooldown).run_trace(trace)
+    assert result.cost_usd >= 0.0
+    assert result.total_wait >= 0.0
+
+
+@given(trace=traces)
+@settings(max_examples=40, deadline=None)
+def test_static_never_waits_unless_oversubscribed(trace):
+    result = run_static(trace, ITYPE)
+    peak = max(j.nodes for j in trace)
+    if all(
+        a.arrival >= b.arrival + b.duration or b.arrival >= a.arrival + a.duration
+        or a is b
+        for a in trace
+        for b in trace
+    ):
+        # No overlapping jobs: nothing waits on a peak-sized cluster.
+        assert result.total_wait == 0.0

@@ -1,0 +1,67 @@
+"""CLI tests for ``python -m repro``."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out
+    assert "cpu-eks-aws" in out
+    assert "amg2023" in out
+    assert "undeployable" in out  # ParallelCluster GPU marked
+
+
+def test_run_command(capsys):
+    assert main(["run", "cpu-eks-aws", "amg2023", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "FOM" in out
+    assert "completed" in out
+
+
+def test_run_command_failure_exit_code(capsys):
+    # Laghos at 256 cloud nodes times out -> nonzero exit.
+    assert main(["run", "cpu-eks-aws", "laghos", "256"]) == 1
+    out = capsys.readouterr().out
+    assert "timeout" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Environment Characteristics" in out
+    assert "3/3 paper claims reproduced" in out
+
+
+def test_experiment_with_iterations(capsys):
+    assert main(["experiment", "hookup", "--iterations", "5"]) == 0
+    assert "claims reproduced" in capsys.readouterr().out
+
+
+def test_study_command(tmp_path, capsys):
+    csv_path = tmp_path / "data.csv"
+    rc = main([
+        "study",
+        "--envs", "cpu-eks-aws",
+        "--apps", "amg2023",
+        "--sizes", "32",
+        "--iterations", "2",
+        "--output", str(csv_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "datasets          : 2" in out
+    assert csv_path.exists()
+    assert csv_path.read_text().startswith("env_id,")
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_parser_rejects_unknown_env():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "cpu-oracle", "amg2023", "32"])

@@ -1,0 +1,83 @@
+"""Auto-scaling strategy tests (§4.1 guidance made computable)."""
+
+import pytest
+
+from repro.cloud.autoscaler import (
+    Autoscaler,
+    TraceJob,
+    bursty_trace,
+    compare_strategies,
+    run_static,
+    steady_trace,
+)
+from repro.cloud.catalog import instance
+from repro.units import HOUR
+
+
+def test_bursty_trace_favors_autoscaling():
+    # §4.1: "Auto-scaling is most useful for running batches of
+    # infrequent work."
+    results = compare_strategies(bursty_trace(), cooldown=300.0)
+    assert results["autoscale"].cost_usd < results["static"].cost_usd
+
+
+def test_steady_trace_favors_static_cluster():
+    # §4.1: "a strategy of bringing up static clusters of exactly the
+    # sizes needed can avoid costs."
+    results = compare_strategies(steady_trace(), cooldown=300.0)
+    assert results["static"].cost_usd <= results["autoscale"].cost_usd * 1.05
+
+
+def test_autoscaler_pays_boot_latency():
+    trace = [TraceJob(0.0, 8, 100.0)]
+    result = Autoscaler(instance("hpc6a.48xlarge")).run_trace(trace)
+    assert result.total_wait > 0  # boot wait
+    static = run_static(trace, instance("hpc6a.48xlarge"))
+    assert static.total_wait == 0.0
+
+
+def test_warm_workers_reused_within_cooldown():
+    itype = instance("hpc6a.48xlarge")
+    trace = [TraceJob(0.0, 8, 100.0), TraceJob(250.0, 8, 100.0)]
+    result = Autoscaler(itype, cooldown=600.0).run_trace(trace)
+    ups = [e for e in result.scaling_events if e.delta > 0]
+    assert len(ups) == 1  # second job reuses the warm pool
+
+
+def test_cold_workers_after_cooldown():
+    itype = instance("hpc6a.48xlarge")
+    trace = [TraceJob(0.0, 8, 100.0), TraceJob(2 * HOUR, 8, 100.0)]
+    result = Autoscaler(itype, cooldown=300.0).run_trace(trace)
+    ups = [e for e in result.scaling_events if e.delta > 0]
+    downs = [e for e in result.scaling_events if e.delta < 0]
+    assert len(ups) == 2
+    assert downs  # idle pool reaped between bursts
+
+
+def test_max_nodes_enforced():
+    itype = instance("hpc6a.48xlarge")
+    with pytest.raises(ValueError):
+        Autoscaler(itype, max_nodes=4).run_trace([TraceJob(0.0, 8, 10.0)])
+
+
+def test_empty_trace():
+    itype = instance("hpc6a.48xlarge")
+    assert Autoscaler(itype).run_trace([]).cost_usd == 0.0
+    assert run_static([], itype).cost_usd == 0.0
+
+
+def test_static_queues_overlapping_jobs():
+    itype = instance("hpc6a.48xlarge")
+    trace = [TraceJob(0.0, 32, 1000.0), TraceJob(10.0, 32, 1000.0)]
+    result = run_static(trace, itype)
+    assert result.total_wait > 0  # second job waits for the first
+    assert result.makespan >= 2000.0
+
+
+def test_node_seconds_accounting_positive():
+    for trace in (bursty_trace(), steady_trace()):
+        for result in compare_strategies(trace).values():
+            assert result.node_seconds > 0
+            assert result.cost_usd == pytest.approx(
+                result.node_seconds / HOUR * 2.88
+            )

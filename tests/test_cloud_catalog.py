@@ -1,0 +1,89 @@
+"""Instance-catalog tests (Table 2 integrity)."""
+
+import pytest
+
+from repro.cloud.catalog import (
+    CATALOG,
+    CLOUD_NAMES,
+    instance,
+    instances_for_cloud,
+)
+from repro.errors import CatalogError
+
+
+def test_catalog_has_all_table2_rows():
+    expected = {
+        "onprem-a",
+        "onprem-b",
+        "hpc6a.48xlarge",
+        "p3dn.24xlarge",
+        "c2d-standard-112",
+        "n1-standard-32-v100",
+        "HB96rs_v3",
+        "ND40rs_v2",
+    }
+    assert set(CATALOG) == expected
+
+
+def test_instance_lookup():
+    it = instance("hpc6a.48xlarge")
+    assert it.cloud == "aws"
+    assert it.cores == 96
+    assert it.memory_gb == 384
+
+
+def test_unknown_instance_raises():
+    with pytest.raises(CatalogError):
+        instance("m5.large")
+
+
+def test_instances_for_cloud():
+    aws = instances_for_cloud("aws")
+    assert {it.name for it in aws} == {"hpc6a.48xlarge", "p3dn.24xlarge"}
+
+
+def test_unknown_cloud_raises():
+    with pytest.raises(CatalogError):
+        instances_for_cloud("oracle")
+
+
+def test_gpu_flags():
+    assert not instance("hpc6a.48xlarge").is_gpu
+    assert instance("p3dn.24xlarge").is_gpu
+    assert instance("p3dn.24xlarge").gpus_per_node == 8
+    assert instance("onprem-b").gpus_per_node == 4
+
+
+def test_gpu_memory_sizes():
+    # 16 GB on Google Cloud and cluster B; 32 GB on AWS and Azure (§2.8).
+    assert instance("n1-standard-32-v100").gpu.memory_gb == 16
+    assert instance("onprem-b").gpu.memory_gb == 16
+    assert instance("p3dn.24xlarge").gpu.memory_gb == 32
+    assert instance("ND40rs_v2").gpu.memory_gb == 32
+
+
+def test_azure_gpu_ecc_default_differs():
+    # §3.3 Mixbench: Azure does not uniformly default ECC on.
+    assert instance("ND40rs_v2").gpu.ecc_default_on is False
+    assert instance("p3dn.24xlarge").gpu.ecc_default_on is True
+
+
+def test_onprem_costs_nothing():
+    assert instance("onprem-a").cost_per_hour == 0.0
+    assert instance("onprem-b").cost_per_hour == 0.0
+
+
+def test_processor_nominal_frequency():
+    p = instance("HB96rs_v3").processor
+    assert p.base_ghz < p.nominal_ghz < p.boost_ghz
+
+
+def test_cloud_names_complete():
+    assert set(CLOUD_NAMES) == {"aws", "az", "g", "p"}
+
+
+def test_all_fabrics_resolvable():
+    from repro.network.fabrics import fabric
+
+    for it in CATALOG.values():
+        assert fabric(it.fabric).name == it.fabric

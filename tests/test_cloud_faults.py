@@ -1,0 +1,98 @@
+"""Fault-registry tests: the documented incidents fire where they should."""
+
+from repro.cloud.faults import FAULT_REGISTRY, FaultContext, evaluate_faults
+
+
+def _ctx(**kw):
+    defaults = dict(
+        cloud="aws",
+        environment_kind="k8s",
+        instance_type="hpc6a.48xlarge",
+        is_gpu=False,
+        nodes=32,
+        attempt=0,
+    )
+    defaults.update(kw)
+    return FaultContext(**defaults)
+
+
+def _ids(events):
+    return {e.fault_id for e in events}
+
+
+def test_registry_covers_documented_incidents():
+    ids = {spec.fault_id for spec in FAULT_REGISTRY}
+    assert {
+        "azure-bad-gpu-node",
+        "eks-placement-group-partial",
+        "eks-capacity-stall-256",
+        "eks-cni-prefix-exhaustion",
+        "cyclecloud-stalled-jobs",
+        "onprem-bad-node",
+    } <= ids
+
+
+def test_azure_bad_gpu_node_triggers_at_32():
+    ctx = _ctx(cloud="az", is_gpu=True, instance_type="ND40rs_v2", nodes=32)
+    fired = set()
+    for seed in range(10):
+        fired |= _ids(evaluate_faults(ctx, seed=seed))
+    assert "azure-bad-gpu-node" in fired
+
+
+def test_azure_bad_gpu_node_not_on_small_clusters():
+    ctx = _ctx(cloud="az", is_gpu=True, instance_type="ND40rs_v2", nodes=8)
+    for seed in range(10):
+        assert "azure-bad-gpu-node" not in _ids(evaluate_faults(ctx, seed=seed))
+
+
+def test_cni_exhaustion_only_at_256():
+    assert "eks-cni-prefix-exhaustion" in _ids(evaluate_faults(_ctx(nodes=256)))
+    assert "eks-cni-prefix-exhaustion" not in _ids(evaluate_faults(_ctx(nodes=128)))
+
+
+def test_capacity_stall_is_fatal_and_costly():
+    ctx = _ctx(nodes=256, attempt=1)
+    for seed in range(20):
+        events = [
+            e for e in evaluate_faults(ctx, seed=seed)
+            if e.fault_id == "eks-capacity-stall-256"
+        ]
+        if events:
+            assert events[0].fatal
+            assert events[0].money_cost == 2500.0
+            return
+    raise AssertionError("stall never fired in 20 seeds")
+
+
+def test_capacity_stall_not_on_first_attempt():
+    # The paper hit it when *recreating* the 256 cluster.
+    ctx = _ctx(nodes=256, attempt=0)
+    for seed in range(20):
+        assert "eks-capacity-stall-256" not in _ids(evaluate_faults(ctx, seed=seed))
+
+
+def test_placement_group_bug_is_gpu_k8s_only():
+    gpu_ctx = _ctx(is_gpu=True, instance_type="p3dn.24xlarge")
+    fired = set()
+    for seed in range(10):
+        fired |= _ids(evaluate_faults(gpu_ctx, seed=seed))
+    assert "eks-placement-group-partial" in fired
+    vm_ctx = _ctx(is_gpu=True, environment_kind="vm", instance_type="p3dn.24xlarge")
+    for seed in range(10):
+        assert "eks-placement-group-partial" not in _ids(evaluate_faults(vm_ctx, seed=seed))
+
+
+def test_onprem_bad_node_is_occasional():
+    ctx = _ctx(cloud="p", environment_kind="onprem", instance_type="onprem-a")
+    hits = sum(
+        "onprem-bad-node" in _ids(evaluate_faults(ctx, seed=s)) for s in range(100)
+    )
+    assert 5 < hits < 60  # ~25% probability
+
+
+def test_determinism():
+    ctx = _ctx(cloud="az", is_gpu=True, instance_type="ND40rs_v2", nodes=32)
+    a = _ids(evaluate_faults(ctx, seed=3))
+    b = _ids(evaluate_faults(ctx, seed=3))
+    assert a == b

@@ -1,0 +1,84 @@
+"""Placement-policy tests (§2.6, §3.2)."""
+
+import pytest
+
+from repro.cloud.placement import (
+    DEFAULT_POLICY,
+    POLICY_LIMITS,
+    PlacementPolicy,
+    apply_placement,
+)
+
+
+def test_default_policies_per_cloud():
+    assert DEFAULT_POLICY["aws"] is PlacementPolicy.CLUSTER_PG
+    assert DEFAULT_POLICY["g"] is PlacementPolicy.COMPACT
+    assert DEFAULT_POLICY["az"] is PlacementPolicy.PROXIMITY_PG
+    assert DEFAULT_POLICY["p"] is PlacementPolicy.RACK_LOCAL
+
+
+def test_documented_limits():
+    assert POLICY_LIMITS[PlacementPolicy.COMPACT] == 150
+    assert POLICY_LIMITS[PlacementPolicy.PROXIMITY_PG] == 100
+
+
+def test_onprem_always_colocated():
+    r = apply_placement("p", "onprem", 256)
+    assert r.fully_colocated
+
+
+def test_gke_compact_up_to_128():
+    r = apply_placement("g", "k8s", 128)
+    assert r.fully_colocated
+    assert "granted" in r.status
+
+
+def test_gke_compact_rejected_above_limit():
+    r = apply_placement("g", "k8s", 256)
+    assert not r.fully_colocated
+    assert "rejected" in r.status.lower() or "exceeds" in r.status
+
+
+def test_compute_engine_never_gets_compact():
+    # §3.2: "We were not able to get any study size with COMPACT
+    # placement for Compute Engine."
+    for nodes in (32, 64, 128):
+        r = apply_placement("g", "vm", nodes)
+        assert not r.fully_colocated
+        assert "not granted" in r.status
+
+
+def test_aks_ppg_unknown_beyond_100():
+    r = apply_placement("az", "k8s", 128)
+    assert r.status == "Colocation status is currently unknown"
+    assert 0.3 <= r.colocated_fraction <= 0.8
+
+
+def test_aks_ppg_fine_below_100():
+    r = apply_placement("az", "k8s", 64)
+    assert r.fully_colocated
+
+
+def test_cyclecloud_ppg_works_at_scale():
+    # The PPG failure was AKS-specific; CycleCloud VM scale sets placed.
+    r = apply_placement("az", "vm", 256)
+    assert r.fully_colocated
+
+
+def test_aws_cluster_pg_mostly_colocated():
+    fractions = [
+        apply_placement("aws", "k8s", 64, seed=s).colocated_fraction
+        for s in range(30)
+    ]
+    assert sum(1 for f in fractions if f >= 0.999) >= 20
+
+
+def test_none_policy():
+    r = apply_placement("aws", "k8s", 8, policy=PlacementPolicy.NONE)
+    assert r.colocated_fraction == 0.0
+
+
+def test_placement_deterministic_per_seed():
+    a = apply_placement("az", "k8s", 128, seed=5)
+    b = apply_placement("az", "k8s", 128, seed=5)
+    assert a.colocated_fraction == b.colocated_fraction

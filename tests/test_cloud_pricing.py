@@ -1,0 +1,85 @@
+"""Billing-meter tests: metering, reporting lag, budget guard."""
+
+import pytest
+
+from repro.cloud.pricing import REPORTING_LAG_HOURS, BillingMeter, MeterEvent
+from repro.errors import BudgetExceededError
+from repro.units import HOUR
+
+
+def test_meter_event_cost():
+    ev = MeterEvent("aws", "hpc6a.48xlarge", 32, 0.0, HOUR, 2.88)
+    assert ev.cost == pytest.approx(32 * 2.88)
+
+
+def test_meter_event_partial_hour():
+    ev = MeterEvent("aws", "hpc6a.48xlarge", 10, 0.0, 1800.0, 2.88)
+    assert ev.cost == pytest.approx(10 * 2.88 / 2)
+
+
+def test_meter_rejects_negative_duration():
+    meter = BillingMeter()
+    with pytest.raises(ValueError):
+        meter.meter("aws", "x", 1, 100.0, 50.0, 1.0)
+
+
+def test_accrued_by_cloud_and_label():
+    meter = BillingMeter()
+    meter.meter("aws", "a", 1, 0, HOUR, 1.0, label="x")
+    meter.meter("aws", "a", 1, 0, HOUR, 2.0, label="y")
+    meter.meter("g", "b", 1, 0, HOUR, 4.0, label="x")
+    assert meter.accrued("aws") == pytest.approx(3.0)
+    assert meter.accrued(label="x") == pytest.approx(5.0)
+    assert meter.accrued() == pytest.approx(7.0)
+
+
+def test_reporting_lag_hides_recent_usage():
+    meter = BillingMeter()
+    meter.meter("az", "HB96rs_v3", 256, 0.0, HOUR, 3.60)
+    # Azure lag is 24h: nothing visible one hour after usage ended.
+    assert meter.reported(2 * HOUR, "az") == 0.0
+    visible_at = HOUR + REPORTING_LAG_HOURS["az"] * HOUR
+    assert meter.reported(visible_at, "az") == pytest.approx(256 * 3.60)
+
+
+def test_budget_guard_uses_reported_by_default():
+    meter = BillingMeter(budgets={"az": 100.0})
+    meter.meter("az", "HB96rs_v3", 256, 0.0, HOUR, 3.60)  # $921 accrued
+    # Within the lag window the overspend goes undetected (§4.2).
+    meter.check_budget("az", at_time=2 * HOUR)
+    with pytest.raises(BudgetExceededError):
+        meter.check_budget("az", at_time=26 * HOUR)
+
+
+def test_budget_guard_ground_truth():
+    meter = BillingMeter(budgets={"az": 100.0})
+    meter.meter("az", "HB96rs_v3", 256, 0.0, HOUR, 3.60)
+    with pytest.raises(BudgetExceededError) as exc:
+        meter.check_budget("az", at_time=0.0, use_reported=False)
+    assert exc.value.spent > exc.value.budget
+
+
+def test_no_budget_never_raises():
+    meter = BillingMeter()
+    meter.meter("aws", "x", 1000, 0, 100 * HOUR, 34.33)
+    meter.check_budget("aws", at_time=1e9)
+
+
+def test_cost_report_by_cloud():
+    meter = BillingMeter()
+    meter.meter("aws", "a", 2, 0, HOUR, 1.0)
+    meter.meter("g", "b", 3, 0, HOUR, 1.0)
+    report = meter.by_cloud()
+    assert report["aws"] == pytest.approx(2.0)
+    assert report["g"] == pytest.approx(3.0)
+    assert report.grand_total == pytest.approx(5.0)
+    assert report["az"] == 0.0
+
+
+def test_billing_conservation():
+    """Sum over any partition of events equals the grand total."""
+    meter = BillingMeter()
+    for i in range(20):
+        meter.meter("aws" if i % 2 else "g", "t", i + 1, 0, HOUR, 0.5, label=f"l{i % 3}")
+    assert meter.by_cloud().grand_total == pytest.approx(meter.by_label().grand_total)
+    assert meter.by_cloud().grand_total == pytest.approx(meter.accrued())

@@ -1,0 +1,56 @@
+"""Provider facade tests."""
+
+import pytest
+
+from repro.cloud.providers import (
+    STUDY_BUDGET_USD,
+    AWS,
+    Azure,
+    GoogleCloud,
+    OnPrem,
+    get_provider,
+)
+from repro.errors import CatalogError
+
+
+def test_get_provider():
+    assert isinstance(get_provider("aws"), AWS)
+    assert isinstance(get_provider("az"), Azure)
+    assert isinstance(get_provider("g"), GoogleCloud)
+    assert isinstance(get_provider("p"), OnPrem)
+
+
+def test_unknown_provider():
+    with pytest.raises(CatalogError):
+        get_provider("ibmcloud")
+
+
+def test_display_names():
+    assert AWS().display_name == "Amazon Web Services"
+    assert Azure().display_name == "Microsoft Azure"
+
+
+def test_default_budget_is_study_budget():
+    aws = AWS()
+    assert aws.meter.budgets["aws"] == STUDY_BUDGET_USD
+
+
+def test_onprem_has_no_budget():
+    p = OnPrem()
+    assert "p" not in p.meter.budgets
+
+
+def test_cpu_and_gpu_instance_selection():
+    g = GoogleCloud()
+    assert g.cpu_instance().name == "c2d-standard-112"
+    assert g.gpu_instance().name == "n1-standard-32-v100"
+
+
+def test_full_workflow_and_spend():
+    az = Azure(seed=0)
+    az.request_quota("HB96rs_v3", 33)
+    cluster = az.provision_cluster("HB96rs_v3", 32, environment_kind="vm")
+    assert cluster.size == 32
+    cost = az.release_cluster(cluster, now=7200.0)
+    assert cost == pytest.approx(32 * 3.60 * 2, rel=0.01)
+    assert az.spend() >= cost

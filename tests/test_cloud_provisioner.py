@@ -1,0 +1,101 @@
+"""Provisioner tests: bring-up, faults, billing integration."""
+
+import pytest
+
+from repro.cloud.pricing import BillingMeter
+from repro.cloud.provisioner import ProvisionRequest, Provisioner
+from repro.cloud.quota import QuotaLedger, QuotaRequest
+from repro.errors import ProvisioningError, QuotaError
+
+
+def _provisioner(seed=0):
+    ledger = QuotaLedger(seed=seed)
+    meter = BillingMeter()
+    return Provisioner(ledger, meter, seed=seed), ledger, meter
+
+
+def _grant(ledger, cloud, itype, qty, cls="cpu"):
+    ledger.request(QuotaRequest(cloud, itype, cls, qty))
+
+
+def test_basic_provision_and_release():
+    prov, ledger, meter = _provisioner()
+    _grant(ledger, "aws", "hpc6a.48xlarge", 64)
+    req = ProvisionRequest("aws", "vm", "hpc6a.48xlarge", 64)
+    cluster = prov.provision(req, now=0.0)
+    assert cluster.size == 64
+    assert cluster.total_cores == 64 * 96
+    assert ledger.in_use("aws", "hpc6a.48xlarge") == 64
+    cost = prov.release(cluster, now=3600.0)
+    assert cost == pytest.approx(64 * 2.88, rel=0.01)
+    assert ledger.in_use("aws", "hpc6a.48xlarge") == 0
+
+
+def test_provision_without_quota_fails():
+    prov, ledger, meter = _provisioner()
+    req = ProvisionRequest("aws", "vm", "hpc6a.48xlarge", 64)
+    with pytest.raises(QuotaError):
+        prov.provision(req)
+
+
+def test_boot_time_positive_for_cloud():
+    prov, ledger, _ = _provisioner()
+    _grant(ledger, "g", "c2d-standard-112", 32)
+    cluster = prov.provision(ProvisionRequest("g", "vm", "c2d-standard-112", 32))
+    assert cluster.ready_time > 0
+    assert all(n.boot_time > 0 for n in cluster.nodes)
+
+
+def test_onprem_nodes_already_up():
+    prov, ledger, _ = _provisioner()
+    cluster = prov.provision(ProvisionRequest("p", "onprem", "onprem-a", 32))
+    assert all(n.boot_time == 0.0 for n in cluster.nodes)
+
+
+def test_azure_bad_gpu_node_replaced_with_padding():
+    prov, ledger, _ = _provisioner()
+    _grant(ledger, "az", "ND40rs_v2", 33, "gpu")
+    req = ProvisionRequest("az", "vm", "ND40rs_v2", 32, quota_padding=1)
+    cluster = prov.provision(req)
+    if any(e.fault_id == "azure-bad-gpu-node" for e in cluster.fault_events):
+        # One unhealthy node with 7 GPUs, plus a replacement.
+        bad = [n for n in cluster.nodes if not n.healthy]
+        assert len(bad) == 1
+        assert bad[0].usable_gpus == 7
+        assert len(cluster.healthy_nodes) == 32
+        assert cluster.total_gpus == 32 * 8
+
+
+def test_capacity_stall_charges_money():
+    prov, ledger, meter = _provisioner()
+    _grant(ledger, "aws", "hpc6a.48xlarge", 257)
+    req = ProvisionRequest("aws", "k8s", "hpc6a.48xlarge", 256, attempt=1)
+    with pytest.raises(ProvisioningError) as exc:
+        prov.provision(req)
+    assert exc.value.cost_accrued > 0
+    assert meter.accrued("aws", label="provisioning-stall") > 0
+
+
+def test_double_release_rejected():
+    prov, ledger, _ = _provisioner()
+    _grant(ledger, "g", "c2d-standard-112", 8)
+    cluster = prov.provision(ProvisionRequest("g", "vm", "c2d-standard-112", 8))
+    prov.release(cluster, now=100.0)
+    with pytest.raises(ProvisioningError):
+        prov.release(cluster, now=200.0)
+
+
+def test_node_ids_unique():
+    prov, ledger, _ = _provisioner()
+    _grant(ledger, "g", "c2d-standard-112", 64)
+    c1 = prov.provision(ProvisionRequest("g", "vm", "c2d-standard-112", 32))
+    c2 = prov.provision(ProvisionRequest("g", "vm", "c2d-standard-112", 32))
+    ids = [n.node_id for n in c1.nodes + c2.nodes]
+    assert len(ids) == len(set(ids))
+
+
+def test_cluster_hourly_cost():
+    prov, ledger, _ = _provisioner()
+    _grant(ledger, "az", "HB96rs_v3", 128)
+    cluster = prov.provision(ProvisionRequest("az", "vm", "HB96rs_v3", 128))
+    assert cluster.hourly_cost() == pytest.approx(128 * 3.60)

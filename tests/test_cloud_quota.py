@@ -1,0 +1,100 @@
+"""Quota workflow tests."""
+
+import pytest
+
+from repro.cloud.quota import QuotaLedger, QuotaRequest
+from repro.errors import QuotaError
+
+
+def _req(cloud="az", itype="HB96rs_v3", cls="cpu", qty=64):
+    return QuotaRequest(cloud=cloud, instance_type=itype, resource_class=cls, quantity=qty)
+
+
+def test_cpu_quota_always_granted():
+    ledger = QuotaLedger(seed=0)
+    grant = ledger.request(_req())
+    assert grant.granted == 64
+    assert grant.window_hours is None
+
+
+def test_aws_gpu_quota_is_hard_to_get():
+    # §3.1: the AWS GPU reservation was never granted initially.
+    denials = 0
+    for seed in range(40):
+        ledger = QuotaLedger(seed=seed)
+        try:
+            ledger.request(_req("aws", "p3dn.24xlarge", "gpu", 32))
+        except QuotaError:
+            denials += 1
+    assert 5 < denials < 35  # ~45% denial rate
+
+
+def test_aws_gpu_grant_is_windowed():
+    for seed in range(40):
+        ledger = QuotaLedger(seed=seed)
+        try:
+            grant = ledger.request(_req("aws", "p3dn.24xlarge", "gpu", 32))
+        except QuotaError:
+            continue
+        assert grant.window_hours == 48.0  # the 48-hour block
+        assert grant.delay_days >= 14.0
+        return
+    pytest.fail("no grant in 40 seeds")
+
+
+def test_retry_uses_fresh_randomness():
+    ledger = QuotaLedger(seed=1)
+    outcomes = set()
+    for attempt in range(20):
+        try:
+            ledger.request(_req("aws", "p3dn.24xlarge", "gpu", 32), attempt=attempt)
+            outcomes.add("granted")
+        except QuotaError:
+            outcomes.add("denied")
+    assert outcomes == {"granted", "denied"}
+
+
+def test_acquire_within_grant():
+    ledger = QuotaLedger(seed=0)
+    ledger.request(_req(qty=33))
+    ledger.acquire("az", "HB96rs_v3", 32)
+    assert ledger.in_use("az", "HB96rs_v3") == 32
+    ledger.acquire("az", "HB96rs_v3", 1)  # the padding node
+    with pytest.raises(QuotaError):
+        ledger.acquire("az", "HB96rs_v3", 1)
+
+
+def test_release_returns_capacity():
+    ledger = QuotaLedger(seed=0)
+    ledger.request(_req(qty=32))
+    ledger.acquire("az", "HB96rs_v3", 32)
+    ledger.release("az", "HB96rs_v3", 32)
+    ledger.acquire("az", "HB96rs_v3", 32)
+
+
+def test_over_release_raises():
+    ledger = QuotaLedger(seed=0)
+    ledger.request(_req(qty=4))
+    ledger.acquire("az", "HB96rs_v3", 2)
+    with pytest.raises(ValueError):
+        ledger.release("az", "HB96rs_v3", 3)
+
+
+def test_grants_never_shrink():
+    ledger = QuotaLedger(seed=0)
+    ledger.request(_req(qty=256))
+    ledger.request(_req(qty=32))
+    assert ledger.granted("az", "HB96rs_v3") == 256
+
+
+def test_quota_error_payload():
+    ledger = QuotaLedger(seed=0)
+    ledger.request(_req(qty=4))
+    try:
+        ledger.acquire("az", "HB96rs_v3", 10)
+    except QuotaError as e:
+        assert e.requested == 10
+        assert e.granted == 4
+        assert e.cloud == "az"
+    else:
+        pytest.fail("expected QuotaError")

@@ -1,0 +1,90 @@
+"""Capacity-block and queue-estimator tests (§4.1 extensions)."""
+
+import pytest
+
+from repro.cloud.reservations import (
+    BLOCK_LIMITS,
+    CapacityBlockMarket,
+    QueueEstimator,
+)
+from repro.errors import ProvisioningError, QuotaError
+from repro.units import HOUR
+
+
+def test_reserve_gpu_block_on_aws():
+    market = CapacityBlockMarket()
+    block = market.reserve("aws", "p3dn.24xlarge", 32, start=0.0, hours=48.0)
+    assert block.duration_hours == 48.0
+    assert block.covers(10 * HOUR, 32)
+    assert not block.covers(49 * HOUR, 32)
+    assert not block.covers(10 * HOUR, 33)
+
+
+def test_blocks_cost_a_premium():
+    market = CapacityBlockMarket(price_premium=1.25)
+    block = market.reserve("aws", "p3dn.24xlarge", 8, start=0.0, hours=24.0)
+    assert block.price_per_node_hour == pytest.approx(34.33 * 1.25)
+    assert block.total_cost == pytest.approx(8 * 24 * 34.33 * 1.25)
+
+
+def test_cpu_blocks_rejected():
+    # "limited in terms of resource type" — GPU only.
+    market = CapacityBlockMarket()
+    with pytest.raises(ProvisioningError, match="GPU"):
+        market.reserve("aws", "hpc6a.48xlarge", 32, start=0.0, hours=24.0)
+
+
+def test_quantity_limit():
+    market = CapacityBlockMarket()
+    max_nodes, _ = BLOCK_LIMITS["aws"]
+    with pytest.raises(ProvisioningError, match="limited"):
+        market.reserve("aws", "p3dn.24xlarge", max_nodes + 1, start=0.0, hours=24.0)
+
+
+def test_duration_limit():
+    market = CapacityBlockMarket()
+    _, max_hours = BLOCK_LIMITS["g"]
+    with pytest.raises(ProvisioningError):
+        market.reserve("g", "n1-standard-32-v100", 8, start=0.0, hours=max_hours + 1)
+
+
+def test_azure_offers_no_blocks():
+    market = CapacityBlockMarket()
+    with pytest.raises(QuotaError):
+        market.reserve("az", "ND40rs_v2", 8, start=0.0, hours=24.0)
+
+
+def test_block_lookup():
+    market = CapacityBlockMarket()
+    market.reserve("aws", "p3dn.24xlarge", 32, start=100.0, hours=48.0)
+    assert market.block_covering("aws", "p3dn.24xlarge", 200.0, 16) is not None
+    assert market.block_covering("aws", "p3dn.24xlarge", 0.0, 16) is None
+    assert market.block_covering("g", "n1-standard-32-v100", 200.0, 16) is None
+
+
+def test_queue_estimate_grows_with_request_size():
+    est = QueueEstimator(seed=0)
+    small = est.estimate("aws", "p3dn.24xlarge", 4)
+    large = est.estimate("aws", "p3dn.24xlarge", 32)
+    assert large.estimated_wait > small.estimated_wait
+    assert large.confidence < small.confidence
+
+
+def test_gpu_waits_exceed_cpu_waits():
+    est = QueueEstimator(seed=0)
+    gpu = est.estimate("aws", "p3dn.24xlarge", 16)
+    cpu = est.estimate("aws", "hpc6a.48xlarge", 16)
+    assert gpu.estimated_wait > cpu.estimated_wait
+
+
+def test_oversized_request_advises_blocks():
+    est = QueueEstimator(seed=0)
+    result = est.estimate("aws", "p3dn.24xlarge", 64)  # pool is 48
+    assert result.estimated_wait == float("inf")
+    assert "capacity block" in result.advice
+
+
+def test_large_gpu_share_advises_on_call():
+    est = QueueEstimator(seed=0)
+    result = est.estimate("g", "n1-standard-32-v100", 32)  # 2/3 of pool
+    assert "capacity block" in result.advice or "on call" in result.advice

@@ -1,0 +1,88 @@
+"""Container builder tests: capability solving and the Laghos failure."""
+
+import pytest
+
+from repro.containers.builder import AZURE_UCX_SETTINGS, ContainerBuilder
+from repro.containers.recipe import recipe_for
+from repro.errors import ContainerBuildError
+
+
+def test_successful_build():
+    builder = ContainerBuilder()
+    image = builder.build(recipe_for("amg2023", "aws", gpu=False))
+    assert image.tag == "amg2023-aws-cpu"
+    assert image.size_gb > 1.0
+    assert builder.built == 1
+
+
+def test_laghos_gpu_build_fails_with_cuda_conflict():
+    builder = ContainerBuilder()
+    with pytest.raises(ContainerBuildError) as exc:
+        builder.build(recipe_for("laghos", "aws", gpu=True))
+    assert "cuda" in str(exc.value).lower()
+    assert set(exc.value.conflicts) <= {"mfem", "hypre", "laghos"}
+    assert builder.failed == 1
+
+
+def test_laghos_cpu_builds_fine():
+    builder = ContainerBuilder()
+    image = builder.build(recipe_for("laghos", "aws", gpu=False))
+    assert image.tag == "laghos-aws-cpu"
+
+
+def test_other_gpu_apps_build():
+    builder = ContainerBuilder()
+    for app in ("amg2023", "lammps", "kripke", "minife", "quicksilver"):
+        image = builder.build(recipe_for(app, "az", gpu=True))
+        assert image.env_dict().get("CUDA_VERSION") == "11.8"
+
+
+def test_try_build_records_without_raising():
+    builder = ContainerBuilder()
+    result = builder.try_build(recipe_for("laghos", "g", gpu=True))
+    assert not result.ok
+    assert result.error
+    assert builder.failed == 1
+
+
+def test_azure_ucx_tuning_baked_into_env():
+    builder = ContainerBuilder()
+    image = builder.build(
+        recipe_for("minife", "az", gpu=False), ucx_tls=AZURE_UCX_SETTINGS["k8s"]
+    )
+    env = image.env_dict()
+    assert env["UCX_TLS"] == "ib"
+    assert env["UCX_UNIFIED_MODE"] == "y"
+    assert env["OMPI_MCA_btl"] == "^openib"
+    assert image.ucx_tuned
+
+
+def test_untuned_azure_image():
+    builder = ContainerBuilder()
+    image = builder.build(recipe_for("minife", "az", gpu=False))
+    assert not image.ucx_tuned
+
+
+def test_cyclecloud_transport_differs_from_aks():
+    assert AZURE_UCX_SETTINGS["vm"] == "ud,shm,rc"
+    assert AZURE_UCX_SETTINGS["k8s"] == "ib"
+
+
+def test_aws_images_set_efa_provider():
+    builder = ContainerBuilder()
+    image = builder.build(recipe_for("osu", "aws", gpu=False))
+    assert image.env_dict()["FI_PROVIDER"] == "efa"
+
+
+def test_digests_differ_per_configuration():
+    builder = ContainerBuilder()
+    a = builder.build(recipe_for("osu", "az", gpu=False), ucx_tls="ib")
+    b = builder.build(recipe_for("osu", "az", gpu=False), ucx_tls="ud,shm,rc")
+    assert a.digest != b.digest
+
+
+def test_gpu_images_bigger():
+    builder = ContainerBuilder()
+    cpu = builder.build(recipe_for("lammps", "g", gpu=False))
+    gpu = builder.build(recipe_for("lammps", "g", gpu=True))
+    assert gpu.size_gb > cpu.size_gb

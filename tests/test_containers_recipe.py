@@ -1,0 +1,83 @@
+"""Container recipe tests: the §2.7 software stacks."""
+
+import pytest
+
+from repro.containers.recipe import (
+    APP_PACKAGES,
+    FLUX_STACK,
+    GPU_CUDA_PINS,
+    recipe_for,
+)
+
+
+def test_flux_stack_versions_match_paper():
+    versions = {p.name: p.version for p in FLUX_STACK}
+    assert versions["flux-security"] == "0.11.0"
+    assert versions["flux-core"] == "0.61.2"
+    assert versions["flux-sched"] == "0.33.1"
+    assert versions["flux-pmix"] == "0.4.0"
+    assert versions["cmake"] == "3.23.1"
+    assert versions["openmpi"] == "4.1.2"
+
+
+def test_every_app_has_packages():
+    expected_apps = {
+        "amg2023", "laghos", "lammps", "kripke", "minife", "mt-gemm",
+        "mixbench", "osu", "stream", "quicksilver", "single-node",
+    }
+    assert set(APP_PACKAGES) == expected_apps
+
+
+def test_aws_recipe_has_libfabric():
+    r = recipe_for("amg2023", "aws", gpu=False)
+    names = {p.name for p in r.packages}
+    assert "libfabric" in names
+    assert "ucx" not in names
+
+
+def test_azure_recipe_has_ucx_and_proprietary():
+    r = recipe_for("amg2023", "az", gpu=False)
+    names = {p.name for p in r.packages}
+    assert {"ucx", "hpcx", "hcoll", "sharp"} <= names
+    assert len(r.proprietary_packages()) == 3
+    assert r.base_image.startswith("azurehpc")
+
+
+def test_google_needs_nothing_special():
+    # §2.7: "Google Cloud did not need any special software or drivers."
+    r = recipe_for("lammps", "g", gpu=False)
+    names = {p.name for p in r.packages}
+    assert not names & {"libfabric", "ucx", "hpcx"}
+    assert "rocky" in r.base_image  # suggested-practice Rocky base
+
+
+def test_gpu_variant_pins_cuda():
+    r = recipe_for("lammps", "aws", gpu=True)
+    lmp = next(p for p in r.packages if p.name == "lammps-reaxff")
+    assert lmp.requires_dict()["cuda"] == "11.8"
+
+
+def test_laghos_gpu_pins_conflict():
+    # The documented conflict: mfem and hypre disagree on CUDA.
+    pins = GPU_CUDA_PINS["laghos"]
+    assert pins["mfem"] != pins["hypre"]
+
+
+def test_recipe_tags_unique_per_combination():
+    tags = {
+        recipe_for(app, cloud, gpu=gpu).tag
+        for app in ("amg2023", "lammps")
+        for cloud in ("aws", "az", "g")
+        for gpu in (False, True)
+    }
+    assert len(tags) == 12
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        recipe_for("hpl", "aws", gpu=False)
+
+
+def test_build_minutes_positive():
+    r = recipe_for("laghos", "az", gpu=False)
+    assert r.build_minutes() > 10

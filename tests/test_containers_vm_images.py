@@ -1,0 +1,62 @@
+"""VM base-image tests, including the post-study Azure contribution."""
+
+import pytest
+
+from repro.containers.builder import ContainerBuilder
+from repro.containers.recipe import recipe_for
+from repro.containers.vm_images import (
+    AZURE_OPEN_UBUNTU_2404,
+    STUDY_VM_BASES,
+    open_stack_recipe,
+)
+
+
+def test_study_bases_cover_vm_environments():
+    assert set(STUDY_VM_BASES) == {"parallelcluster", "cyclecloud", "computeengine"}
+
+
+def test_compute_engine_base_is_rocky():
+    # §2.7 suggested practice.
+    ce = STUDY_VM_BASES["computeengine"]
+    assert "rocky" in ce.name
+    assert ce.open_stack
+
+
+def test_vendor_bases_flagged():
+    assert STUDY_VM_BASES["parallelcluster"].vendor_provided
+    assert STUDY_VM_BASES["cyclecloud"].vendor_provided
+    assert not AZURE_OPEN_UBUNTU_2404.vendor_provided
+
+
+def test_post_study_azure_base_properties():
+    # §4.2: Ubuntu 24.04, latest drivers, entirely open stack.
+    assert AZURE_OPEN_UBUNTU_2404.os == "Ubuntu 24.04"
+    assert AZURE_OPEN_UBUNTU_2404.open_stack
+    assert AZURE_OPEN_UBUNTU_2404.nvidia_driver is not None
+
+
+def test_open_stack_recipe_drops_proprietary():
+    original = recipe_for("minife", "az", gpu=False)
+    assert original.proprietary_packages()
+    rebased = open_stack_recipe("minife", gpu=False)
+    assert not rebased.proprietary_packages()
+    names = {p.name for p in rebased.packages}
+    assert "ucx" in names  # UCX is open and stays
+    assert "openmpi" in names
+    assert rebased.base_image == AZURE_OPEN_UBUNTU_2404.name
+
+
+def test_open_stack_recipe_builds():
+    builder = ContainerBuilder()
+    image = builder.build(open_stack_recipe("lammps", gpu=True), ucx_tls="ib")
+    assert image.env_dict()["CUDA_VERSION"] == "11.8"
+    assert image.ucx_tuned
+
+
+def test_open_stack_laghos_gpu_still_conflicts():
+    # The open base fixes proprietary lock-in, not the CUDA conflict.
+    from repro.errors import ContainerBuildError
+
+    builder = ContainerBuilder()
+    with pytest.raises(ContainerBuildError):
+        builder.build(open_stack_recipe("laghos", gpu=True))

@@ -1,0 +1,83 @@
+"""Analysis helper tests."""
+
+import pytest
+
+from repro.core.analysis import (
+    fom_series,
+    mean_fom,
+    parallel_efficiency,
+    rank_environments,
+    scaling_table,
+    speedup,
+)
+from repro.core.results import ResultStore
+from repro.sim.run_result import RunRecord, RunState
+
+
+def _rec(env, app, scale, fom, it=0):
+    return RunRecord(
+        env_id=env, app=app, scale=scale, nodes=scale, iteration=it,
+        state=RunState.COMPLETED, fom=fom, fom_units="u",
+        wall_seconds=1.0, hookup_seconds=0.0, cost_usd=0.0,
+    )
+
+
+@pytest.fixture
+def store():
+    s = ResultStore()
+    for it, f in enumerate((10.0, 12.0, 14.0)):
+        s.add(_rec("e1", "a", 32, f, it))
+    for it, f in enumerate((20.0, 22.0)):
+        s.add(_rec("e1", "a", 64, f, it))
+    s.add(_rec("e2", "a", 32, 5.0))
+    return s
+
+
+def test_mean_fom(store):
+    stat = mean_fom(store, "e1", "a", 32)
+    assert stat.mean == pytest.approx(12.0)
+    assert stat.n == 3
+    assert stat.std == pytest.approx((8 / 3) ** 0.5)
+
+
+def test_mean_fom_missing(store):
+    assert mean_fom(store, "e3", "a", 32) is None
+
+
+def test_fom_series(store):
+    series = fom_series(store, "e1", "a")
+    assert set(series) == {32, 64}
+    assert series[64].mean == pytest.approx(21.0)
+
+
+def test_speedup(store):
+    assert speedup(store, "e1", "a", 32, 64) == pytest.approx(21.0 / 12.0)
+
+
+def test_speedup_lower_is_better(store):
+    # For grind-time-like FOMs the ratio inverts.
+    s = speedup(store, "e1", "a", 32, 64, higher_is_better=False)
+    assert s == pytest.approx(12.0 / 21.0)
+
+
+def test_parallel_efficiency(store):
+    eff = parallel_efficiency(store, "e1", "a", 32, 64)
+    assert eff == pytest.approx((21.0 / 12.0) / 2.0)
+
+
+def test_rank_environments(store):
+    ranked = rank_environments(store, "a", 32)
+    assert ranked[0][0] == "e1"
+    assert ranked[1][0] == "e2"
+    reversed_rank = rank_environments(store, "a", 32, higher_is_better=False)
+    assert reversed_rank[0][0] == "e2"
+
+
+def test_scaling_table(store):
+    table = scaling_table(store, "a")
+    assert set(table) == {"e1", "e2"}
+    assert 64 not in table["e2"]
+
+
+def test_fomstat_str(store):
+    assert "n=3" in str(mean_fom(store, "e1", "a", 32))

@@ -1,0 +1,78 @@
+"""ResultStore tests."""
+
+import pytest
+
+from repro.core.results import ResultStore
+from repro.envs.registry import environment
+from repro.sim.execution import ExecutionEngine
+from repro.sim.run_result import RunRecord, RunState
+
+
+@pytest.fixture
+def store():
+    engine = ExecutionEngine(seed=0)
+    s = ResultStore()
+    for app in ("amg2023", "lammps"):
+        for scale in (32, 64):
+            for it in range(3):
+                s.add(engine.run(environment("cpu-eks-aws"), app, scale, iteration=it))
+                s.add(engine.run(environment("cpu-onprem-a"), app, scale, iteration=it))
+    return s
+
+
+def test_len(store):
+    assert len(store) == 24
+
+
+def test_query_filters(store):
+    assert len(store.query(env_id="cpu-eks-aws")) == 12
+    assert len(store.query(app="lammps")) == 12
+    assert len(store.query(env_id="cpu-eks-aws", app="lammps", scale=32)) == 3
+    assert len(store.query(predicate=lambda r: r.iteration == 0)) == 8
+
+
+def test_completed_and_foms(store):
+    foms = store.foms("cpu-eks-aws", "amg2023", 32)
+    assert len(foms) == 3
+    assert all(f > 0 for f in foms)
+
+
+def test_environments_apps_scales(store):
+    assert store.environments() == ["cpu-eks-aws", "cpu-onprem-a"]
+    assert store.apps() == ["amg2023", "lammps"]
+    assert store.scales("cpu-eks-aws", "lammps") == [32, 64]
+
+
+def test_counts_by_state(store):
+    counts = store.counts_by_state()
+    assert counts[RunState.COMPLETED] == 24
+
+
+def test_total_cost_positive(store):
+    assert store.total_cost() > 0
+
+
+def test_csv_roundtrippable(store):
+    import csv
+    import io
+
+    text = store.to_csv()
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 24
+    assert set(rows[0]) == set(ResultStore.CSV_FIELDS)
+    assert rows[0]["state"] == "completed"
+    assert float(rows[0]["fom"]) > 0
+
+
+def test_artifact_payload(store):
+    name, payload = store.to_artifact("study")
+    assert name == "study.csv"
+    assert payload.decode().startswith("env_id,")
+
+
+def test_empty_store():
+    s = ResultStore()
+    assert len(s) == 0
+    assert s.environments() == []
+    assert s.foms("x", "y", 1) == []
+    assert s.total_cost() == 0.0

@@ -1,0 +1,108 @@
+"""Usability scoring tests (Table 3)."""
+
+import pytest
+
+from repro.core.incidents import (
+    INCIDENT_DB,
+    Incident,
+    incident_from_build_failure,
+    incident_from_fault,
+    incidents_for,
+)
+from repro.core.usability import (
+    EffortLevel,
+    TABLE3_ORDER,
+    assess_environment,
+    usability_table,
+)
+from repro.envs.registry import environment
+from repro.experiments.table3_usability import PAPER_TABLE3
+
+
+def test_effort_level_thresholds():
+    assert EffortLevel.from_minutes(0) is EffortLevel.LOW
+    assert EffortLevel.from_minutes(30) is EffortLevel.LOW
+    assert EffortLevel.from_minutes(31) is EffortLevel.MEDIUM
+    assert EffortLevel.from_minutes(240) is EffortLevel.MEDIUM
+    assert EffortLevel.from_minutes(241) is EffortLevel.HIGH
+    with pytest.raises(ValueError):
+        EffortLevel.from_minutes(-1)
+
+
+def test_incident_db_categories_valid():
+    for inc in INCIDENT_DB:
+        assert inc.category in ("setup", "development", "app_setup", "manual_intervention")
+        assert inc.effort_minutes > 0
+        assert inc.env_ids
+
+
+def test_incidents_for_known_trouble_spots():
+    aks = incidents_for("cpu-aks-az")
+    assert any("InfiniBand" in i.description for i in aks)
+    gke = incidents_for("cpu-gke-g")
+    assert all(i.category == "manual_intervention" for i in gke)
+
+
+def test_full_table_matches_paper():
+    rows = {a.env_id: a for a in usability_table()}
+    assert set(rows) == set(PAPER_TABLE3)
+    for env_id, expected in PAPER_TABLE3.items():
+        got = rows[env_id].as_row()[2:]
+        assert got == expected, f"{env_id}: {got} != {expected}"
+
+
+def test_table_order_matches_paper():
+    assert [a.env_id for a in usability_table()] == list(TABLE3_ORDER)
+
+
+def test_extra_incidents_raise_effort():
+    env = environment("cpu-gke-g")
+    base = assess_environment(env)
+    assert base.levels["setup"] is EffortLevel.LOW
+    bumped = assess_environment(
+        env,
+        extra_incidents=[
+            Incident(("cpu-gke-g",), "setup", 500.0, "surprise outage", "test")
+        ],
+    )
+    assert bumped.levels["setup"] is EffortLevel.HIGH
+    assert bumped.total_minutes > base.total_minutes
+
+
+def test_account_difficulty():
+    rows = {a.env_id: a for a in usability_table()}
+    assert rows["gpu-eks-aws"].account_difficulty == "medium"
+    assert rows["cpu-eks-aws"].account_difficulty == "low"
+    assert rows["gpu-aks-az"].account_difficulty == "low"
+
+
+def test_incident_from_fault():
+    from repro.cloud.faults import FaultContext, FaultEvent
+
+    ctx = FaultContext("az", "vm", "ND40rs_v2", True, 32)
+    ev = FaultEvent("azure-bad-gpu-node", ctx, 1500.0, 11.0, False, "7/8 GPUs")
+    inc = incident_from_fault("gpu-cyclecloud-az", ev)
+    assert inc.category == "setup"
+    assert inc.effort_minutes == pytest.approx(25.0)
+    assert inc.source == "fault:azure-bad-gpu-node"
+
+
+def test_incident_from_build_failure():
+    from repro.containers.builder import ContainerBuilder
+    from repro.containers.recipe import recipe_for
+
+    builder = ContainerBuilder()
+    result = builder.try_build(recipe_for("laghos", "aws", gpu=True))
+    inc = incident_from_build_failure("gpu-eks-aws", result)
+    assert inc.category == "app_setup"
+    assert "cuda" in inc.description.lower()
+
+
+def test_incident_from_successful_build_rejected():
+    from repro.containers.builder import ContainerBuilder
+    from repro.containers.recipe import recipe_for
+
+    builder = ContainerBuilder()
+    result = builder.try_build(recipe_for("laghos", "aws", gpu=False))
+    with pytest.raises(ValueError):
+        incident_from_build_failure("cpu-eks-aws", result)

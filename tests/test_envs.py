@@ -1,0 +1,101 @@
+"""Environment registry tests (Table 1 semantics)."""
+
+import pytest
+
+from repro.envs.environment import CPU_SIZES, GPU_SIZES, EnvironmentKind
+from repro.envs.registry import (
+    ENVIRONMENTS,
+    cpu_environments,
+    environment,
+    gpu_environments,
+)
+from repro.errors import ConfigurationError, EnvironmentUnavailableError
+
+
+def test_fourteen_environments():
+    assert len(ENVIRONMENTS) == 14
+    assert len(cpu_environments(deployable_only=False)) == 7
+    assert len(gpu_environments(deployable_only=False)) == 7
+
+
+def test_parallelcluster_gpu_not_deployable():
+    env = environment("gpu-parallelcluster-aws")
+    assert not env.deployable
+    with pytest.raises(EnvironmentUnavailableError):
+        env.require_deployable()
+    # Excluded by default from GPU env listings.
+    assert env not in gpu_environments()
+    assert len(gpu_environments()) == 6
+
+
+def test_unknown_environment():
+    with pytest.raises(ConfigurationError):
+        environment("cpu-oci")
+
+
+def test_schedulers_match_table1():
+    assert environment("cpu-onprem-a").scheduler == "slurm"
+    assert environment("gpu-onprem-b").scheduler == "lsf"
+    assert environment("cpu-parallelcluster-aws").scheduler == "slurm"
+    assert environment("cpu-cyclecloud-az").scheduler == "slurm"
+    for env in ENVIRONMENTS.values():
+        if env.kind is EnvironmentKind.K8S:
+            assert env.scheduler == "flux"
+    assert environment("cpu-computeengine-g").scheduler == "flux"
+
+
+def test_container_runtimes_match_table1():
+    assert environment("cpu-onprem-a").container_runtime is None
+    for env in ENVIRONMENTS.values():
+        if env.kind is EnvironmentKind.K8S:
+            assert env.container_runtime == "containerd"
+        elif env.kind is EnvironmentKind.VM:
+            assert env.container_runtime == "singularity"
+
+
+def test_gke_cpu_uses_tier1_networking():
+    assert environment("cpu-gke-g").base_fabric().name == "gcp-tier1"
+    assert environment("cpu-computeengine-g").base_fabric().name == "gcp-premium"
+
+
+def test_sizes():
+    assert environment("cpu-eks-aws").sizes() == CPU_SIZES == (32, 64, 128, 256)
+    assert environment("gpu-eks-aws").sizes() == GPU_SIZES == (32, 64, 128, 256)
+
+
+def test_nodes_for_cpu_is_identity():
+    assert environment("cpu-eks-aws").nodes_for(128) == 128
+
+
+def test_nodes_for_gpu_divides_by_gpus_per_node():
+    # 256 GPUs: 32 cloud nodes (8/node), 64 on B (4/node) — §2.4.
+    assert environment("gpu-eks-aws").nodes_for(256) == 32
+    assert environment("gpu-onprem-b").nodes_for(256) == 64
+
+
+def test_nodes_for_gpu_indivisible_rejected():
+    with pytest.raises(ConfigurationError):
+        environment("gpu-eks-aws").nodes_for(12)
+
+
+def test_ranks():
+    assert environment("cpu-eks-aws").ranks_for(32) == 32 * 96
+    assert environment("cpu-gke-g").ranks_for(32) == 32 * 56
+    assert environment("gpu-aks-az").ranks_for(64) == 64  # one rank per GPU
+
+
+def test_max_cpu_scale_matches_abstract():
+    # "up to 28,672 CPUs": 256 nodes x 112 cores on cluster A.
+    assert environment("cpu-onprem-a").ranks_for(256) == 28_672
+
+
+def test_efficiency_bounds():
+    for env in ENVIRONMENTS.values():
+        assert 0.0 < env.compute_efficiency <= 1.0
+        assert 0.0 < env.stream_efficiency <= 1.0
+        assert 0.0 < env.gpu_efficiency <= 1.0
+
+
+def test_onprem_bare_metal_full_efficiency():
+    assert environment("cpu-onprem-a").compute_efficiency == 1.0
+    assert environment("gpu-onprem-b").compute_efficiency == 1.0

@@ -1,0 +1,71 @@
+"""Experiment-framework helper tests."""
+
+import pytest
+
+from repro.core.results import ResultStore
+from repro.envs.registry import environment
+from repro.experiments.base import ExperimentOutput, run_matrix, series_from_store
+from repro.reporting.compare import Expectation
+from repro.reporting.tables import Table
+
+
+def test_run_matrix_default_sizes_follow_environment():
+    store = run_matrix([environment("cpu-eks-aws")], ["stream"], iterations=1)
+    assert store.scales("cpu-eks-aws", "stream") == [32, 64, 128, 256]
+
+
+def test_run_matrix_custom_sizes():
+    store = run_matrix(
+        [environment("cpu-eks-aws")], ["stream"], sizes=lambda e: (64,), iterations=2
+    )
+    assert store.scales("cpu-eks-aws", "stream") == [64]
+    assert len(store) == 2
+
+
+def test_run_matrix_options_forwarded():
+    store = run_matrix(
+        [environment("gpu-gke-g")],
+        ["amg2023"],
+        sizes=lambda e: (64,),
+        iterations=1,
+        options={"process_topology": (4, 4, 4)},
+    )
+    rec = store.records[0]
+    assert rec.extra["process_topology"] == (4, 4, 4)
+
+
+def test_run_matrix_multiple_envs_and_apps():
+    envs = [environment("cpu-eks-aws"), environment("cpu-gke-g")]
+    store = run_matrix(envs, ["stream", "kripke"], sizes=lambda e: (32,), iterations=2)
+    assert len(store) == 8
+    assert store.apps() == ["kripke", "stream"]
+
+
+def test_series_from_store_one_line_per_env():
+    envs = [environment("cpu-eks-aws"), environment("cpu-gke-g")]
+    store = run_matrix(envs, ["kripke"], sizes=lambda e: (32, 64), iterations=2)
+    series = series_from_store(
+        store, "kripke", title="t", y_label="grind", higher_is_better=False
+    )
+    assert set(series.lines) == {"cpu-eks-aws", "cpu-gke-g"}
+    assert len(series.lines["cpu-eks-aws"]) == 2
+
+
+def test_experiment_output_check_and_all_hold():
+    out = ExperimentOutput(
+        experiment_id="x",
+        title="t",
+        table=Table("t", ("a",)),
+        expectations=[
+            Expectation("x", "yes", lambda: True),
+            Expectation("x", "no", lambda: False),
+        ],
+    )
+    results = out.check()
+    assert [r.holds for r in results] == [True, False]
+    assert not out.all_hold()
+
+
+def test_experiment_output_empty_expectations_hold():
+    out = ExperimentOutput(experiment_id="x", title="t")
+    assert out.all_hold()

@@ -1,0 +1,81 @@
+"""End-to-end integration: a multi-environment study campaign."""
+
+import pytest
+
+from repro.core.analysis import mean_fom, rank_environments
+from repro.core.study import StudyConfig, StudyRunner
+from repro.core.usability import usability_table
+from repro.sim.run_result import RunState
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """A cross-cloud campaign: 6 environments, 3 apps, 2 sizes, 2 iters."""
+    config = StudyConfig(
+        env_ids=(
+            "cpu-onprem-a",
+            "cpu-eks-aws",
+            "cpu-cyclecloud-az",
+            "cpu-gke-g",
+            "gpu-onprem-b",
+            "gpu-aks-az",
+        ),
+        apps=("amg2023", "lammps", "stream"),
+        sizes=(32, 64),
+        iterations=2,
+        seed=0,
+    )
+    return StudyRunner(config).run()
+
+
+def test_dataset_count(campaign):
+    # 6 envs x 3 apps x 2 sizes x 2 iterations
+    assert campaign.datasets == 72
+
+
+def test_all_runs_completed(campaign):
+    counts = campaign.store.counts_by_state()
+    assert counts[RunState.COMPLETED] == 72
+
+
+def test_onprem_beats_cloud_on_lammps(campaign):
+    ranked = rank_environments(campaign.store, "lammps", 32)
+    cpu_ranked = [e for e, _ in ranked if e.startswith("cpu")]
+    assert cpu_ranked[0] == "cpu-onprem-a"
+
+
+def test_spend_recorded_per_cloud(campaign):
+    assert set(campaign.spend_by_cloud) == {"aws", "az", "g"}
+    assert all(v > 0 for v in campaign.spend_by_cloud.values())
+
+
+def test_containers_built_for_cloud_envs(campaign):
+    # 3 apps x 3 cloud CPU stacks + 3 apps x 1 Azure GPU stack, deduped by tag.
+    assert campaign.containers_built == 12
+    assert campaign.containers_failed == 0
+
+
+def test_clusters_created_per_env_and_size(campaign):
+    # 4 cloud environments x 2 sizes (on-prem needs no provisioning).
+    assert campaign.clusters_created == 8
+
+
+def test_store_exports_csv(campaign):
+    text = campaign.store.to_csv()
+    assert text.count("\n") == 73  # header + 72 rows
+
+
+def test_campaign_feeds_usability_assessment(campaign):
+    table = usability_table(extra=campaign.incidents)
+    rows = {a.env_id: a for a in table}
+    # The campaign's incidents can only raise effort, never lower it.
+    base = {a.env_id: a.total_minutes for a in usability_table()}
+    for env_id, assessment in rows.items():
+        assert assessment.total_minutes >= base[env_id]
+
+
+def test_mean_foms_queryable(campaign):
+    stat = mean_fom(campaign.store, "cpu-eks-aws", "amg2023", 64)
+    assert stat is not None
+    assert stat.n == 2
+    assert stat.mean > 0

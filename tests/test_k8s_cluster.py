@@ -1,0 +1,79 @@
+"""Managed-Kubernetes cluster tests (EKS/AKS/GKE bring-up)."""
+
+import pytest
+
+from repro.cloud.pricing import BillingMeter
+from repro.cloud.provisioner import ProvisionRequest, Provisioner
+from repro.cloud.quota import QuotaLedger, QuotaRequest
+from repro.errors import ConfigurationError
+from repro.k8s.cluster import KubernetesCluster
+from repro.k8s.cni import CniConfig
+from repro.k8s.daemonsets import AKS_INFINIBAND_INSTALLER, NVIDIA_DEVICE_PLUGIN
+
+
+def _cloud_cluster(cloud="aws", itype="hpc6a.48xlarge", nodes=32, kind="k8s", cls="cpu"):
+    ledger = QuotaLedger(seed=0)
+    ledger.request(QuotaRequest(cloud, itype, cls, nodes + 1))
+    prov = Provisioner(ledger, BillingMeter(), seed=0)
+    return prov.provision(ProvisionRequest(cloud, kind, itype, nodes))
+
+
+def test_create_eks():
+    kube = KubernetesCluster.create(_cloud_cluster())
+    assert kube.service == "EKS"
+    assert kube.version == "1.27"
+    assert kube.size == 32
+    assert all(n.cpu_cores == 96.0 for n in kube.nodes)
+
+
+def test_aks_and_gke_versions():
+    az = KubernetesCluster.create(_cloud_cluster("az", "HB96rs_v3"))
+    assert az.service == "AKS"
+    assert az.version == "1.29.7"
+    g = KubernetesCluster.create(_cloud_cluster("g", "c2d-standard-112"))
+    assert g.service == "GKE"
+
+
+def test_eks_256_fails_without_prefix_delegation():
+    cluster = _cloud_cluster(nodes=256)
+    with pytest.raises(ConfigurationError, match="prefix delegation"):
+        KubernetesCluster.create(cluster)
+
+
+def test_eks_256_works_with_prefix_delegation():
+    cluster = _cloud_cluster(nodes=256)
+    kube = KubernetesCluster.create(
+        cluster, cni=CniConfig("aws-vpc-cni", prefix_delegation=True)
+    )
+    assert kube.size == 256
+
+
+def test_daemonset_adds_capacity_and_time():
+    kube = KubernetesCluster.create(_cloud_cluster("az", "HB96rs_v3"))
+    before = kube.setup_seconds
+    rollout = kube.deploy_daemonset(AKS_INFINIBAND_INSTALLER)
+    assert kube.setup_seconds > before
+    assert rollout.ready_count == kube.size
+    assert kube.total_extended("rdma/ib") == kube.size
+
+
+def test_gpu_device_plugin():
+    kube = KubernetesCluster.create(
+        _cloud_cluster("az", "ND40rs_v2", nodes=8, cls="gpu")
+    )
+    assert kube.total_extended("nvidia.com/gpu") == 0
+    kube.deploy_daemonset(NVIDIA_DEVICE_PLUGIN)
+    assert kube.total_extended("nvidia.com/gpu") == 8 * 8
+
+
+def test_setup_time_grows_with_cluster():
+    small = KubernetesCluster.create(_cloud_cluster(nodes=32))
+    big = KubernetesCluster.create(
+        _cloud_cluster(nodes=128)
+    )
+    assert big.setup_seconds > small.setup_seconds
+
+
+def test_custom_daemonset_flag():
+    assert AKS_INFINIBAND_INSTALLER.custom_development
+    assert not NVIDIA_DEVICE_PLUGIN.custom_development

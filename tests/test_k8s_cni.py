@@ -1,0 +1,51 @@
+"""CNI prefix-delegation tests: the EKS 256-node incident."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.k8s.cni import CniConfig, CniPlugin, default_cni
+
+
+def test_defaults_per_cloud():
+    assert default_cni("aws").plugin == "aws-vpc-cni"
+    assert not default_cni("aws").prefix_delegation
+    assert default_cni("az").plugin == "azure-cni"
+    assert default_cni("g").plugin == "gke-native"
+
+
+def test_aws_budget_fine_at_small_scale():
+    plugin = CniPlugin(CniConfig("aws-vpc-cni"))
+    assert plugin.pod_ip_capacity(cluster_nodes=32) == CniPlugin.AWS_ENI_SLOTS
+    assert plugin.sufficient_for(8, cluster_nodes=32)
+
+
+def test_aws_budget_exhausts_at_256_nodes():
+    # §3.1: "we ran out of network prefixes for the CNI" at 256 nodes.
+    plugin = CniPlugin(CniConfig("aws-vpc-cni"))
+    assert not plugin.sufficient_for(8, cluster_nodes=256)
+
+
+def test_prefix_delegation_fixes_it():
+    plugin = CniPlugin(CniConfig("aws-vpc-cni", prefix_delegation=True))
+    assert plugin.sufficient_for(8, cluster_nodes=256)
+    assert plugin.pod_ip_capacity(cluster_nodes=256) == CniPlugin.KUBELET_DEFAULT_MAX_PODS
+
+
+def test_capacity_monotone_decreasing_in_cluster_size():
+    plugin = CniPlugin(CniConfig("aws-vpc-cni"))
+    caps = [plugin.pod_ip_capacity(cluster_nodes=n) for n in (32, 64, 128, 256, 512)]
+    assert caps == sorted(caps, reverse=True)
+
+
+def test_other_cnis_generous():
+    for plugin_name in ("azure-cni", "gke-native"):
+        plugin = CniPlugin(CniConfig(plugin_name))
+        assert plugin.sufficient_for(8, cluster_nodes=256)
+
+
+def test_invalid_inputs():
+    plugin = CniPlugin(CniConfig("aws-vpc-cni"))
+    with pytest.raises(ConfigurationError):
+        plugin.pod_ip_capacity(cluster_nodes=0)
+    with pytest.raises(ConfigurationError):
+        CniPlugin(CniConfig("calico")).pod_ip_capacity(cluster_nodes=8)

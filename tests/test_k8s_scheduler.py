@@ -1,0 +1,93 @@
+"""kube-scheduler tests: filter, score, gang binding."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.k8s.objects import KubeNode, Pod, PodPhase, ResourceRequest
+from repro.k8s.scheduler import KubeScheduler
+
+
+def _nodes(n, cpu=96.0, **ext):
+    return [
+        KubeNode(
+            name=f"n{i}",
+            cpu_cores=cpu,
+            memory_bytes=384 << 30,
+            extended_capacity=dict(ext),
+            labels={"pool": "workers"},
+        )
+        for i in range(n)
+    ]
+
+
+def _pod(name, cpu=8.0, selector=None, **ext):
+    labels = {}
+    if selector:
+        labels["nodeSelector"] = selector
+    return Pod(
+        name=name,
+        image="img",
+        resources=ResourceRequest.of(cpu, 1 << 30, **ext),
+        labels=labels,
+    )
+
+
+def test_bind_places_on_feasible_node():
+    sched = KubeScheduler(_nodes(3))
+    node = sched.bind(_pod("a"))
+    assert node.name in {"n0", "n1", "n2"}
+    assert sched.bound[0].phase is PodPhase.RUNNING
+
+
+def test_least_allocated_spreads_pods():
+    sched = KubeScheduler(_nodes(3))
+    placed = {sched.bind(_pod(f"p{i}", cpu=8.0)).name for i in range(3)}
+    assert len(placed) == 3  # one per node
+
+
+def test_unschedulable_raises():
+    sched = KubeScheduler(_nodes(1, cpu=4.0))
+    with pytest.raises(SchedulingError):
+        sched.bind(_pod("big", cpu=8.0))
+
+
+def test_rebind_rejected():
+    sched = KubeScheduler(_nodes(1))
+    pod = _pod("a")
+    sched.bind(pod)
+    with pytest.raises(SchedulingError):
+        sched.bind(pod)
+
+
+def test_node_selector_filters():
+    nodes = _nodes(2)
+    nodes[1].labels["pool"] = "gpu-pool"
+    sched = KubeScheduler(nodes)
+    node = sched.bind(_pod("a", selector="gpu-pool"))
+    assert node.name == "n1"
+
+
+def test_extended_resource_filtering():
+    nodes = _nodes(2)
+    nodes[0].extended_capacity["nvidia.com/gpu"] = 8
+    sched = KubeScheduler(nodes)
+    node = sched.bind(_pod("g", **{"nvidia.com/gpu": 8}))
+    assert node.name == "n0"
+
+
+def test_gang_bind_all_or_nothing():
+    sched = KubeScheduler(_nodes(2, cpu=10.0))
+    pods = [_pod(f"p{i}", cpu=10.0) for i in range(3)]  # only 2 fit
+    with pytest.raises(SchedulingError):
+        sched.bind_all(pods)
+    # Rollback: nothing bound, nodes clean.
+    assert sched.bound == []
+    assert all(not p.is_bound for p in pods)
+    assert all(not n.pods for n in sched.nodes)
+
+
+def test_gang_bind_success():
+    sched = KubeScheduler(_nodes(4, cpu=10.0))
+    pods = [_pod(f"p{i}", cpu=10.0) for i in range(4)]
+    nodes = sched.bind_all(pods)
+    assert len({n.name for n in nodes}) == 4

@@ -1,0 +1,72 @@
+"""CG kernel validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.machine.kernels.cg import conjugate_gradient, poisson_2d
+
+
+def test_poisson_matrix_shape_and_symmetry():
+    A = poisson_2d(10)
+    assert A.shape == (100, 100)
+    assert abs(A - A.T).max() == 0.0
+
+
+def test_poisson_spd():
+    A = poisson_2d(8)
+    eigs = np.linalg.eigvalsh(A.toarray())
+    assert eigs.min() > 0
+
+
+def test_poisson_rejects_tiny():
+    with pytest.raises(ValueError):
+        poisson_2d(1)
+
+
+def test_cg_solves_poisson():
+    A = poisson_2d(20)
+    rng = np.random.default_rng(0)
+    x_true = rng.random(400)
+    b = A @ x_true
+    result = conjugate_gradient(A, b, tol=1e-10, max_iter=2000)
+    assert result.converged
+    assert np.allclose(result.x, x_true, atol=1e-6)
+    assert result.residual_norm < 1e-6
+
+
+def test_cg_counts_flops():
+    A = poisson_2d(16)
+    b = np.ones(256)
+    result = conjugate_gradient(A, b, tol=1e-8)
+    expected_per_iter = 2.0 * A.nnz + 10.0 * 256
+    assert result.flops == pytest.approx(result.iterations * expected_per_iter)
+
+
+def test_cg_iterations_grow_with_condition_number():
+    small = conjugate_gradient(poisson_2d(8), np.ones(64), tol=1e-8)
+    large = conjugate_gradient(poisson_2d(32), np.ones(1024), tol=1e-8)
+    assert large.iterations > small.iterations
+
+
+def test_cg_respects_max_iter():
+    A = poisson_2d(32)
+    result = conjugate_gradient(A, np.ones(1024), tol=1e-14, max_iter=3)
+    assert not result.converged
+    assert result.iterations == 3
+
+
+def test_cg_rejects_bad_shapes():
+    A = poisson_2d(4)
+    with pytest.raises(ValueError):
+        conjugate_gradient(A, np.ones(5))
+    with pytest.raises(ValueError):
+        conjugate_gradient(sp.csr_matrix(np.ones((3, 4))), np.ones(4))
+
+
+def test_mflops_computation():
+    A = poisson_2d(8)
+    result = conjugate_gradient(A, np.ones(64), tol=1e-8)
+    assert result.mflops(seconds=1.0) == pytest.approx(result.flops / 1e6)
+    with pytest.raises(ValueError):
+        result.mflops(0.0)

@@ -1,0 +1,165 @@
+"""Triad, GEMM, MC transport, MD, and KBA sweep kernel validation."""
+
+import numpy as np
+import pytest
+
+from repro.machine.kernels.gemm import blocked_gemm, gemm_gflops
+from repro.machine.kernels.mc import mc_transport
+from repro.machine.kernels.md import lj_forces, md_step
+from repro.machine.kernels.sweep import kba_sweep
+from repro.machine.kernels.triad import TRIAD_BYTES_PER_ELEMENT, measure_triad_bandwidth, triad
+
+# ---------------------------------------------------------------- Triad
+
+
+def test_triad_matches_reference():
+    rng = np.random.default_rng(0)
+    b, c = rng.random(1000), rng.random(1000)
+    out = triad(b, c, 3.0)
+    assert np.allclose(out, b + 3.0 * c)
+
+
+def test_triad_in_place_no_allocation():
+    b = np.ones(100)
+    c = np.ones(100)
+    out = np.empty(100)
+    result = triad(b, c, 2.0, out=out)
+    assert result is out
+    assert np.allclose(out, 3.0)
+
+
+def test_triad_shape_mismatch():
+    with pytest.raises(ValueError):
+        triad(np.ones(4), np.ones(5), 1.0)
+
+
+def test_triad_bytes_constant():
+    assert TRIAD_BYTES_PER_ELEMENT == 24
+
+
+def test_measured_bandwidth_plausible():
+    bw = measure_triad_bandwidth(n=500_000, repeats=3)
+    assert 0.5 < bw < 2000.0  # GB/s on any real machine
+
+
+# ---------------------------------------------------------------- GEMM
+
+
+def test_blocked_gemm_matches_numpy():
+    rng = np.random.default_rng(1)
+    A = rng.random((65, 48))
+    B = rng.random((48, 70))
+    assert np.allclose(blocked_gemm(A, B, block=16), A @ B)
+
+
+def test_blocked_gemm_block_larger_than_matrix():
+    rng = np.random.default_rng(2)
+    A = rng.random((8, 8))
+    B = rng.random((8, 8))
+    assert np.allclose(blocked_gemm(A, B, block=128), A @ B)
+
+
+def test_blocked_gemm_shape_checks():
+    with pytest.raises(ValueError):
+        blocked_gemm(np.ones((4, 3)), np.ones((4, 3)))
+    with pytest.raises(ValueError):
+        blocked_gemm(np.ones((4, 4)), np.ones((4, 4)), block=0)
+
+
+def test_gemm_gflops_positive():
+    assert gemm_gflops(n=128, repeats=1) > 0.01
+
+
+# ------------------------------------------------------------ Monte Carlo
+
+
+def test_mc_conserves_particles():
+    result = mc_transport(n_particles=5000, seed=0)
+    assert result.total_terminated == 5000
+
+
+def test_mc_counts_segments():
+    result = mc_transport(n_particles=2000, seed=1)
+    # Every particle generates at least one segment.
+    assert result.segments >= 2000
+    assert result.scattered > 0
+
+
+def test_mc_pure_absorber_terminates_fast():
+    absorbing = mc_transport(n_particles=2000, scatter_ratio=0.0, seed=2)
+    scattering = mc_transport(n_particles=2000, scatter_ratio=0.9, seed=2)
+    assert absorbing.scattered == 0
+    assert absorbing.segments < scattering.segments
+
+
+def test_mc_validation():
+    with pytest.raises(ValueError):
+        mc_transport(n_particles=0)
+    with pytest.raises(ValueError):
+        mc_transport(scatter_ratio=1.5)
+
+
+def test_mc_deterministic():
+    a = mc_transport(n_particles=500, seed=7)
+    b = mc_transport(n_particles=500, seed=7)
+    assert a == b
+
+
+# ------------------------------------------------------------------- MD
+
+
+def test_lj_forces_newtons_third_law():
+    rng = np.random.default_rng(3)
+    pos = rng.random((20, 3)) * 5.0
+    forces, energy = lj_forces(pos, box=5.0)
+    assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_lj_two_particles_at_minimum():
+    # LJ minimum at r = 2^(1/6) sigma: zero force.
+    r0 = 2.0 ** (1.0 / 6.0)
+    pos = np.array([[0.0, 0.0, 0.0], [r0, 0.0, 0.0]])
+    forces, energy = lj_forces(pos, box=100.0)
+    assert np.allclose(forces, 0.0, atol=1e-10)
+    assert energy == pytest.approx(-1.0, abs=1e-9)
+
+
+def test_lj_shape_validation():
+    with pytest.raises(ValueError):
+        lj_forces(np.ones((4, 2)), box=5.0)
+
+
+def test_md_step_keeps_atoms_in_box():
+    rng = np.random.default_rng(4)
+    pos = rng.random((16, 3)) * 4.0
+    vel = rng.normal(0, 0.1, (16, 3))
+    new_pos, new_vel, _ = md_step(pos, vel, box=4.0)
+    assert (new_pos >= 0).all() and (new_pos < 4.0).all()
+
+
+# ------------------------------------------------------------------ Sweep
+
+
+def test_kba_sweep_solves_recursion():
+    rng = np.random.default_rng(5)
+    q = rng.random((12, 9))
+    sigma = 0.4
+    psi = kba_sweep(q, sigma=sigma)
+    # Verify the recurrence cell by cell.
+    for i in range(12):
+        for j in range(9):
+            west = psi[i - 1, j] if i > 0 else 0.0
+            south = psi[i, j - 1] if j > 0 else 0.0
+            assert psi[i, j] == pytest.approx(q[i, j] + sigma / 2 * (west + south))
+
+
+def test_kba_sweep_zero_coupling_is_identity():
+    q = np.arange(20.0).reshape(4, 5)
+    assert np.allclose(kba_sweep(q, sigma=0.0), q)
+
+
+def test_kba_sweep_validation():
+    with pytest.raises(ValueError):
+        kba_sweep(np.ones(5))
+    with pytest.raises(ValueError):
+        kba_sweep(np.ones((3, 3)), sigma=2.5)

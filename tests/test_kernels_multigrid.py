@@ -1,0 +1,55 @@
+"""Multigrid V-cycle validation (the AMG2023 core)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.kernels.multigrid import v_cycle_solve
+
+
+def test_residual_contracts():
+    result = v_cycle_solve(n=65, cycles=8)
+    h = result.residual_history
+    assert h[-1] < 1e-4 * h[0]
+
+
+def test_contraction_factor_is_multigrid_like():
+    # Textbook V(2,2) on Poisson should contract by >5x per cycle.
+    result = v_cycle_solve(n=65, cycles=6)
+    assert result.contraction_factor < 0.2
+
+
+def test_solution_matches_analytic():
+    # -lap u = f with f = sin(pi x) sin(pi y) -> u = f / (2 pi^2).
+    n = 65
+    result = v_cycle_solve(n=n, cycles=25)
+    xs = np.linspace(0, 1, n)
+    X, Y = np.meshgrid(xs, xs, indexing="ij")
+    expected = np.sin(np.pi * X) * np.sin(np.pi * Y) / (2 * np.pi**2)
+    assert np.allclose(result.u, expected, atol=5e-4)
+
+
+def test_grid_size_validation():
+    with pytest.raises(ValueError):
+        v_cycle_solve(n=64)  # not 2^k + 1
+    with pytest.raises(ValueError):
+        v_cycle_solve(n=3)
+
+
+def test_more_cycles_never_worse():
+    few = v_cycle_solve(n=33, cycles=3)
+    many = v_cycle_solve(n=33, cycles=9)
+    assert many.residual_history[-1] <= few.residual_history[-1]
+
+
+def test_nnz_hierarchy_accounting():
+    result = v_cycle_solve(n=33, cycles=1)
+    assert result.nnz_hierarchy == int(5 * 33 * 33 * 4 / 3)
+
+
+def test_custom_rhs():
+    n = 33
+    rhs = np.zeros((n, n))
+    rhs[n // 2, n // 2] = 1.0
+    result = v_cycle_solve(n=n, cycles=10, rhs=rhs)
+    assert result.residual_history[-1] < 1e-3 * result.residual_history[0]
+    assert result.u[n // 2, n // 2] > 0  # point source lifts the center

@@ -1,0 +1,58 @@
+"""GPU model + ECC sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine.gpu import (
+    ECC_BANDWIDTH_PENALTY,
+    ECC_OFF_FRACTION,
+    V100,
+    V100_32GB,
+    sample_ecc_settings,
+)
+
+
+def test_v100_variants():
+    assert V100.memory_gb == 16
+    assert V100_32GB.memory_gb == 32
+    assert V100.fp64_gflops == V100_32GB.fp64_gflops
+
+
+def test_ecc_penalty_is_15_percent():
+    on = V100.with_ecc(True)
+    off = V100.with_ecc(False)
+    assert on.effective_mem_bw() == pytest.approx(
+        off.effective_mem_bw() * (1 - ECC_BANDWIDTH_PENALTY)
+    )
+
+
+def test_non_azure_fleets_all_on():
+    for cloud in ("aws", "g", "p"):
+        states = sample_ecc_settings(cloud, 64, seed=0)
+        assert states.all()
+
+
+def test_azure_fleet_mixed():
+    # §3.3: 12.5-25% of Azure nodes had ECC off.
+    states = sample_ecc_settings("az", 4000, seed=0)
+    frac_off = 1.0 - states.mean()
+    assert 0.12 <= frac_off <= 0.26
+
+
+def test_azure_fraction_configured_in_range():
+    assert 0.125 <= ECC_OFF_FRACTION["az"] <= 0.25
+
+
+def test_sampling_deterministic():
+    a = sample_ecc_settings("az", 32, seed=5)
+    b = sample_ecc_settings("az", 32, seed=5)
+    assert np.array_equal(a, b)
+
+
+def test_zero_nodes():
+    assert sample_ecc_settings("az", 0, seed=0).size == 0
+
+
+def test_negative_nodes_rejected():
+    with pytest.raises(ValueError):
+        sample_ecc_settings("az", -1)

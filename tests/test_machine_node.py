@@ -1,0 +1,58 @@
+"""Node-model tests."""
+
+import pytest
+
+from repro.cloud.catalog import instance
+from repro.machine.node import NodeModel
+from repro.machine.rates import KernelClass
+
+
+def test_cpu_node_rates():
+    nm = NodeModel.for_instance(instance("onprem-a"))
+    assert nm.cpu_rate_gflops(KernelClass.COMPUTE) == pytest.approx(112 * 38.0)
+    assert nm.mem_bw_gbs == pytest.approx(307.0)
+
+
+def test_cpu_time_inverse_of_rate():
+    nm = NodeModel.for_instance(instance("hpc6a.48xlarge"))
+    rate = nm.cpu_rate_gflops(KernelClass.COMPUTE)
+    assert nm.cpu_time(rate, KernelClass.COMPUTE) == pytest.approx(1.0)
+
+
+def test_negative_work_rejected():
+    nm = NodeModel.for_instance(instance("hpc6a.48xlarge"))
+    with pytest.raises(ValueError):
+        nm.cpu_time(-1.0, KernelClass.COMPUTE)
+
+
+def test_gpu_node_selects_memory_variant():
+    nm16 = NodeModel.for_instance(instance("n1-standard-32-v100"))
+    nm32 = NodeModel.for_instance(instance("p3dn.24xlarge"))
+    assert nm16.gpu_model.memory_gb == 16
+    assert nm32.gpu_model.memory_gb == 32
+
+
+def test_gpu_rate_scales_with_count():
+    b = NodeModel.for_instance(instance("onprem-b"))  # 4 GPUs
+    aws = NodeModel.for_instance(instance("p3dn.24xlarge"))  # 8 GPUs
+    assert aws.gpu_rate_gflops(KernelClass.COMPUTE) == pytest.approx(
+        2 * b.gpu_rate_gflops(KernelClass.COMPUTE)
+    )
+
+
+def test_cpu_instance_has_no_gpu_rates():
+    nm = NodeModel.for_instance(instance("hpc6a.48xlarge"))
+    with pytest.raises(ValueError):
+        nm.gpu_rate_gflops(KernelClass.COMPUTE)
+
+
+def test_ecc_off_raises_gpu_memory_rate():
+    on = NodeModel.for_instance(instance("ND40rs_v2"), ecc_on=True)
+    off = NodeModel.for_instance(instance("ND40rs_v2"), ecc_on=False)
+    assert off.gpu_rate_gflops(KernelClass.MEMORY) > on.gpu_rate_gflops(
+        KernelClass.MEMORY
+    )
+    # Compute rate unaffected by ECC.
+    assert off.gpu_rate_gflops(KernelClass.COMPUTE) == on.gpu_rate_gflops(
+        KernelClass.COMPUTE
+    )

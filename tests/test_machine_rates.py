@@ -1,0 +1,55 @@
+"""Machine-model rate tests."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.machine.rates import ARCH_RATES, KernelClass, arch_rates, node_rate
+
+
+def test_all_table2_architectures_present():
+    assert {
+        "sapphire_rapids", "milan", "power9", "skylake", "haswell"
+    } == set(ARCH_RATES)
+
+
+def test_unknown_arch_raises():
+    with pytest.raises(CatalogError):
+        arch_rates("zen5")
+
+
+def test_sapphire_rapids_fastest_cpu():
+    sr = arch_rates("sapphire_rapids")
+    for other in ("milan", "power9", "skylake", "haswell"):
+        assert sr.compute_gflops > arch_rates(other).compute_gflops
+        assert sr.mem_bw_gbs >= arch_rates(other).mem_bw_gbs
+
+
+def test_haswell_slowest():
+    hw = arch_rates("haswell")
+    for other in ("sapphire_rapids", "milan", "power9", "skylake"):
+        assert hw.compute_gflops < arch_rates(other).compute_gflops
+
+
+def test_compute_scales_with_cores():
+    one = node_rate("milan", 1, KernelClass.COMPUTE)
+    many = node_rate("milan", 96, KernelClass.COMPUTE)
+    assert many == pytest.approx(96 * one)
+
+
+def test_memory_class_independent_of_cores():
+    assert node_rate("milan", 56, KernelClass.MEMORY) == node_rate(
+        "milan", 96, KernelClass.MEMORY
+    )
+
+
+def test_bandwidth_class_caps_at_memory():
+    capped = node_rate("milan", 96, KernelClass.BANDWIDTH)
+    assert capped <= arch_rates("milan").mem_bw_gbs * 0.5 + 1e-9
+    small = node_rate("milan", 2, KernelClass.BANDWIDTH)
+    assert small == pytest.approx(2 * arch_rates("milan").bandwidth_gflops)
+
+
+def test_latency_class_much_slower_than_compute():
+    assert node_rate("milan", 96, KernelClass.LATENCY) < 0.2 * node_rate(
+        "milan", 96, KernelClass.COMPUTE
+    )

@@ -1,0 +1,130 @@
+"""Collective cost-model tests, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.collectives import (
+    ALLREDUCE_SWITCH_BYTES,
+    CollectiveModel,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    halo_exchange_time,
+    reduce_time,
+)
+from repro.network.fabrics import fabric
+
+EFA = fabric("efa-gen1.5")
+IB = fabric("infiniband-hdr")
+
+sizes = st.integers(min_value=0, max_value=1 << 24)
+procs = st.integers(min_value=1, max_value=30_000)
+
+
+def test_single_proc_is_free():
+    assert allreduce_time(EFA, 1024, 1) == 0.0
+    assert bcast_time(EFA, 1024, 1) == 0.0
+    assert allgather_time(EFA, 1024, 1) == 0.0
+    assert barrier_time(EFA, 1) == 0.0
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        allreduce_time(EFA, -1, 4)
+    with pytest.raises(ValueError):
+        allreduce_time(EFA, 8, 0)
+    with pytest.raises(ValueError):
+        halo_exchange_time(EFA, 8, -1)
+
+
+@given(nbytes=sizes, p=procs)
+@settings(max_examples=200, deadline=None)
+def test_allreduce_nonnegative_and_finite(nbytes, p):
+    t = allreduce_time(EFA, nbytes, p)
+    assert t >= 0.0
+    assert t < 1e6
+
+
+@given(p=procs)
+@settings(max_examples=100, deadline=None)
+def test_allreduce_monotone_in_procs_small_messages(p):
+    # Latency-dominated regime: more ranks never get cheaper.
+    assert allreduce_time(IB, 8, p) <= allreduce_time(IB, 8, 2 * p) + 1e-15
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 22))
+@settings(max_examples=100, deadline=None)
+def test_allreduce_monotone_in_bytes_within_algorithm(nbytes):
+    # Within one algorithm regime, bigger messages cost at least as much.
+    if 2 * nbytes <= ALLREDUCE_SWITCH_BYTES or nbytes > ALLREDUCE_SWITCH_BYTES:
+        assert allreduce_time(IB, nbytes, 64) <= allreduce_time(IB, 2 * nbytes, 64)
+
+
+def test_allreduce_algorithm_switch():
+    """Rabenseifner beats recursive doubling for large messages."""
+    big = 1 << 22
+    p = 1024
+    lg = 10
+    rec_doubling = lg * ((IB.latency_s + IB.overhead_s) + big / IB.bandwidth_Bps)
+    assert allreduce_time(IB, big, p) < rec_doubling
+
+
+def test_aws_spike_visible_in_allreduce():
+    at_spike = allreduce_time(EFA, 32768, 1024)
+    below = allreduce_time(EFA, 8192, 1024)
+    assert at_spike > 3 * below
+
+
+def test_ib_has_no_spike():
+    at_spike = allreduce_time(IB, 32768, 1024)
+    below = allreduce_time(IB, 8192, 1024)
+    assert at_spike < 3 * below
+
+
+@given(nbytes=sizes, p=st.integers(min_value=2, max_value=4096))
+@settings(max_examples=100, deadline=None)
+def test_faster_fabric_is_never_slower(nbytes, p):
+    assert allreduce_time(IB, nbytes, p) <= allreduce_time(EFA, nbytes, p)
+    assert bcast_time(IB, nbytes, p) <= bcast_time(EFA, nbytes, p)
+
+
+@given(p=st.integers(min_value=2, max_value=10_000))
+@settings(max_examples=100, deadline=None)
+def test_barrier_scales_logarithmically(p):
+    t1 = barrier_time(EFA, p)
+    t2 = barrier_time(EFA, p * 2)
+    # One extra dissemination round at most.
+    assert t2 - t1 <= 2 * (EFA.latency_s + EFA.overhead_s) + 1e-12
+
+
+def test_alltoall_quadratic_growth():
+    t16 = alltoall_time(EFA, 1024, 16)
+    t32 = alltoall_time(EFA, 1024, 32)
+    assert 1.5 < t32 / t16 < 2.5
+
+
+def test_halo_linear_in_neighbors():
+    one = halo_exchange_time(EFA, 4096, 1)
+    six = halo_exchange_time(EFA, 4096, 6)
+    assert six == pytest.approx(6 * one)
+
+
+def test_reduce_no_more_expensive_than_allreduce_small():
+    # Small messages: both are log-p latency-bound; reduce never costs more.
+    assert reduce_time(IB, 8, 256) <= allreduce_time(IB, 8, 256) + 1e-15
+
+
+def test_rabenseifner_beats_tree_reduce_for_large_messages():
+    # Bandwidth-optimal allreduce undercuts a binomial tree at 1 MiB —
+    # the reason MPI libraries switch algorithms.
+    assert allreduce_time(IB, 1 << 20, 256) < reduce_time(IB, 1 << 20, 256)
+
+
+def test_collective_model_binds_fabric():
+    cm = CollectiveModel(IB)
+    assert cm.allreduce(8, 64) == allreduce_time(IB, 8, 64)
+    assert cm.barrier(64) == barrier_time(IB, 64)
+    assert cm.p2p(1024) == IB.p2p_time(1024)

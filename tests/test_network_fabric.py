@@ -1,0 +1,97 @@
+"""Fabric and quirk tests."""
+
+import pytest
+
+from repro.network.fabric import Fabric, FabricQuirk
+from repro.network.fabrics import FABRICS, fabric
+from repro.errors import CatalogError
+from repro.units import KiB
+
+
+def test_registry_has_every_table2_fabric():
+    assert {
+        "omnipath-100",
+        "infiniband-edr",
+        "infiniband-hdr",
+        "efa-gen1.5",
+        "efa-gen1",
+        "gcp-tier1",
+        "gcp-premium",
+        "gcp-standard",
+    } <= set(FABRICS)
+
+
+def test_unknown_fabric_raises():
+    with pytest.raises(CatalogError):
+        fabric("myrinet")
+
+
+def test_latency_ordering_matches_paper():
+    # IB and Omni-Path well below EFA, which is below GCP networking.
+    assert fabric("infiniband-edr").latency_us < 2
+    assert fabric("omnipath-100").latency_us < 2
+    assert 10 < fabric("efa-gen1.5").latency_us < fabric("efa-gen1").latency_us
+    assert fabric("efa-gen1").latency_us < fabric("gcp-premium").latency_us
+
+
+def test_hdr_has_highest_bandwidth():
+    assert fabric("infiniband-hdr").bandwidth_gbps == max(
+        f.bandwidth_gbps for f in FABRICS.values()
+    )
+
+
+def test_os_bypass_flags():
+    assert fabric("efa-gen1.5").os_bypass
+    assert fabric("infiniband-hdr").os_bypass
+    assert not fabric("gcp-premium").os_bypass
+
+
+def test_only_ib_fabrics_have_rdma():
+    # §2.8: only InfiniBand fabrics support GPU Direct.
+    rdma = {name for name, f in FABRICS.items() if f.rdma}
+    assert rdma == {"omnipath-100", "infiniband-edr", "infiniband-hdr"}
+
+
+def test_p2p_time_increases_with_size():
+    f = fabric("efa-gen1.5")
+    assert f.p2p_time(0) < f.p2p_time(KiB) < f.p2p_time(1024 * KiB)
+
+
+def test_p2p_rejects_negative():
+    with pytest.raises(ValueError):
+        fabric("efa-gen1.5").p2p_time(-1)
+
+
+def test_quirk_applies_in_window_and_scope():
+    q = FabricQuirk("test", 100, 200, 3.0, scope="allreduce")
+    assert q.applies(150, "allreduce")
+    assert not q.applies(150, "p2p")
+    assert not q.applies(99, "allreduce")
+    assert not q.applies(201, "allreduce")
+
+
+def test_aws_spike_quirk_present():
+    f = fabric("efa-gen1.5")
+    assert f.quirk_multiplier(32 * KiB, "allreduce") > 1.0
+    assert f.quirk_multiplier(32 * KiB, "p2p") == 1.0
+    assert f.quirk_multiplier(1 * KiB, "allreduce") == 1.0
+
+
+def test_degraded_fabric():
+    f = fabric("infiniband-hdr")
+    d = f.degraded(2.0, 0.5)
+    assert d.latency_us == 2 * f.latency_us
+    assert d.bandwidth_gbps == 0.5 * f.bandwidth_gbps
+    assert d.quirks == f.quirks
+
+
+def test_with_jitter():
+    f = fabric("infiniband-edr")
+    j = f.with_jitter(0.2)
+    assert j.jitter_cv == 0.2
+    assert j.latency_us == f.latency_us
+
+
+def test_cloud_fabrics_have_more_jitter_than_onprem():
+    assert fabric("omnipath-100").jitter_cv < fabric("efa-gen1.5").jitter_cv
+    assert fabric("omnipath-100").jitter_cv < fabric("gcp-premium").jitter_cv

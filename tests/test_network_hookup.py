@@ -1,0 +1,60 @@
+"""Hookup-time model tests (§3.2 numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.network.hookup import hookup_time
+
+
+def _mean(cloud, gpu, nodes, n=40):
+    return float(
+        np.mean([hookup_time(cloud, gpu, nodes, seed=0, iteration=i) for i in range(n)])
+    )
+
+
+def test_azure_gpu_decreasing_profile():
+    means = {n: _mean("az", True, n) for n in (4, 8, 16, 32)}
+    paper = {4: 43.0, 8: 30.0, 16: 20.0, 32: 10.0}
+    for n, expect in paper.items():
+        assert means[n] == pytest.approx(expect, rel=0.35)
+    assert means[4] > means[8] > means[16] > means[32]
+
+
+def test_azure_cpu_linear_profile():
+    means = {n: _mean("az", False, n) for n in (32, 64, 128, 256)}
+    paper = {32: 50.0, 64: 100.0, 128: 200.0, 256: 400.0}
+    for n, expect in paper.items():
+        assert means[n] == pytest.approx(expect, rel=0.3)
+    # Roughly linear: doubling nodes ~doubles hookup.
+    assert means[64] / means[32] == pytest.approx(2.0, rel=0.25)
+
+
+def test_aks_cpu_256_hookup_in_minutes():
+    # §3.3: 8.82 minutes for LAMMPS at AKS size 256.
+    assert _mean("az", False, 256) > 300.0
+
+
+def test_other_clouds_flat_and_fast():
+    for cloud in ("aws", "g"):
+        gpu_means = [_mean(cloud, True, n) for n in (4, 8, 16, 32)]
+        assert all(2.0 <= m <= 6.0 for m in gpu_means)
+        cpu_means = [_mean(cloud, False, n) for n in (32, 64, 128, 256)]
+        assert all(8.0 <= m <= 18.0 for m in cpu_means)
+        assert max(cpu_means) < 1.5 * min(cpu_means)  # scale not a factor
+
+
+def test_onprem_launch_is_seconds():
+    assert _mean("p", False, 256) < 6.0
+
+
+def test_invalid_nodes():
+    with pytest.raises(ValueError):
+        hookup_time("aws", False, 0)
+
+
+def test_deterministic_per_iteration():
+    a = hookup_time("az", False, 128, seed=1, iteration=3)
+    b = hookup_time("az", False, 128, seed=1, iteration=3)
+    assert a == b
+    c = hookup_time("az", False, 128, seed=1, iteration=4)
+    assert a != c

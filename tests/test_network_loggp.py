@@ -1,0 +1,61 @@
+"""LogGP model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fabrics import fabric
+from repro.network.loggp import LogGP
+
+IB = LogGP.from_fabric(fabric("infiniband-edr"))
+EFA = LogGP.from_fabric(fabric("efa-gen1"))
+
+
+def test_parameters_from_fabric():
+    f = fabric("infiniband-edr")
+    assert IB.L == pytest.approx(f.latency_s)
+    assert IB.o == pytest.approx(f.overhead_s)
+    assert IB.G == pytest.approx(1.0 / f.bandwidth_Bps)
+
+
+def test_zero_byte_send_is_latency_plus_overheads():
+    assert IB.send_time(0) == pytest.approx(2 * IB.o + IB.L)
+
+
+def test_round_trip_is_twice_send():
+    assert IB.round_trip(512) == pytest.approx(2 * IB.send_time(512))
+
+
+@given(nbytes=st.integers(min_value=0, max_value=1 << 26))
+@settings(max_examples=200, deadline=None)
+def test_send_time_monotone(nbytes):
+    assert IB.send_time(nbytes) <= IB.send_time(nbytes + 1024)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        IB.send_time(-1)
+
+
+def test_large_message_approaches_bandwidth():
+    n = 1 << 26  # 64 MiB
+    t = IB.send_time(n)
+    ideal = n * IB.G
+    assert t == pytest.approx(ideal, rel=0.01)
+
+
+def test_pipelining_beats_serial_sends():
+    n = 1 << 20
+    serial = 8 * EFA.send_time(n // 8)
+    pipelined = EFA.pipelined_time(n, 8)
+    assert pipelined < serial
+
+
+def test_pipelined_requires_positive_segments():
+    with pytest.raises(ValueError):
+        EFA.pipelined_time(1024, 0)
+
+
+def test_faster_fabric_faster_sends():
+    for n in (0, 64, 1 << 16, 1 << 22):
+        assert IB.send_time(n) < EFA.send_time(n)

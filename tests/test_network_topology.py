@@ -1,0 +1,53 @@
+"""Topology model tests: placement quality -> effective fabric."""
+
+import pytest
+
+from repro.cloud.placement import apply_placement
+from repro.network.fabrics import fabric
+from repro.network.topology import TopologyModel, effective_fabric
+
+
+def test_full_colocation_is_nominal():
+    placement = apply_placement("az", "vm", 64)
+    assert placement.fully_colocated
+    topo = TopologyModel.from_placement("az", placement)
+    assert topo.latency_multiplier == pytest.approx(1.0)
+    assert topo.bandwidth_multiplier == pytest.approx(1.0)
+
+
+def test_poor_colocation_degrades():
+    placement = apply_placement("az", "k8s", 128)  # AKS PPG unknown
+    topo = TopologyModel.from_placement("az", placement)
+    assert topo.latency_multiplier > 1.2
+    assert topo.bandwidth_multiplier < 0.95
+
+
+def test_effective_fabric_applies_multipliers():
+    base = fabric("infiniband-hdr")
+    placement = apply_placement("az", "k8s", 128)
+    eff = effective_fabric(base, "az", placement)
+    assert eff.latency_us > base.latency_us
+    assert eff.bandwidth_gbps < base.bandwidth_gbps
+    assert eff.quirks == base.quirks
+
+
+def test_multipliers_bounded():
+    # Even zero colocation can't exceed the per-cloud spread penalties.
+    from repro.cloud.placement import PlacementGroup, PlacementPolicy, PlacementResult
+
+    worst = PlacementResult(
+        PlacementGroup(PlacementPolicy.NONE, 64), 0.0, "scattered"
+    )
+    topo = TopologyModel.from_placement("aws", worst)
+    assert topo.latency_multiplier == pytest.approx(2.5)
+    assert topo.bandwidth_multiplier == pytest.approx(0.5)
+
+
+def test_fraction_clamped():
+    from repro.cloud.placement import PlacementGroup, PlacementPolicy, PlacementResult
+
+    weird = PlacementResult(
+        PlacementGroup(PlacementPolicy.NONE, 4), 1.7, "overfull"
+    )
+    topo = TopologyModel.from_placement("g", weird)
+    assert topo.latency_multiplier == pytest.approx(1.0)

@@ -1,0 +1,97 @@
+"""Reporting tests: tables, series, expectations."""
+
+import pytest
+
+from repro.reporting.compare import Expectation, check_expectations, summarize
+from repro.reporting.series import Series, render_series
+from repro.reporting.tables import Table, render_table
+
+
+def test_table_add_and_column():
+    t = Table("T", ("a", "b"))
+    t.add(1, "x")
+    t.add(2, "y")
+    assert t.column("a") == [1, 2]
+    assert t.column("b") == ["x", "y"]
+
+
+def test_table_row_width_enforced():
+    t = Table("T", ("a", "b"))
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_table_csv():
+    t = Table("T", ("a", "b"))
+    t.add(1, "x")
+    assert t.to_csv().splitlines() == ["a,b", "1,x"]
+
+
+def test_table_markdown():
+    t = Table("T", ("col",))
+    t.add("v")
+    md = t.to_markdown()
+    assert md.splitlines()[0] == "| col |"
+    assert "| v |" in md
+
+
+def test_render_table_ascii():
+    t = Table("My Table", ("name", "value"), caption="a caption")
+    t.add("alpha", 1.5)
+    out = render_table(t)
+    assert "My Table" in out
+    assert "alpha" in out
+    assert "a caption" in out
+
+
+def test_render_table_large_numbers_scientific():
+    t = Table("T", ("v",))
+    t.add(3.2e9)
+    assert "e+09" in render_table(t)
+
+
+def test_series_points_and_lookup():
+    s = Series("S", "x", "y")
+    s.add_point("envA", 32, 10.0, 1.0)
+    s.add_point("envA", 64, 20.0, 2.0)
+    s.add_point("envB", 32, 15.0, 0.5)
+    assert s.line_means("envA") == [(32, 10.0), (64, 20.0)]
+    assert s.value_at("envB", 32) == 15.0
+    assert s.value_at("envB", 64) is None
+
+
+def test_series_best_line_direction():
+    s = Series("S", "x", "y", higher_is_better=True)
+    s.add_point("a", 1, 10.0)
+    s.add_point("b", 1, 20.0)
+    assert s.best_line_at(1) == "b"
+    s.higher_is_better = False
+    assert s.best_line_at(1) == "a"
+
+
+def test_series_best_line_empty():
+    assert Series("S", "x", "y").best_line_at(1) is None
+
+
+def test_render_series():
+    s = Series("Figure", "nodes", "FOM")
+    s.add_point("env", 32, 100.0, 5.0)
+    out = render_series(s)
+    assert "Figure" in out and "env" in out and "#" in out
+
+
+def test_render_empty_series():
+    assert "(no data)" in render_series(Series("S", "x", "y"))
+
+
+def test_check_expectations_pass_fail_and_error():
+    exps = [
+        Expectation("e", "true claim", lambda: True),
+        Expectation("e", "false claim", lambda: False),
+        Expectation("e", "broken claim", lambda: 1 / 0),
+    ]
+    results = check_expectations(exps)
+    assert [r.holds for r in results] == [True, False, False]
+    text = summarize(results)
+    assert "1/3" in text
+    assert "PASS" in text and "FAIL" in text

@@ -1,0 +1,43 @@
+"""Evaluation-report generator tests."""
+
+import pytest
+
+from repro.reporting.report import REPORT_ORDER, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Default iterations (5 per point): the B-vs-Azure GPU tie in Figure 4
+    # needs the paper's iteration count to resolve reliably.
+    return generate_report(seed=0)
+
+
+def test_report_covers_every_experiment(report_text):
+    for eid in REPORT_ORDER:
+        assert f"## {eid}:" in report_text
+
+
+def test_report_claim_summary(report_text):
+    # The header states the aggregate; all claims hold at seed 0.
+    assert "reproduced" in report_text
+    assert "❌" not in report_text
+    assert report_text.count("✅") >= 60
+
+
+def test_report_contains_markdown_tables(report_text):
+    assert "| Environment |" in report_text
+    assert "|---|" in report_text
+
+
+def test_report_contains_series_grids(report_text):
+    assert "| environment |" in report_text  # figure series rendering
+    assert "cpu-onprem-a" in report_text
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "EVALUATION.md"
+    assert main(["report", "--iterations", "1", "-o", str(out)]) == 0
+    assert out.exists()
+    assert out.read_text().startswith("# Regenerated evaluation")

@@ -1,0 +1,84 @@
+"""NodePool and Job invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.scheduler.base import Job, JobState, NodePool
+
+
+def test_pool_initially_free():
+    pool = NodePool(total=16)
+    assert pool.free_count == 16
+
+
+def test_allocate_and_release():
+    pool = NodePool(total=8)
+    nodes = pool.allocate("j1", 5)
+    assert len(nodes) == 5
+    assert pool.free_count == 3
+    pool.release("j1")
+    assert pool.free_count == 8
+
+
+def test_over_allocate_raises():
+    pool = NodePool(total=4)
+    with pytest.raises(SchedulingError):
+        pool.allocate("j1", 5)
+
+
+def test_double_allocate_same_job_raises():
+    pool = NodePool(total=8)
+    pool.allocate("j1", 2)
+    with pytest.raises(SchedulingError):
+        pool.allocate("j1", 2)
+
+
+def test_release_unknown_job_raises():
+    pool = NodePool(total=4)
+    with pytest.raises(SchedulingError):
+        pool.release("ghost")
+
+
+@given(
+    requests=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=20)
+)
+@settings(max_examples=100, deadline=None)
+def test_pool_never_double_allocates(requests):
+    """Property: allocated node sets are always disjoint."""
+    pool = NodePool(total=32)
+    held: dict[str, frozenset[int]] = {}
+    for i, count in enumerate(requests):
+        job_id = f"j{i}"
+        if count <= pool.free_count:
+            held[job_id] = pool.allocate(job_id, count)
+        elif held:
+            victim = next(iter(held))
+            pool.release(victim)
+            del held[victim]
+    all_nodes: set[int] = set()
+    for nodes in held.values():
+        assert not (all_nodes & set(nodes))
+        all_nodes |= set(nodes)
+    assert len(all_nodes) + pool.free_count == 32
+
+
+def test_job_wait_time():
+    job = Job("j", nodes=2, runtime=10.0)
+    job.submit_time = 5.0
+    assert job.wait_time is None
+    job.start_time = 12.0
+    assert job.wait_time == 7.0
+
+
+def test_job_timeout_flag():
+    assert Job("j", 1, runtime=2000.0, walltime_limit=1800.0).will_timeout
+    assert not Job("j", 1, runtime=100.0, walltime_limit=1800.0).will_timeout
+
+
+def test_terminal_states():
+    assert JobState.COMPLETED.terminal
+    assert JobState.TIMEOUT.terminal
+    assert not JobState.PENDING.terminal
+    assert not JobState.RUNNING.terminal

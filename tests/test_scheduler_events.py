@@ -1,0 +1,94 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.scheduler.events import EventQueue, SimClock
+
+
+def test_clock_monotonic():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(4.0)
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    order = []
+    q.schedule(3.0, lambda: order.append("c"))
+    q.schedule(1.0, lambda: order.append("a"))
+    q.schedule(2.0, lambda: order.append("b"))
+    q.run()
+    assert order == ["a", "b", "c"]
+    assert q.clock.now == 3.0
+
+
+def test_simultaneous_events_fifo():
+    q = EventQueue()
+    order = []
+    for tag in "abc":
+        q.schedule(1.0, lambda t=tag: order.append(t))
+    q.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-1.0, lambda: None)
+
+
+def test_cancel():
+    q = EventQueue()
+    fired = []
+    ev = q.schedule(1.0, lambda: fired.append(1))
+    q.cancel(ev)
+    q.run()
+    assert fired == []
+    assert q.pending == 0
+
+
+def test_run_until_bound():
+    q = EventQueue()
+    fired = []
+    q.schedule(1.0, lambda: fired.append(1))
+    q.schedule(10.0, lambda: fired.append(2))
+    q.run(until=5.0)
+    assert fired == [1]
+    assert q.clock.now == 5.0
+    q.run()
+    assert fired == [1, 2]
+
+
+def test_events_scheduling_events():
+    q = EventQueue()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 5:
+            q.schedule(1.0, lambda: chain(depth + 1))
+
+    q.schedule(0.0, lambda: chain(0))
+    q.run()
+    assert seen == list(range(6))
+    assert q.clock.now == 5.0
+
+
+def test_schedule_at_absolute_time():
+    q = EventQueue()
+    fired = []
+    q.schedule_at(7.5, lambda: fired.append(q.clock.now))
+    q.run()
+    assert fired == [7.5]
+
+
+def test_runaway_guard():
+    q = EventQueue()
+
+    def forever():
+        q.schedule(0.0, forever)
+
+    q.schedule(0.0, forever)
+    with pytest.raises(RuntimeError):
+        q.run(max_events=1000)

@@ -1,0 +1,89 @@
+"""Flux scheduler tests: EASY backfill and hierarchical instances."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduler.base import Job, JobState
+from repro.scheduler.flux import FluxScheduler
+
+
+def _job(job_id, nodes, runtime, limit=10_000.0):
+    return Job(job_id, nodes=nodes, runtime=runtime, walltime_limit=limit)
+
+
+def test_lower_overhead_than_slurm():
+    from repro.scheduler.slurm import SlurmScheduler
+
+    assert FluxScheduler.submit_overhead < SlurmScheduler.submit_overhead
+
+
+def test_basic_completion():
+    f = FluxScheduler(nodes=8)
+    job = f.submit(_job("a", 8, 10.0))
+    f.run_until_idle()
+    assert job.state is JobState.COMPLETED
+
+
+def test_easy_backfill():
+    f = FluxScheduler(nodes=10)
+    f.submit(_job("running", 8, 100.0))
+    blocked = f.submit(_job("blocked", 10, 10.0))
+    filler = f.submit(_job("filler", 2, 20.0, limit=20.0))
+    f.run_until_idle()
+    assert filler.start_time < blocked.start_time
+
+
+def test_spawn_child_takes_nodes():
+    parent = FluxScheduler(nodes=16)
+    child = parent.spawn_child(8)
+    assert parent.pool.free_count == 8
+    assert child.pool.total == 8
+    assert child.level == 1
+
+
+def test_child_shares_timeline():
+    parent = FluxScheduler(nodes=16)
+    child = parent.spawn_child(8)
+    pj = parent.submit(_job("p", 8, 50.0))
+    cj = child.submit(_job("c", 8, 30.0))
+    parent.run_until_idle()
+    child.run_until_idle()
+    assert pj.state is JobState.COMPLETED
+    assert cj.state is JobState.COMPLETED
+    assert parent.events is child.events
+
+
+def test_oversized_child_rejected():
+    parent = FluxScheduler(nodes=8)
+    with pytest.raises(SchedulingError):
+        parent.spawn_child(9)
+
+
+def test_teardown_returns_nodes():
+    parent = FluxScheduler(nodes=16)
+    child = parent.spawn_child(8)
+    child.submit(_job("c", 4, 10.0))
+    parent.events.run()
+    parent.teardown_child(child)
+    assert parent.pool.free_count == 16
+
+
+def test_teardown_with_active_jobs_rejected():
+    parent = FluxScheduler(nodes=16)
+    child = parent.spawn_child(8)
+    child.submit(_job("c", 4, 1e6))
+    with pytest.raises(SchedulingError):
+        parent.teardown_child(child)
+
+
+def test_nested_instance_isolation():
+    """Jobs in one child never consume another child's nodes."""
+    parent = FluxScheduler(nodes=16)
+    c1 = parent.spawn_child(8)
+    c2 = parent.spawn_child(8)
+    c1.submit(_job("a", 8, 10.0))
+    c2.submit(_job("b", 8, 10.0))
+    parent.events.run()
+    assert c1.stats.completed == 1
+    assert c2.stats.completed == 1
+    assert parent.pool.free_count == 0

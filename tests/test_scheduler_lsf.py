@@ -1,0 +1,61 @@
+"""LSF scheduler tests: cycle-based dispatch."""
+
+import pytest
+
+from repro.scheduler.base import Job, JobState
+from repro.scheduler.lsf import LsfScheduler
+
+
+def _job(job_id, nodes, runtime):
+    return Job(job_id, nodes=nodes, runtime=runtime, walltime_limit=10_000.0)
+
+
+def test_dispatch_waits_for_cycle():
+    s = LsfScheduler(nodes=8)
+    job = s.submit(_job("a", 4, 10.0))
+    s.run_until_idle()
+    assert job.state is JobState.COMPLETED
+    # Start no earlier than one dispatch cycle plus bsub overhead.
+    assert job.start_time >= s.dispatch_interval
+
+
+def test_higher_latency_than_flux():
+    from repro.scheduler.flux import FluxScheduler
+
+    lsf = LsfScheduler(nodes=8)
+    flux = FluxScheduler(nodes=8)
+    a = lsf.submit(_job("a", 4, 10.0))
+    b = flux.submit(Job("b", nodes=4, runtime=10.0))
+    lsf.run_until_idle()
+    flux.run_until_idle()
+    assert a.start_time > b.start_time
+
+
+def test_strict_fifo_no_backfill():
+    s = LsfScheduler(nodes=10)
+    s.submit(_job("running", 8, 100.0))
+    blocked = s.submit(_job("blocked", 10, 10.0))
+    filler = s.submit(_job("filler", 2, 5.0))
+    s.run_until_idle()
+    # No backfill: filler waits for the blocked head job.
+    assert filler.start_time > blocked.start_time or (
+        filler.start_time >= blocked.start_time
+    )
+    assert filler.start_time >= blocked.start_time
+
+
+def test_multiple_jobs_same_cycle():
+    s = LsfScheduler(nodes=8)
+    a = s.submit(_job("a", 4, 10.0))
+    b = s.submit(_job("b", 4, 10.0))
+    s.run_until_idle()
+    assert a.start_time == pytest.approx(b.start_time)
+
+
+def test_queue_drains_over_cycles():
+    s = LsfScheduler(nodes=4)
+    jobs = [s.submit(_job(f"j{i}", 4, 10.0)) for i in range(3)]
+    s.run_until_idle()
+    assert all(j.state is JobState.COMPLETED for j in jobs)
+    assert jobs[0].end_time <= jobs[1].start_time
+    assert jobs[1].end_time <= jobs[2].start_time

@@ -1,0 +1,38 @@
+"""On-prem queue-wait model tests."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.queueing import OnPremQueueModel
+
+
+def test_bigger_requests_wait_longer_on_average():
+    model = OnPremQueueModel(cluster_nodes=1544, seed=0)
+    small = model.expected_wait(32)
+    large = model.expected_wait(1024)
+    assert large > 2 * small
+
+
+def test_bounds_checked():
+    model = OnPremQueueModel(cluster_nodes=100, seed=0)
+    with pytest.raises(ValueError):
+        model.sample_wait(0)
+    with pytest.raises(ValueError):
+        model.sample_wait(101)
+
+
+def test_waits_positive():
+    model = OnPremQueueModel(cluster_nodes=795, seed=1)
+    waits = [model.sample_wait(64, iteration=i) for i in range(50)]
+    assert all(w > 0 for w in waits)
+
+
+def test_right_skewed_distribution():
+    model = OnPremQueueModel(cluster_nodes=1544, seed=0)
+    waits = np.array([model.sample_wait(128, iteration=i) for i in range(400)])
+    assert np.mean(waits) > np.median(waits)
+
+
+def test_deterministic_per_iteration():
+    model = OnPremQueueModel(cluster_nodes=1544, seed=2)
+    assert model.sample_wait(64, iteration=5) == model.sample_wait(64, iteration=5)

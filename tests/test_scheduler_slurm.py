@@ -1,0 +1,100 @@
+"""Slurm scheduler tests: FIFO ordering and conservative backfill."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduler.base import Job, JobState
+from repro.scheduler.slurm import SlurmScheduler
+
+
+def _job(job_id, nodes, runtime, limit=10_000.0):
+    return Job(job_id, nodes=nodes, runtime=runtime, walltime_limit=limit)
+
+
+def test_single_job_completes():
+    s = SlurmScheduler(nodes=16)
+    job = s.submit(_job("a", 8, 100.0))
+    s.run_until_idle()
+    assert job.state is JobState.COMPLETED
+    assert job.start_time == pytest.approx(s.submit_overhead)
+    assert job.end_time == pytest.approx(s.submit_overhead + 100.0)
+
+
+def test_fifo_ordering_when_saturated():
+    s = SlurmScheduler(nodes=8)
+    a = s.submit(_job("a", 8, 50.0))
+    b = s.submit(_job("b", 8, 50.0))
+    s.run_until_idle()
+    assert a.end_time <= b.start_time
+
+
+def test_parallel_execution_when_room():
+    s = SlurmScheduler(nodes=16)
+    a = s.submit(_job("a", 8, 50.0))
+    b = s.submit(_job("b", 8, 50.0))
+    s.run_until_idle()
+    # Both start immediately.
+    assert abs(a.start_time - b.start_time) < 1e-9
+
+
+def test_backfill_small_job_jumps_queue():
+    s = SlurmScheduler(nodes=10)
+    big_running = s.submit(_job("running", 8, 100.0))
+    blocked = s.submit(_job("blocked", 10, 10.0))  # must wait for everything
+    filler = s.submit(_job("filler", 2, 20.0, limit=20.0))  # fits the gap
+    s.run_until_idle()
+    assert filler.start_time < blocked.start_time
+    # Backfill must not delay the blocked head job.
+    assert blocked.start_time <= big_running.end_time + s.submit_overhead + 1e-6
+
+
+def test_backfill_never_delays_head():
+    s = SlurmScheduler(nodes=10)
+    s.submit(_job("running", 6, 100.0))
+    head = s.submit(_job("head", 8, 10.0))
+    long_filler = s.submit(_job("filler", 4, 500.0, limit=500.0))
+    s.run_until_idle()
+    # The long filler would push the head job back; it must not start first.
+    assert head.start_time < long_filler.start_time
+
+
+def test_timeout_kills_job_at_limit():
+    s = SlurmScheduler(nodes=4)
+    job = s.submit(_job("t", 2, runtime=500.0, limit=100.0))
+    s.run_until_idle()
+    assert job.state is JobState.TIMEOUT
+    assert job.end_time == pytest.approx(s.submit_overhead + 100.0)
+
+
+def test_app_failure_state():
+    s = SlurmScheduler(nodes=4)
+    job = _job("f", 2, 10.0)
+    job.app_failure = True
+    s.submit(job)
+    s.run_until_idle()
+    assert job.state is JobState.FAILED
+
+
+def test_oversized_job_rejected():
+    s = SlurmScheduler(nodes=4)
+    with pytest.raises(SchedulingError):
+        s.submit(_job("big", 8, 10.0))
+
+
+def test_duplicate_id_rejected():
+    s = SlurmScheduler(nodes=4)
+    s.submit(_job("a", 1, 10.0))
+    with pytest.raises(SchedulingError):
+        s.submit(_job("a", 1, 10.0))
+
+
+def test_stats():
+    s = SlurmScheduler(nodes=8)
+    s.submit(_job("a", 4, 10.0))
+    s.submit(_job("b", 4, 10.0))
+    s.submit(_job("c", 2, 5.0, limit=1.0))
+    s.run_until_idle()
+    assert s.stats.submitted == 3
+    assert s.stats.completed == 2
+    assert s.stats.timeout == 1
+    assert s.stats.mean_wait >= 0.0

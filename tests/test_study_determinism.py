@@ -1,0 +1,84 @@
+"""Study-level determinism and error-payload tests."""
+
+import pytest
+
+from repro.core.study import StudyConfig, StudyRunner
+from repro.errors import (
+    BudgetExceededError,
+    ContainerBuildError,
+    ExecutionError,
+    ProvisioningError,
+    QuotaError,
+)
+
+
+def _run(seed):
+    config = StudyConfig(
+        env_ids=("cpu-eks-aws", "gpu-cyclecloud-az"),
+        apps=("amg2023", "stream"),
+        sizes=(32, 64),
+        iterations=2,
+        seed=seed,
+    )
+    return StudyRunner(config).run()
+
+
+def test_same_seed_same_campaign():
+    a = _run(seed=3)
+    b = _run(seed=3)
+    assert a.datasets == b.datasets
+    assert a.spend_by_cloud == b.spend_by_cloud
+    assert a.store.to_csv() == b.store.to_csv()
+
+
+def test_different_seed_different_outcomes():
+    a = _run(seed=3)
+    b = _run(seed=4)
+    assert a.store.to_csv() != b.store.to_csv()
+
+
+def test_incident_log_deterministic():
+    a = _run(seed=5)
+    b = _run(seed=5)
+    flat_a = sorted(
+        (env, i.category, i.description)
+        for env, incs in a.incidents.items()
+        for i in incs
+    )
+    flat_b = sorted(
+        (env, i.category, i.description)
+        for env, incs in b.incidents.items()
+        for i in incs
+    )
+    assert flat_a == flat_b
+
+
+# ------------------------------------------------------------- error payloads
+
+
+def test_quota_error_message():
+    e = QuotaError("aws", "p3dn.24xlarge", 33, 0)
+    assert "aws" in str(e) and "33" in str(e)
+
+
+def test_provisioning_error_carries_cost():
+    e = ProvisioningError("stall", nodes_acquired=128, cost_accrued=2500.0)
+    assert e.nodes_acquired == 128
+    assert e.cost_accrued == 2500.0
+
+
+def test_container_build_error_conflicts():
+    e = ContainerBuildError("cuda clash", conflicts=("mfem", "hypre"))
+    assert e.conflicts == ("mfem", "hypre")
+
+
+def test_budget_error_fields():
+    e = BudgetExceededError("az", 49_000.0, 50_123.45)
+    assert e.cloud == "az"
+    assert "49,000" in str(e)
+
+
+def test_execution_error_kind():
+    e = ExecutionError("boom", kind="segfault")
+    assert e.kind == "segfault"
+    assert ExecutionError("x").kind == "error"

@@ -1,0 +1,48 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_sizes():
+    assert units.KiB == 1024
+    assert units.MiB == 1024**2
+    assert units.GiB == 1024**3
+
+
+def test_gbps_converts_to_bytes_per_second():
+    # 100 Gb/s = 12.5 GB/s
+    assert units.gbps(100) == pytest.approx(12.5e9)
+
+
+def test_gib():
+    assert units.gib(2) == 2 * 1024**3
+
+
+def test_usec_and_hours():
+    assert units.usec(1.5) == pytest.approx(1.5e-6)
+    assert units.hours(2) == 7200.0
+
+
+def test_fmt_bytes_units():
+    assert units.fmt_bytes(512) == "512B"
+    assert units.fmt_bytes(2048) == "2KiB"
+    assert units.fmt_bytes(3 * units.MiB) == "3MiB"
+    assert units.fmt_bytes(5 * units.GiB) == "5GiB"
+
+
+def test_fmt_bytes_fractional():
+    assert units.fmt_bytes(1536) == "1.5KiB"
+
+
+def test_fmt_usd():
+    assert units.fmt_usd(31056.0) == "$31,056.00"
+
+
+def test_fmt_seconds_ranges():
+    assert units.fmt_seconds(5e-7).endswith("us")
+    assert units.fmt_seconds(0.05).endswith("ms")
+    assert units.fmt_seconds(12.0) == "12.0s"
+    assert units.fmt_seconds(600.0).endswith("min")
+    assert units.fmt_seconds(10_000).endswith("h")
