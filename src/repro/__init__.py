@@ -38,7 +38,8 @@ from repro.core import (
 )
 from repro.envs import ENVIRONMENTS, Environment, environment
 from repro.network import FABRICS, fabric, hookup_time
-from repro.sim import ExecutionEngine, RunRecord, RunState
+from repro.parallel import StudyShard, execute_shards, merge_shard_results, plan_shards
+from repro.sim import ExecutionEngine, RunCache, RunRecord, RunState
 from repro.workflows import Component, ComponentKind, PortabilityScorer, Workflow
 
 __version__ = "1.0.0"
@@ -60,12 +61,17 @@ __all__ = [
     "OnPrem",
     "PortabilityScorer",
     "ResultStore",
+    "RunCache",
     "RunContext",
     "RunRecord",
     "RunState",
     "StudyConfig",
     "StudyRunner",
+    "StudyShard",
     "Workflow",
+    "execute_shards",
+    "merge_shard_results",
+    "plan_shards",
     "amg_cost_table",
     "app",
     "assess_environment",

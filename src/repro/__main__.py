@@ -6,8 +6,11 @@ Subcommands:
 * ``experiment <id>`` — regenerate one table/figure and verify its
   paper claims (``--iterations``, ``--seed``);
 * ``run <env> <app> <scale>`` — a single simulated run;
-* ``study`` — a campaign over selected environments/apps, with the
-  dataset CSV optionally written to disk.
+* ``study`` — a campaign over selected environments/apps, optionally
+  sharded across worker processes (``--workers``) with a
+  content-addressed run cache (``--cache``), with the dataset CSV
+  optionally written to disk;
+* ``report`` — render the full evaluation report.
 """
 
 from __future__ import annotations
@@ -70,6 +73,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    import os
+
+    if args.cache and os.path.exists(args.cache) and not os.path.isdir(args.cache):
+        print(f"error: --cache {args.cache!r} exists and is not a directory",
+              file=sys.stderr)
+        return 2
     env_ids = tuple(args.envs.split(",")) if args.envs else tuple(ENVIRONMENTS)
     apps = tuple(args.apps.split(",")) if args.apps else tuple(APPS)
     config = StudyConfig(
@@ -79,13 +88,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         seed=args.seed,
     )
-    report = StudyRunner(config).run()
+    report = StudyRunner(config, workers=args.workers, cache_dir=args.cache).run()
     print(f"datasets          : {report.datasets}")
     print(f"clusters created  : {report.clusters_created}")
     print(f"containers built  : {report.containers_built} "
           f"({report.containers_failed} failed)")
     for cloud, spend in sorted(report.spend_by_cloud.items()):
         print(f"spend on {cloud:3s}      : {fmt_usd(spend)}")
+    if args.cache:
+        print(f"run cache         : {report.cache_hits} hits, "
+              f"{report.cache_misses} misses")
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(report.store.to_csv())
@@ -106,37 +118,101 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+_EPILOG = """\
+examples:
+  python -m repro list
+      show every experiment, environment, and application
+  python -m repro experiment fig2
+      regenerate Figure 2 (AMG2023 scaling) and verify its paper claims
+  python -m repro run cpu-eks-aws amg2023 64
+      one simulated AMG2023 run on EKS at 64 nodes
+  python -m repro study --workers 4 --cache .repro-cache
+      the default campaign, sharded over 4 processes with run caching
+  python -m repro study --envs cpu-eks-aws --apps lammps --sizes 32,64
+      a focused campaign over one environment
+  python -m repro report -o report.md
+      render the full evaluation report to markdown
+"""
+
+_STUDY_EPILOG = """\
+examples:
+  python -m repro study
+      serial campaign: every environment and app, 2 iterations
+  python -m repro study --workers 4
+      shard (environment, size) cells over 4 worker processes;
+      the dataset is byte-identical to the serial run
+  python -m repro study --workers 4 --cache .repro-cache
+      also cache every run; a repeat campaign replays from the cache
+  python -m repro study --seed 7 --iterations 5 --output study.csv
+      the paper-scale iteration count, dataset exported as CSV
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction harness for 'Usability Evaluation of "
         "Cloud for HPC Applications' (SC 2025)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments, environments, apps")
 
-    p_exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    p_exp = sub.add_parser(
+        "experiment",
+        help="regenerate one table/figure",
+        epilog="example: python -m repro experiment table4 --iterations 5",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--iterations", type=int, default=None)
 
-    p_run = sub.add_parser("run", help="run one app on one environment")
+    p_run = sub.add_parser(
+        "run",
+        help="run one app on one environment",
+        epilog="example: python -m repro run gpu-aks-az lammps 128 --seed 3",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p_run.add_argument("env", choices=sorted(ENVIRONMENTS))
     p_run.add_argument("app", choices=sorted(APPS))
     p_run.add_argument("scale", type=int)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--iteration", type=int, default=0)
 
-    p_study = sub.add_parser("study", help="run a study campaign")
+    p_study = sub.add_parser(
+        "study",
+        help="run a study campaign",
+        epilog=_STUDY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p_study.add_argument("--envs", help="comma-separated environment ids")
     p_study.add_argument("--apps", help="comma-separated app names")
     p_study.add_argument("--sizes", help="comma-separated scales")
     p_study.add_argument("--iterations", type=int, default=2)
     p_study.add_argument("--seed", type=int, default=0)
+    p_study.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded execution (default: 1, serial)",
+    )
+    p_study.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="content-addressed run-cache directory; repeat campaigns "
+        "replay cached runs instead of re-simulating",
+    )
     p_study.add_argument("--output", help="write dataset CSV here")
 
-    p_report = sub.add_parser("report", help="render the full evaluation report")
+    p_report = sub.add_parser(
+        "report",
+        help="render the full evaluation report",
+        epilog="example: python -m repro report --iterations 3 -o report.md",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p_report.add_argument("--seed", type=int, default=0)
     p_report.add_argument("--iterations", type=int, default=None)
     p_report.add_argument("-o", "--output", help="write markdown here")

@@ -112,6 +112,21 @@ def incidents_for(env_id: str) -> list[Incident]:
     return [inc for inc in INCIDENT_DB if inc.applies_to(env_id)]
 
 
+def merge_incident_logs(
+    into: dict[str, list[Incident]],
+    env_id: str,
+    incidents: "list[Incident] | tuple[Incident, ...]",
+) -> None:
+    """Append ``incidents`` to ``into[env_id]``, creating the log lazily.
+
+    Used when folding per-shard incident logs back into the campaign log
+    (:mod:`repro.parallel.merge`); appending in shard-plan order keeps
+    the merged log identical to a serial campaign's.
+    """
+    for incident in incidents:
+        into.setdefault(env_id, []).append(incident)
+
+
 def incident_from_fault(env_id: str, event: FaultEvent) -> Incident:
     """Convert a triggered provisioning fault into an incident record."""
     category = "setup" if not event.fatal else "manual_intervention"

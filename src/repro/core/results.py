@@ -31,8 +31,24 @@ class ResultStore:
     def extend(self, records: Iterable[RunRecord]) -> None:
         self.records.extend(records)
 
+    @classmethod
+    def merge(cls, stores: "Iterable[ResultStore]") -> "ResultStore":
+        """Concatenate several stores (shard-then-merge) in given order.
+
+        Record order is exactly the concatenation order, so merging
+        per-shard stores in shard-plan order reproduces the serial
+        campaign's dataset byte for byte (see :mod:`repro.parallel`).
+        """
+        merged = cls()
+        for store in stores:
+            merged.extend(store.records)
+        return merged
+
     def __len__(self) -> int:
         return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
 
     # -- queries ------------------------------------------------------------
 

@@ -15,9 +15,18 @@
    every effort event in the incident log.
 
 The paper created separate clusters per size for cost efficiency
-(§2.9); so does the runner.  A full-size study produces tens of
-thousands of records (the paper: 25,541); the default config is sized
-for CI while `StudyConfig.full_study()` matches the paper.
+(§2.9); so does the runner — and that per-size independence is what
+makes the campaign shardable.  Step 3 is planned as one
+:class:`~repro.parallel.shard.StudyShard` per (environment, size) cell
+and executed through :mod:`repro.parallel`: serially for ``workers=1``,
+across a process pool otherwise, with per-cell keyed seeds so any worker
+count produces a byte-identical dataset.  An optional content-addressed
+run cache (:mod:`repro.sim.cache`) lets repeated campaigns skip
+simulation for runs already recorded.
+
+A full-size study produces tens of thousands of records (the paper:
+25,541); the default config is sized for CI while
+`StudyConfig.full_study()` matches the paper.
 """
 
 from __future__ import annotations
@@ -25,32 +34,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.registry import APPS
-from repro.cloud.providers import CloudProvider, get_provider
 from repro.containers.builder import AZURE_UCX_SETTINGS, ContainerBuilder
 from repro.containers.recipe import recipe_for
 from repro.containers.registry import Registry
 from repro.core.incidents import (
     Incident,
     incident_from_build_failure,
-    incident_from_fault,
 )
 from repro.core.results import ResultStore
-from repro.envs.environment import Environment, EnvironmentKind
+from repro.envs.environment import EnvironmentKind
 from repro.envs.registry import ENVIRONMENTS
-from repro.errors import ProvisioningError, QuotaError
-from repro.k8s.cluster import KubernetesCluster
-from repro.k8s.cni import CniConfig
-from repro.k8s.daemonsets import (
-    AKS_INFINIBAND_INSTALLER,
-    EFA_DEVICE_PLUGIN,
-    NVIDIA_DEVICE_PLUGIN,
-)
-from repro.k8s.flux_operator import FluxOperator, MiniClusterSpec
-from repro.scheduler.queueing import OnPremQueueModel
 from repro.errors import ConfigurationError
-from repro.sim.execution import ExecutionEngine
-from repro.sim.run_result import RunRecord, RunState
-from repro.units import HOUR
 
 
 @dataclass
@@ -96,6 +90,8 @@ class StudyReport:
     containers_built: int
     containers_failed: int
     clusters_created: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def datasets(self) -> int:
@@ -103,25 +99,31 @@ class StudyReport:
 
 
 class StudyRunner:
-    """Executes a :class:`StudyConfig`."""
+    """Executes a :class:`StudyConfig`.
 
-    def __init__(self, config: StudyConfig):
+    ``workers`` selects how many processes execute the campaign's
+    (environment, size) cells; ``cache_dir`` enables the content-addressed
+    run cache shared by every worker.  Results are identical for any
+    worker count (see :mod:`repro.parallel`).
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        *,
+        workers: int = 1,
+        cache_dir: str | None = None,
+    ):
         self.config = config
-        self.providers: dict[str, CloudProvider] = {}
+        self.workers = workers
+        self.cache_dir = cache_dir
         self.registry = Registry()
         self.builder = ContainerBuilder()
-        self.engine = ExecutionEngine(seed=config.seed)
         self.store = ResultStore()
         self.incidents: dict[str, list[Incident]] = {}
         self.clusters_created = 0
-        self._clock: dict[str, float] = {}  # per-cloud study time, seconds
 
     # -- pieces -------------------------------------------------------------
-
-    def provider(self, cloud: str) -> CloudProvider:
-        if cloud not in self.providers:
-            self.providers[cloud] = get_provider(cloud, seed=self.config.seed)
-        return self.providers[cloud]
 
     def _note_incident(self, env_id: str, incident: Incident) -> None:
         self.incidents.setdefault(env_id, []).append(incident)
@@ -164,137 +166,33 @@ class StudyRunner:
                         env_id, incident_from_build_failure(env_id, result)
                     )
 
-    # -- environment bring-up --------------------------------------------------
-
-    def _deploy_kubernetes(self, env: Environment, cluster, now: float) -> float:
-        """Stand up K8s + daemonsets + MiniCluster; returns setup seconds."""
-        try:
-            kube = KubernetesCluster.create(cluster)
-        except ConfigurationError:
-            # The 256-node EKS CNI incident: patch for prefix delegation.
-            kube = KubernetesCluster.create(
-                cluster, cni=CniConfig("aws-vpc-cni", prefix_delegation=True)
-            )
-        if env.is_gpu:
-            kube.deploy_daemonset(NVIDIA_DEVICE_PLUGIN)
-        if env.cloud == "aws":
-            kube.deploy_daemonset(EFA_DEVICE_PLUGIN)
-        if env.cloud == "az":
-            kube.deploy_daemonset(AKS_INFINIBAND_INSTALLER)
-        operator = FluxOperator(kube)
-        fabric_res = None
-        if env.cloud == "aws":
-            fabric_res = "vpc.amazonaws.com/efa"
-        elif env.cloud == "az":
-            fabric_res = "rdma/ib"
-        spec = MiniClusterSpec(
-            name=f"study-{env.env_id}",
-            image="study-app-image",
-            size=len(kube.nodes),
-            tasks_per_node=env.instance().cores,
-            gpu_per_pod=env.gpus_per_node if env.is_gpu else 0,
-            fabric_resource=fabric_res,
-        )
-        mc = operator.create(spec)
-        return kube.setup_seconds + mc.bringup_seconds
-
-    def _run_size(self, env: Environment, scale: int) -> list[RunRecord]:
-        """Provision, run all apps x iterations, release; returns records."""
-        records: list[RunRecord] = []
-        nodes = env.nodes_for(scale)
-        cloud = env.cloud
-        now = self._clock.get(cloud, 0.0)
-
-        if cloud == "p":
-            # On-prem: no provisioning; jobs wait in the shared queue.
-            queue = OnPremQueueModel(
-                cluster_nodes=1544 if not env.is_gpu else 795,
-                seed=self.config.seed,
-            )
-            wait = queue.sample_wait(nodes)
-            now += wait
-        else:
-            provider = self.provider(cloud)
-            itype = env.instance()
-            # Quota requests are retried until granted — the paper's AWS
-            # GPU saga: the reservation was denied repeatedly and finally
-            # granted as a 48-hour block at month's end.
-            for attempt in range(10):
-                try:
-                    provider.request_quota(itype.name, nodes + 1, attempt=attempt)
-                    break
-                except QuotaError:
-                    if attempt == 9:
-                        raise
-            kind = "k8s" if env.kind is EnvironmentKind.K8S else "vm"
-            try:
-                cluster = provider.provision_cluster(
-                    itype.name, nodes, environment_kind=kind, now=now
-                )
-            except ProvisioningError:
-                # Retry once; the stall already charged the meter.
-                cluster = provider.provision_cluster(
-                    itype.name, nodes, environment_kind=kind, now=now, attempt=1
-                )
-            self.clusters_created += 1
-            for event in cluster.fault_events:
-                self._note_incident(env.env_id, incident_from_fault(env.env_id, event))
-            now += cluster.ready_time
-            if env.kind is EnvironmentKind.K8S:
-                now += self._deploy_kubernetes(env, cluster, now)
-
-        for app_name in self.config.apps:
-            for it in range(self.config.iterations):
-                record = self.engine.run(env, app_name, scale, iteration=it)
-                records.append(record)
-                now += record.total_seconds
-                # §3.3: AKS CPU 256 ran a single iteration because hookup
-                # took 8.82 minutes.
-                if (
-                    env.env_id == "cpu-aks-az"
-                    and scale == 256
-                    and record.hookup_seconds > 300.0
-                ):
-                    break
-
-        if cloud != "p":
-            provider.release_cluster(cluster, now=now)
-        self._clock[cloud] = now
-        return records
-
     # -- campaign ----------------------------------------------------------------
 
     def run(self) -> StudyReport:
         """Execute the configured campaign."""
+        from repro.parallel import execute_shards, merge_shard_results, plan_shards
+
         self.build_containers()
-        for env_id in self.config.env_ids:
-            env = ENVIRONMENTS[env_id]
-            if not env.deployable:
-                # Record skips so the dataset shows the missing environment.
-                for app_name in self.config.apps:
-                    sizes = self.config.sizes or env.sizes()
-                    for scale in sizes:
-                        self.store.add(
-                            self.engine.run(env, app_name, scale, iteration=0)
-                        )
-                continue
-            sizes = self.config.sizes or env.sizes()
-            for scale in sizes:
-                for record in self._run_size(env, scale):
-                    self.store.add(record)
+
+        shards = plan_shards(self.config, cache_dir=self.cache_dir)
+        results = execute_shards(shards, workers=self.workers)
+        merged = merge_shard_results(results, incidents=self.incidents)
+
+        self.store = merged.store
+        self.incidents = merged.incidents
+        self.clusters_created = merged.clusters_created
 
         # §2.9: job output is pushed to the registry (ORAS-style).
         name, payload = self.store.to_artifact(f"study-seed{self.config.seed}")
         self.registry.push_artifact(name, payload)
 
-        spend: dict[str, float] = {}
-        for cloud, provider in self.providers.items():
-            spend[cloud] = provider.spend()
         return StudyReport(
             store=self.store,
             incidents=self.incidents,
-            spend_by_cloud=spend,
+            spend_by_cloud=merged.spend_by_cloud,
             containers_built=self.builder.built,
             containers_failed=self.builder.failed,
             clusters_created=self.clusters_created,
+            cache_hits=merged.cache_hits,
+            cache_misses=merged.cache_misses,
         )

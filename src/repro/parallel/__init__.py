@@ -1,0 +1,26 @@
+"""Sharded, parallel study execution (shard → pool → merge).
+
+The campaign is embarrassingly parallel at the paper's own granularity —
+one cluster per (environment, size) cell (§2.9).  This package plans the
+cells (:mod:`~repro.parallel.shard`), executes them across a process
+pool (:mod:`~repro.parallel.pool`), and folds the results back together
+deterministically (:mod:`~repro.parallel.merge`).  Seeds are derived
+per-cell from keyed streams, never from call order, so any worker count
+yields a byte-identical :class:`~repro.core.results.ResultStore`.
+"""
+
+from repro.parallel.merge import MergedStudy, merge_incident_logs, merge_shard_results
+from repro.parallel.pool import execute_shards, pmap
+from repro.parallel.shard import ShardResult, StudyShard, execute_shard, plan_shards
+
+__all__ = [
+    "MergedStudy",
+    "ShardResult",
+    "StudyShard",
+    "execute_shard",
+    "execute_shards",
+    "merge_incident_logs",
+    "merge_shard_results",
+    "plan_shards",
+    "pmap",
+]

@@ -1,0 +1,51 @@
+"""Process-pool execution of study shards.
+
+Shards are pure functions of their inputs, so the pool is deliberately
+boring: ship each :class:`~repro.parallel.shard.StudyShard` to a worker
+process, collect results *in submission order* (``Executor.map``
+preserves it), and let :mod:`repro.parallel.merge` reassemble the
+campaign.  Determinism comes from the shards, not the pool — any
+worker count, including 1, produces identical results.
+
+If the host cannot spawn worker processes at all (restricted sandboxes,
+missing semaphores), :func:`pmap` degrades to the serial path rather
+than failing the campaign.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    ``workers <= 1`` (or a single item) runs inline in this process;
+    otherwise a :class:`~concurrent.futures.ProcessPoolExecutor` with at
+    most ``len(items)`` workers is used.  ``fn`` and every item must be
+    picklable for the multi-process path.
+    """
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):
+        # No process support on this host: fall back to serial execution.
+        return [fn(item) for item in items]
+
+
+def execute_shards(shards: Sequence[T], *, workers: int = 1) -> list:
+    """Execute study shards across ``workers`` processes, in plan order."""
+    from repro.parallel.shard import execute_shard
+
+    return pmap(execute_shard, shards, workers=workers)

@@ -1,0 +1,299 @@
+"""Shard planning and execution: one (environment, cluster size) cell each.
+
+The paper deployed a *separate cluster per size* (§2.9), which makes the
+campaign embarrassingly parallel at the granularity of one environment
+at one cluster size: each cell provisions its own cluster, runs every
+configured app for every iteration, and releases the cluster.  Nothing
+crosses cell boundaries —
+
+* every stochastic draw is keyed by ``stream(seed, *key-path)`` on the
+  cell's own coordinates, never on global call order;
+* billing charges depend only on metered *durations*, so a per-cell
+  clock starting at zero accrues the same dollars as the serial runner's
+  per-cloud running clock;
+* quota grants are keyed draws too (grants only ever grow, and every
+  cell requests its own padded allocation).
+
+A :class:`StudyShard` is therefore a pure value describing one cell, and
+:func:`execute_shard` is a pure function from shard to
+:class:`ShardResult` — safe to ship to a worker process and merge back
+(:mod:`repro.parallel.merge`) into a result byte-identical to the
+serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.providers import get_provider
+from repro.core.incidents import Incident, incident_from_fault
+from repro.envs.environment import Environment, EnvironmentKind
+from repro.envs.registry import ENVIRONMENTS
+from repro.errors import ProvisioningError, QuotaError
+from repro.k8s.cluster import KubernetesCluster
+from repro.k8s.cni import CniConfig
+from repro.k8s.daemonsets import (
+    AKS_INFINIBAND_INSTALLER,
+    EFA_DEVICE_PLUGIN,
+    NVIDIA_DEVICE_PLUGIN,
+)
+from repro.k8s.flux_operator import FluxOperator, MiniClusterSpec
+from repro.errors import ConfigurationError
+from repro.scheduler.queueing import OnPremQueueModel
+from repro.sim.cache import RunCache, decode_record, encode_record, shard_key
+from repro.sim.execution import ExecutionEngine
+from repro.sim.run_result import RunRecord
+
+
+@dataclass(frozen=True)
+class StudyShard:
+    """One independent work unit: an environment at one cluster size."""
+
+    index: int  # position in the serial campaign order
+    env_id: str
+    scale: int
+    apps: tuple[str, ...]
+    iterations: int
+    seed: int
+    cache_dir: str | None = None
+
+
+@dataclass
+class ShardResult:
+    """Everything one cell produced, ready to merge."""
+
+    index: int
+    env_id: str
+    scale: int
+    records: list[RunRecord] = field(default_factory=list)
+    incidents: list[Incident] = field(default_factory=list)
+    spend_by_cloud: dict[str, float] = field(default_factory=dict)
+    clusters_created: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def plan_shards(config, *, cache_dir: str | None = None) -> list[StudyShard]:
+    """Split a :class:`~repro.core.study.StudyConfig` into cells.
+
+    Shards are ordered exactly as the serial campaign iterates —
+    environments in config order, sizes in environment order — so a
+    merge in shard order reproduces the serial dataset ordering.
+
+    One normalization relative to the pre-shard runner: undeployable
+    environments used to emit their skip records app-major across sizes;
+    as cells they now emit size-major like every deployable environment.
+    The record *set* is unchanged, only its order within those rows.
+    """
+    shards: list[StudyShard] = []
+    for env_id in config.env_ids:
+        env = ENVIRONMENTS[env_id]
+        sizes = config.sizes or env.sizes()
+        for scale in sizes:
+            shards.append(
+                StudyShard(
+                    index=len(shards),
+                    env_id=env_id,
+                    scale=scale,
+                    apps=tuple(config.apps),
+                    iterations=config.iterations,
+                    seed=config.seed,
+                    cache_dir=cache_dir,
+                )
+            )
+    return shards
+
+
+def _deploy_kubernetes(env: Environment, cluster) -> float:
+    """Stand up K8s + daemonsets + MiniCluster; returns setup seconds."""
+    try:
+        kube = KubernetesCluster.create(cluster)
+    except ConfigurationError:
+        # The 256-node EKS CNI incident: patch for prefix delegation.
+        kube = KubernetesCluster.create(
+            cluster, cni=CniConfig("aws-vpc-cni", prefix_delegation=True)
+        )
+    if env.is_gpu:
+        kube.deploy_daemonset(NVIDIA_DEVICE_PLUGIN)
+    if env.cloud == "aws":
+        kube.deploy_daemonset(EFA_DEVICE_PLUGIN)
+    if env.cloud == "az":
+        kube.deploy_daemonset(AKS_INFINIBAND_INSTALLER)
+    operator = FluxOperator(kube)
+    fabric_res = None
+    if env.cloud == "aws":
+        fabric_res = "vpc.amazonaws.com/efa"
+    elif env.cloud == "az":
+        fabric_res = "rdma/ib"
+    spec = MiniClusterSpec(
+        name=f"study-{env.env_id}",
+        image="study-app-image",
+        size=len(kube.nodes),
+        tasks_per_node=env.instance().cores,
+        gpu_per_pod=env.gpus_per_node if env.is_gpu else 0,
+        fabric_resource=fabric_res,
+    )
+    mc = operator.create(spec)
+    return kube.setup_seconds + mc.bringup_seconds
+
+
+def _shard_cache_key(shard: StudyShard, engine: ExecutionEngine) -> str:
+    # Derive the engine options from the engine actually executing the
+    # cell so the cell-level key invalidates exactly when run-level keys do.
+    return shard_key(
+        seed=shard.seed,
+        env_id=shard.env_id,
+        scale=shard.scale,
+        apps=shard.apps,
+        iterations=shard.iterations,
+        engine_options={"azure_ucx_tuned": engine.azure_ucx_tuned},
+    )
+
+
+def _encode_shard(result: ShardResult) -> dict:
+    return {
+        "records": [encode_record(r) for r in result.records],
+        "incidents": [
+            {
+                "env_ids": list(i.env_ids),
+                "category": i.category,
+                "effort_minutes": i.effort_minutes,
+                "description": i.description,
+                "source": i.source,
+            }
+            for i in result.incidents
+        ],
+        "spend_by_cloud": result.spend_by_cloud,
+        "clusters_created": result.clusters_created,
+    }
+
+
+def _decode_shard(shard: StudyShard, data: dict) -> ShardResult:
+    records = [decode_record(r) for r in data["records"]]
+    incidents = [
+        Incident(
+            env_ids=tuple(i["env_ids"]),
+            category=i["category"],
+            effort_minutes=i["effort_minutes"],
+            description=i["description"],
+            source=i["source"],
+        )
+        for i in data["incidents"]
+    ]
+    return ShardResult(
+        index=shard.index,
+        env_id=shard.env_id,
+        scale=shard.scale,
+        records=records,
+        incidents=incidents,
+        spend_by_cloud=dict(data["spend_by_cloud"]),
+        clusters_created=int(data["clusters_created"]),
+        cache_hits=len(records),
+    )
+
+
+def execute_shard(shard: StudyShard) -> ShardResult:
+    """Run one cell start to finish; pure in (shard) → (result).
+
+    With a cache directory configured, the cache works at two levels:
+    the engine consults the run-level cache per record, and the whole
+    cell is stored under a :func:`~repro.sim.cache.shard_key` so a
+    repeat campaign skips provisioning and Kubernetes bring-up too.
+    """
+    env = ENVIRONMENTS[shard.env_id]
+    cache = RunCache(shard.cache_dir) if shard.cache_dir else None
+    engine = ExecutionEngine(seed=shard.seed, cache=cache)
+    if cache is not None:
+        cached = cache.get_json(_shard_cache_key(shard, engine))
+        if cached is not None:
+            try:
+                return _decode_shard(shard, cached)
+            except (KeyError, TypeError, ValueError):
+                pass  # corrupt or stale cell entry: re-execute
+        # The cell-level lookup must not leak into the run-level stats.
+        cache.hits = 0
+        cache.misses = 0
+    result = ShardResult(index=shard.index, env_id=shard.env_id, scale=shard.scale)
+
+    if not env.deployable:
+        # Record skips so the dataset shows the missing environment.
+        for app_name in shard.apps:
+            result.records.append(engine.run(env, app_name, shard.scale, iteration=0))
+        _finish_shard(shard, result, cache, engine)
+        return result
+
+    nodes = env.nodes_for(shard.scale)
+    cloud = env.cloud
+    now = 0.0
+    provider = None
+    cluster = None
+
+    if cloud == "p":
+        # On-prem: no provisioning; jobs wait in the shared queue.
+        queue = OnPremQueueModel(
+            cluster_nodes=1544 if not env.is_gpu else 795,
+            seed=shard.seed,
+        )
+        now += queue.sample_wait(nodes)
+    else:
+        provider = get_provider(cloud, seed=shard.seed)
+        itype = env.instance()
+        # Quota requests are retried until granted — the paper's AWS
+        # GPU saga: the reservation was denied repeatedly and finally
+        # granted as a 48-hour block at month's end.
+        for attempt in range(10):
+            try:
+                provider.request_quota(itype.name, nodes + 1, attempt=attempt)
+                break
+            except QuotaError:
+                if attempt == 9:
+                    raise
+        kind = "k8s" if env.kind is EnvironmentKind.K8S else "vm"
+        try:
+            cluster = provider.provision_cluster(
+                itype.name, nodes, environment_kind=kind, now=now
+            )
+        except ProvisioningError:
+            # Retry once; the stall already charged the meter.
+            cluster = provider.provision_cluster(
+                itype.name, nodes, environment_kind=kind, now=now, attempt=1
+            )
+        result.clusters_created += 1
+        for event in cluster.fault_events:
+            result.incidents.append(incident_from_fault(env.env_id, event))
+        now += cluster.ready_time
+        if env.kind is EnvironmentKind.K8S:
+            now += _deploy_kubernetes(env, cluster)
+
+    for app_name in shard.apps:
+        for it in range(shard.iterations):
+            record = engine.run(env, app_name, shard.scale, iteration=it)
+            result.records.append(record)
+            now += record.total_seconds
+            # §3.3: AKS CPU 256 ran a single iteration because hookup
+            # took 8.82 minutes.
+            if (
+                env.env_id == "cpu-aks-az"
+                and shard.scale == 256
+                and record.hookup_seconds > 300.0
+            ):
+                break
+
+    if provider is not None:
+        provider.release_cluster(cluster, now=now)
+        result.spend_by_cloud[cloud] = provider.spend()
+    _finish_shard(shard, result, cache, engine)
+    return result
+
+
+def _finish_shard(
+    shard: StudyShard,
+    result: ShardResult,
+    cache: RunCache | None,
+    engine: ExecutionEngine,
+) -> None:
+    if cache is None:
+        return
+    result.cache_hits = cache.hits
+    result.cache_misses = cache.misses
+    cache.put_json(_shard_cache_key(shard, engine), _encode_shard(result))

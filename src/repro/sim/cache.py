@@ -1,0 +1,194 @@
+"""Content-addressed run cache: skip simulation for runs already done.
+
+A full-size campaign re-executes the same ``(seed, environment, app,
+scale, iteration)`` points every time a table or figure is re-rendered.
+Since the engine is deterministic given those coordinates (plus the
+engine options that shape the simulation), a run record can be cached
+under a content hash of exactly that key and replayed on the next
+request — re-renders and repeated experiments then skip simulation
+entirely.
+
+The cache is a plain directory of JSON files, one per record, fanned out
+by hash prefix so large campaigns don't produce a single huge directory.
+Keys incorporate :data:`CACHE_VERSION`; bump it whenever the record
+schema or the simulation semantics change so stale entries miss instead
+of resurfacing.  Corrupt or unreadable entries are treated as misses —
+the cache is an accelerator, never a source of truth.
+
+Records round-trip through JSON, which canonicalizes container types:
+a tuple in ``RunRecord.extra`` or ``phases`` (e.g. AMG's process
+topology) comes back as a list, and non-JSON values come back as their
+``str()``.  Every field the dataset CSV exports is preserved exactly
+(floats round-trip bit-for-bit), so cached and fresh campaigns produce
+identical artifacts — but code comparing whole records or relying on
+``extra`` value *types* should not mix cached and fresh records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.sim.run_result import RunRecord, RunState
+
+#: Bump to invalidate every existing cache entry (schema/semantics change).
+CACHE_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars (and other oddballs) into JSON-native types."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def run_key(
+    *,
+    seed: int,
+    env_id: str,
+    app: str,
+    scale: int,
+    iteration: int,
+    engine_options: Mapping[str, Any] | None = None,
+) -> str:
+    """Content hash naming one deterministic run.
+
+    ``engine_options`` must include everything that changes the engine's
+    output beyond the coordinates — e.g. ``azure_ucx_tuned`` and the
+    per-run ``options`` dict — so a changed option is a cache miss, not
+    a stale hit.
+    """
+    payload = json.dumps(
+        {
+            "v": CACHE_VERSION,
+            "seed": seed,
+            "env": env_id,
+            "app": app,
+            "scale": scale,
+            "iteration": iteration,
+            "engine": _jsonable(dict(engine_options or {})),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def shard_key(
+    *,
+    seed: int,
+    env_id: str,
+    scale: int,
+    apps: tuple[str, ...],
+    iterations: int,
+    engine_options: Mapping[str, Any] | None = None,
+) -> str:
+    """Content hash naming one whole (environment, size) study cell.
+
+    A cell bundles every ``(seed, env, app, scale, iteration)`` run of a
+    shard plus its provisioning by-products (incidents, spend, cluster
+    count), all deterministic in these coordinates — so a cell-level hit
+    can skip cluster bring-up as well as simulation.
+    """
+    payload = json.dumps(
+        {
+            "v": CACHE_VERSION,
+            "kind": "shard",
+            "seed": seed,
+            "env": env_id,
+            "scale": scale,
+            "apps": list(apps),
+            "iterations": iterations,
+            "engine": _jsonable(dict(engine_options or {})),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def encode_record(record: RunRecord) -> dict[str, Any]:
+    """A JSON-safe dict for one run record."""
+    data = dataclasses.asdict(record)
+    data["state"] = record.state.value
+    return _jsonable(data)
+
+
+def decode_record(data: dict[str, Any]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from :func:`encode_record` output."""
+    fields = dict(data)
+    fields["state"] = RunState(fields["state"])
+    return RunRecord(**fields)
+
+
+class RunCache:
+    """Directory-backed cache of simulated run records.
+
+    Safe for concurrent writers: entries are written to a temporary file
+    and atomically renamed into place, and every worker of a sharded
+    study may point at the same directory.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get_json(self, key: str) -> Any | None:
+        """The raw JSON payload for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            # Missing or corrupt entry: a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put_json(self, key: str, data: Any) -> None:
+        """Store a JSON payload under ``key`` (atomic, last-writer-wins)."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def get(self, key: str) -> RunRecord | None:
+        """The cached record for ``key``, or ``None`` on a miss."""
+        data = self.get_json(key)
+        if data is None:
+            return None
+        try:
+            return decode_record(data)
+        except (ValueError, TypeError, KeyError):
+            # Schema-mismatched entry: count the earlier hit back as a miss.
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def put(self, key: str, record: RunRecord) -> None:
+        """Store ``record`` under ``key`` (atomic, last-writer-wins)."""
+        self.put_json(key, encode_record(record))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

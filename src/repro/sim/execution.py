@@ -34,6 +34,7 @@ from repro.network.hookup import hookup_time
 from repro.network.quirks import AZURE_UNTUNED_UCX
 from repro.network.topology import effective_fabric
 from repro.rng import stream
+from repro.sim.cache import RunCache, run_key
 from repro.sim.run_result import RunRecord, RunState
 from repro.units import HOUR
 
@@ -54,6 +55,8 @@ class ExecutionEngine:
     azure_ucx_tuned: bool = True
     #: records every run made through this engine
     history: list[RunRecord] = field(default_factory=list)
+    #: optional content-addressed run cache; hits skip simulation
+    cache: RunCache | None = None
 
     # -- fabric resolution ----------------------------------------------------
 
@@ -155,8 +158,45 @@ class ExecutionEngine:
             reason = model.unsupported_reason.get(env.accelerator, "unsupported")
             record = self._skip(env, model, scale, iteration, reason)
         else:
-            record = self._execute(env, model, scale, iteration, options)
+            record = self._cached_execute(env, model, scale, iteration, options)
         self.history.append(record)
+        return record
+
+    def _cache_key(
+        self,
+        env: Environment,
+        model: AppModel,
+        scale: int,
+        iteration: int,
+        options: dict[str, Any] | None,
+    ) -> str:
+        return run_key(
+            seed=self.seed,
+            env_id=env.env_id,
+            app=model.name,
+            scale=scale,
+            iteration=iteration,
+            engine_options={
+                "azure_ucx_tuned": self.azure_ucx_tuned,
+                "options": options or {},
+            },
+        )
+
+    def _cached_execute(
+        self,
+        env: Environment,
+        model: AppModel,
+        scale: int,
+        iteration: int,
+        options: dict[str, Any] | None,
+    ) -> RunRecord:
+        if self.cache is None:
+            return self._execute(env, model, scale, iteration, options)
+        key = self._cache_key(env, model, scale, iteration, options)
+        record = self.cache.get(key)
+        if record is None:
+            record = self._execute(env, model, scale, iteration, options)
+            self.cache.put(key, record)
         return record
 
     def _skip(

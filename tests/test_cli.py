@@ -57,6 +57,56 @@ def test_study_command(tmp_path, capsys):
     assert csv_path.read_text().startswith("env_id,")
 
 
+def test_study_command_with_workers_and_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "study",
+        "--envs", "cpu-eks-aws,cpu-onprem-a",
+        "--apps", "amg2023",
+        "--sizes", "32",
+        "--iterations", "2",
+        "--workers", "2",
+        "--cache", str(cache_dir),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "run cache         : 0 hits" in cold
+    assert cache_dir.is_dir()
+
+    # The repeat campaign replays every run from the cache.
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "run cache         : 4 hits, 0 misses" in warm
+    assert cold.splitlines()[0] == warm.splitlines()[0]  # same dataset count
+
+
+def test_study_cache_path_collision_is_a_clean_error(tmp_path, capsys):
+    not_a_dir = tmp_path / "cache"
+    not_a_dir.write_text("occupied")
+    rc = main(["study", "--envs", "cpu-eks-aws", "--apps", "stream",
+               "--sizes", "32", "--cache", str(not_a_dir)])
+    assert rc == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_help_documents_every_subcommand_with_examples():
+    help_text = build_parser().format_help()
+    for subcommand in ("list", "experiment", "run", "study", "report"):
+        assert subcommand in help_text
+    assert "examples:" in help_text
+    assert "--workers 4" in help_text
+    assert "--cache" in help_text
+
+
+def test_study_help_documents_workers_and_cache(capsys):
+    with pytest.raises(SystemExit):
+        main(["study", "--help"])
+    out = capsys.readouterr().out
+    assert "--workers" in out
+    assert "--cache" in out
+    assert "byte-identical" in out
+
+
 def test_parser_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "fig99"])
