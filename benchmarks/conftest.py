@@ -20,6 +20,12 @@ from repro.reporting.tables import render_table
 BENCH_ITERATIONS = 5
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark carries the registered ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def regenerate(benchmark, experiment_id: str, *, iterations: int = BENCH_ITERATIONS) -> ExperimentOutput:
     """Time one experiment regeneration, then print and verify it."""
     out = benchmark.pedantic(

@@ -39,6 +39,7 @@ from repro.core import (
 from repro.envs import ENVIRONMENTS, Environment, environment
 from repro.network import FABRICS, fabric, hookup_time
 from repro.parallel import StudyShard, execute_shards, merge_shard_results, plan_shards
+from repro.scenarios import SCENARIOS, Scenario, ScenarioSweep, scenario
 from repro.sim import ExecutionEngine, RunCache, RunRecord, RunState
 from repro.workflows import Component, ComponentKind, PortabilityScorer, Workflow
 
@@ -65,6 +66,9 @@ __all__ = [
     "RunContext",
     "RunRecord",
     "RunState",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioSweep",
     "StudyConfig",
     "StudyRunner",
     "StudyShard",
@@ -77,6 +81,7 @@ __all__ = [
     "assess_environment",
     "environment",
     "fabric",
+    "scenario",
     "get_provider",
     "hookup_time",
     "instance",

@@ -10,6 +10,9 @@ Subcommands:
   sharded across worker processes (``--workers``) with a
   content-addressed run cache (``--cache``), with the dataset CSV
   optionally written to disk;
+* ``scenario`` — the what-if engine: ``scenario list`` shows the
+  registered counterfactuals, ``scenario run`` executes selected
+  scenarios against the baseline and prints the delta report;
 * ``report`` — render the full evaluation report.
 """
 
@@ -25,6 +28,7 @@ from repro.experiments import EXPERIMENTS, run_experiment
 from repro.reporting.compare import summarize
 from repro.reporting.series import render_series
 from repro.reporting.tables import render_table
+from repro.scenarios.presets import SCENARIOS, scenario as scenario_lookup
 from repro.sim.execution import ExecutionEngine
 from repro.units import fmt_seconds, fmt_usd
 
@@ -40,7 +44,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("\napplications:")
     for name, model in APPS.items():
         print(f"  {name:14s} {model.fom_name} [{model.fom_units}], {model.scaling} scaled")
+    print()
+    _print_scenarios()
     return 0
+
+
+def _print_scenarios() -> None:
+    print("scenarios:")
+    for name, scn in SCENARIOS.items():
+        print(f"  {name:18s} {scn.description}")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -72,22 +84,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if record.ok else 1
 
 
-def _cmd_study(args: argparse.Namespace) -> int:
+def _cache_dir_error(cache: str | None) -> str | None:
+    """A usage error when ``--cache`` points at a non-directory."""
     import os
 
-    if args.cache and os.path.exists(args.cache) and not os.path.isdir(args.cache):
-        print(f"error: --cache {args.cache!r} exists and is not a directory",
-              file=sys.stderr)
-        return 2
+    if cache and os.path.exists(cache) and not os.path.isdir(cache):
+        return f"error: --cache {cache!r} exists and is not a directory"
+    return None
+
+
+def _config_from_args(args: argparse.Namespace) -> StudyConfig:
+    """The campaign selection shared by ``study`` and ``scenario run``."""
     env_ids = tuple(args.envs.split(",")) if args.envs else tuple(ENVIRONMENTS)
     apps = tuple(args.apps.split(",")) if args.apps else tuple(APPS)
-    config = StudyConfig(
+    return StudyConfig(
         env_ids=env_ids,
         apps=apps,
         sizes=tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None,
         iterations=args.iterations,
         seed=args.seed,
     )
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    error = _cache_dir_error(args.cache)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
     report = StudyRunner(config, workers=args.workers, cache_dir=args.cache).run()
     print(f"datasets          : {report.datasets}")
     print(f"clusters created  : {report.clusters_created}")
@@ -102,6 +126,44 @@ def _cmd_study(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             fh.write(report.store.to_csv())
         print(f"dataset CSV       : {args.output}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenarios.sweep import ScenarioSweep
+
+    if args.scenario_command == "list":
+        _print_scenarios()
+        return 0
+
+    # scenario run
+    error = _cache_dir_error(args.cache)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        scenarios = [scenario_lookup(name) for name in args.scenario]
+        sweep = ScenarioSweep(
+            _config_from_args(args),
+            scenarios,
+            workers=args.workers,
+            cache_dir=args.cache,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = sweep.run()
+    print(result.render_deltas())
+    print()
+    for sid, report in result.reports.items():
+        spend = sum(report.spend_by_cloud.values())
+        print(f"{sid:18s} datasets={report.datasets}  spend={fmt_usd(spend)}  "
+              f"clusters={report.clusters_created}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.delta_table().to_csv())
+        print(f"\ndelta CSV         : {args.output}")
     return 0
 
 
@@ -130,6 +192,8 @@ examples:
       the default campaign, sharded over 4 processes with run caching
   python -m repro study --envs cpu-eks-aws --apps lammps --sizes 32,64
       a focused campaign over one environment
+  python -m repro scenario run --scenario spot-everything --workers 4
+      the campaign under a what-if overlay, vs the baseline
   python -m repro report -o report.md
       render the full evaluation report to markdown
 """
@@ -145,6 +209,20 @@ examples:
       also cache every run; a repeat campaign replays from the cache
   python -m repro study --seed 7 --iterations 5 --output study.csv
       the paper-scale iteration count, dataset exported as CSV
+"""
+
+
+_SCENARIO_EPILOG = """\
+examples:
+  python -m repro scenario list
+      show every registered what-if scenario
+  python -m repro scenario run --scenario spot-everything --workers 4
+      the default campaign under an all-spot market, vs the baseline
+  python -m repro scenario run --scenario quota-crunch --scenario laggy-bills
+      several counterfactual worlds in one sweep
+  python -m repro scenario run --scenario degraded-efa \\
+      --envs cpu-eks-aws --apps osu,minife --sizes 64 --output deltas.csv
+      a focused sweep, delta table exported as CSV
 """
 
 
@@ -182,30 +260,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--iteration", type=int, default=0)
 
-    p_study = sub.add_parser(
-        "study",
-        help="run a study campaign",
-        epilog=_STUDY_EPILOG,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    p_study.add_argument("--envs", help="comma-separated environment ids")
-    p_study.add_argument("--apps", help="comma-separated app names")
-    p_study.add_argument("--sizes", help="comma-separated scales")
-    p_study.add_argument("--iterations", type=int, default=2)
-    p_study.add_argument("--seed", type=int, default=0)
-    p_study.add_argument(
+    # Campaign selection + execution flags shared by `study` and
+    # `scenario run` (parsed by _config_from_args either way).
+    campaign_options = argparse.ArgumentParser(add_help=False)
+    campaign_options.add_argument("--envs", help="comma-separated environment ids")
+    campaign_options.add_argument("--apps", help="comma-separated app names")
+    campaign_options.add_argument("--sizes", help="comma-separated scales")
+    campaign_options.add_argument("--iterations", type=int, default=2)
+    campaign_options.add_argument("--seed", type=int, default=0)
+    campaign_options.add_argument(
         "--workers",
         type=int,
         default=1,
         help="worker processes for sharded execution (default: 1, serial)",
     )
-    p_study.add_argument(
+    campaign_options.add_argument(
         "--cache",
         metavar="DIR",
         help="content-addressed run-cache directory; repeat campaigns "
-        "replay cached runs instead of re-simulating",
+        "replay cached runs instead of re-simulating (keys embed the "
+        "scenario digest, so what-if worlds never collide)",
+    )
+
+    p_study = sub.add_parser(
+        "study",
+        help="run a study campaign",
+        epilog=_STUDY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[campaign_options],
     )
     p_study.add_argument("--output", help="write dataset CSV here")
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="what-if scenario engine (counterfactual studies)",
+        epilog=_SCENARIO_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    scenario_sub = p_scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list registered scenarios")
+    p_scn_run = scenario_sub.add_parser(
+        "run",
+        help="run scenarios against the baseline and print the delta report",
+        epilog=_SCENARIO_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[campaign_options],
+    )
+    p_scn_run.add_argument(
+        "--scenario",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="scenario to run (repeatable); see `repro scenario list`",
+    )
+    p_scn_run.add_argument("--output", help="write the delta table CSV here")
 
     p_report = sub.add_parser(
         "report",
@@ -226,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "run": _cmd_run,
         "study": _cmd_study,
+        "scenario": _cmd_scenario,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

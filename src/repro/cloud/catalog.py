@@ -210,6 +210,18 @@ ND40 = _register(
 )
 
 
+def effective_rate(itype: InstanceType, multiplier: float) -> float:
+    """Hourly rate per node under a price overlay.
+
+    The scenario hook (:mod:`repro.scenarios`) for billing code: what-if
+    worlds derive re-priced rates — spot discounts, per-cloud price
+    shocks — without ever mutating the catalog entry.
+    """
+    if multiplier < 0:
+        raise CatalogError("price multiplier must be non-negative")
+    return itype.cost_per_hour * multiplier
+
+
 def instance(name: str) -> InstanceType:
     """Look up an instance type by name."""
     try:

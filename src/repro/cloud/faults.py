@@ -176,12 +176,22 @@ FAULT_REGISTRY: list[FaultSpec] = [
 ]
 
 
-def evaluate_faults(ctx: FaultContext, *, seed: int = 0) -> list[FaultEvent]:
+def evaluate_faults(
+    ctx: FaultContext, *, seed: int = 0, probability_scale: float = 1.0
+) -> list[FaultEvent]:
     """Return the faults that fire for this bring-up, deterministically.
 
     Each fault draws from its own stream keyed by the context, so adding
     or removing faults from the registry does not reshuffle outcomes.
+
+    ``probability_scale`` is the scenario hook (:mod:`repro.scenarios`):
+    a what-if overlay scales every fault's firing probability (clamped
+    to [0, 1]) without touching the registry.  The draw itself stays on
+    the same keyed stream, so ``probability_scale=1.0`` reproduces the
+    baseline outcome exactly and a scaled run is still order-independent.
     """
+    if probability_scale < 0:
+        raise ValueError("fault probability scale must be non-negative")
     events: list[FaultEvent] = []
     for spec in FAULT_REGISTRY:
         if not spec.trigger(ctx):
@@ -196,6 +206,6 @@ def evaluate_faults(ctx: FaultContext, *, seed: int = 0) -> list[FaultEvent]:
             ctx.nodes,
             ctx.attempt,
         )
-        if rng.random() < spec.probability:
+        if rng.random() < min(1.0, spec.probability * probability_scale):
             events.append(spec.effect(ctx))
     return events

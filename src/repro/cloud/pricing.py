@@ -69,6 +69,11 @@ class BillingMeter:
 
     budgets: dict[str, float] = field(default_factory=dict)
     events: list[MeterEvent] = field(default_factory=list)
+    #: per-meter reporting-lag overrides (hours), consulted before the
+    #: module-level :data:`REPORTING_LAG_HOURS` — the scenario overlay
+    #: (:mod:`repro.scenarios`) changes lag here without touching the
+    #: shared table
+    lag_overrides: dict[str, float] = field(default_factory=dict)
 
     def record(self, event: MeterEvent) -> None:
         if event.end < event.start:
@@ -103,13 +108,17 @@ class BillingMeter:
             total += ev.cost
         return total
 
+    def lag_hours_for(self, cloud: str) -> float:
+        """Effective reporting lag for a cloud (override or default)."""
+        return self.lag_overrides.get(cloud, REPORTING_LAG_HOURS.get(cloud, 0.0))
+
     def reported(self, at_time: float, cloud: str) -> float:
         """Cost visible on the console at study time ``at_time``.
 
         An event is only visible once ``lag`` hours have passed since the
         usage *ended*.
         """
-        lag = REPORTING_LAG_HOURS.get(cloud, 0.0) * HOUR
+        lag = self.lag_hours_for(cloud) * HOUR
         return sum(
             ev.cost for ev in self.events if ev.cloud == cloud and ev.end + lag <= at_time
         )

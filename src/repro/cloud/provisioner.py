@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cloud.catalog import InstanceType, instance
+from repro.cloud.catalog import InstanceType, effective_rate, instance
 from repro.cloud.faults import FaultContext, FaultEvent, evaluate_faults
 from repro.cloud.placement import PlacementPolicy, PlacementResult, apply_placement
 from repro.cloud.pricing import BillingMeter
@@ -106,6 +106,18 @@ class Provisioner:
         self.meter = meter
         self.seed = seed
         self._counter = 0
+        #: scenario hooks (:mod:`repro.scenarios`): an hourly-rate
+        #: multiplier ``(instance_type, nodes) -> float`` and a fault
+        #: probability scale, both applied per provisioner instance so
+        #: the catalog and fault registry stay untouched
+        self.price_overlay = None
+        self.fault_scale = 1.0
+
+    def _rate(self, itype: InstanceType, nodes: int) -> float:
+        """Effective hourly rate per node under the active price overlay."""
+        if self.price_overlay is None:
+            return itype.cost_per_hour
+        return effective_rate(itype, self.price_overlay(itype, nodes))
 
     # -- bring-up -----------------------------------------------------------
 
@@ -123,7 +135,7 @@ class Provisioner:
             nodes=req.nodes,
             attempt=req.attempt,
         )
-        faults = evaluate_faults(ctx, seed=self.seed)
+        faults = evaluate_faults(ctx, seed=self.seed, probability_scale=self.fault_scale)
 
         fatal = [f for f in faults if f.fatal]
         if fatal:
@@ -136,7 +148,7 @@ class Provisioner:
                 partial,
                 now,
                 now + worst.time_cost,
-                itype.cost_per_hour,
+                self._rate(itype, req.nodes),
                 label="provisioning-stall",
             )
             raise ProvisioningError(
@@ -187,6 +199,8 @@ class Provisioner:
                             )
                         )
             if ev.money_cost:
+                # The event duration reflects the documented dollar figure
+                # at on-demand rates; a price overlay scales the charge.
                 self.meter.meter(
                     req.cloud,
                     itype.name,
@@ -195,7 +209,7 @@ class Provisioner:
                     now + ev.money_cost / max(itype.cost_per_hour, 1e-9) * HOUR
                     if itype.cost_per_hour
                     else now,
-                    itype.cost_per_hour,
+                    self._rate(itype, req.nodes),
                     label=f"fault:{ev.fault_id}",
                 )
 
@@ -230,7 +244,7 @@ class Provisioner:
             cluster.size,
             cluster.created_at,
             now,
-            cluster.instance_type.cost_per_hour,
+            self._rate(cluster.instance_type, cluster.size),
             label=f"cluster:{cluster.environment_kind}:{cluster.size}",
         )
         return ev.cost

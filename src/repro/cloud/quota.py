@@ -86,6 +86,11 @@ class QuotaLedger:
     """
 
     seed: int = 0
+    #: per-ledger friction overrides keyed by (cloud, resource class),
+    #: consulted before the module-level :data:`QUOTA_FRICTION` — the
+    #: scenario overlay (:mod:`repro.scenarios`) tightens quotas here
+    #: without mutating the shared table
+    friction_overrides: dict[tuple[str, str], QuotaFriction] = field(default_factory=dict)
     _grants: dict[tuple[str, str], QuotaGrant] = field(default_factory=dict)
     _usage: dict[tuple[str, str], int] = field(default_factory=dict)
 
@@ -96,8 +101,9 @@ class QuotaLedger:
         re-requesting after a denial is exactly what the authors did for
         AWS GPUs.
         """
-        friction = QUOTA_FRICTION.get(
-            (req.cloud, req.resource_class), QuotaFriction()
+        fkey = (req.cloud, req.resource_class)
+        friction = self.friction_overrides.get(fkey) or QUOTA_FRICTION.get(
+            fkey, QuotaFriction()
         )
         rng = stream(self.seed, "quota", req.cloud, req.instance_type, req.quantity, attempt)
         if rng.random() > friction.grant_probability:

@@ -105,6 +105,10 @@ class StudyRunner:
     (environment, size) cells; ``cache_dir`` enables the content-addressed
     run cache shared by every worker.  Results are identical for any
     worker count (see :mod:`repro.parallel`).
+
+    ``scenario`` runs the whole campaign under a what-if overlay
+    (:mod:`repro.scenarios`); ``None`` — or an empty scenario — is the
+    baseline world, byte for byte.
     """
 
     def __init__(
@@ -113,10 +117,12 @@ class StudyRunner:
         *,
         workers: int = 1,
         cache_dir: str | None = None,
+        scenario=None,
     ):
         self.config = config
         self.workers = workers
         self.cache_dir = cache_dir
+        self.scenario = scenario
         self.registry = Registry()
         self.builder = ContainerBuilder()
         self.store = ResultStore()
@@ -172,9 +178,14 @@ class StudyRunner:
         """Execute the configured campaign."""
         from repro.parallel import execute_shards, merge_shard_results, plan_shards
 
+        from repro.scenarios.spec import active
+
         self.build_containers()
 
-        shards = plan_shards(self.config, cache_dir=self.cache_dir)
+        scn = active(self.scenario)
+        shards = plan_shards(
+            self.config, cache_dir=self.cache_dir, scenario=self.scenario
+        )
         results = execute_shards(shards, workers=self.workers)
         merged = merge_shard_results(results, incidents=self.incidents)
 
@@ -183,7 +194,10 @@ class StudyRunner:
         self.clusters_created = merged.clusters_created
 
         # §2.9: job output is pushed to the registry (ORAS-style).
-        name, payload = self.store.to_artifact(f"study-seed{self.config.seed}")
+        artifact = f"study-seed{self.config.seed}"
+        if scn is not None:
+            artifact += f"-{scn.scenario_id}"
+        name, payload = self.store.to_artifact(artifact)
         self.registry.push_artifact(name, payload)
 
         return StudyReport(

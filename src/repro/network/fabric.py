@@ -112,18 +112,42 @@ class Fabric:
             quirks=self.quirks,
         )
 
+    def overlaid(
+        self,
+        *,
+        latency_multiplier: float = 1.0,
+        bandwidth_multiplier: float = 1.0,
+        overhead_multiplier: float = 1.0,
+        jitter_multiplier: float = 1.0,
+    ) -> "Fabric":
+        """A copy with every LogGP parameter scaled independently.
+
+        This is the scenario hook (:mod:`repro.scenarios`): a what-if
+        overlay perturbs latency (``L``), bandwidth (``G``), software
+        overhead (``o``), and run-to-run jitter without touching the
+        registered fabric — the catalog entry stays pristine.
+        """
+        if min(latency_multiplier, bandwidth_multiplier, overhead_multiplier) <= 0:
+            raise ValueError("fabric overlay multipliers must be positive")
+        if jitter_multiplier < 0:
+            raise ValueError("jitter multiplier must be non-negative")
+        return Fabric(
+            name=self.name,
+            latency_us=self.latency_us * latency_multiplier,
+            bandwidth_gbps=self.bandwidth_gbps * bandwidth_multiplier,
+            per_message_overhead_us=self.per_message_overhead_us * overhead_multiplier,
+            os_bypass=self.os_bypass,
+            rdma=self.rdma,
+            jitter_cv=self.jitter_cv * jitter_multiplier,
+            quirks=self.quirks,
+        )
+
     def degraded(self, latency_multiplier: float, bandwidth_multiplier: float) -> "Fabric":
         """A copy of this fabric with worse effective parameters.
 
         Used by the topology layer: non-colocated nodes pay extra hops.
         """
-        return Fabric(
-            name=self.name,
-            latency_us=self.latency_us * latency_multiplier,
-            bandwidth_gbps=self.bandwidth_gbps * bandwidth_multiplier,
-            per_message_overhead_us=self.per_message_overhead_us,
-            os_bypass=self.os_bypass,
-            rdma=self.rdma,
-            jitter_cv=self.jitter_cv,
-            quirks=self.quirks,
+        return self.overlaid(
+            latency_multiplier=latency_multiplier,
+            bandwidth_multiplier=bandwidth_multiplier,
         )

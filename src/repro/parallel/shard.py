@@ -39,6 +39,8 @@ from repro.k8s.daemonsets import (
 )
 from repro.k8s.flux_operator import FluxOperator, MiniClusterSpec
 from repro.errors import ConfigurationError
+from repro.scenarios.apply import overlay_provider
+from repro.scenarios.spec import Scenario, active
 from repro.scheduler.queueing import OnPremQueueModel
 from repro.sim.cache import RunCache, decode_record, encode_record, shard_key
 from repro.sim.execution import ExecutionEngine
@@ -56,6 +58,10 @@ class StudyShard:
     iterations: int
     seed: int
     cache_dir: str | None = None
+    #: what-if overlay (:mod:`repro.scenarios`); ``None`` = baseline.
+    #: A pure value like the rest of the shard, so it ships to worker
+    #: processes with no extra machinery.
+    scenario: Scenario | None = None
 
 
 @dataclass
@@ -73,18 +79,28 @@ class ShardResult:
     cache_misses: int = 0
 
 
-def plan_shards(config, *, cache_dir: str | None = None) -> list[StudyShard]:
+def plan_shards(
+    config,
+    *,
+    cache_dir: str | None = None,
+    scenario: Scenario | None = None,
+) -> list[StudyShard]:
     """Split a :class:`~repro.core.study.StudyConfig` into cells.
 
     Shards are ordered exactly as the serial campaign iterates —
     environments in config order, sizes in environment order — so a
     merge in shard order reproduces the serial dataset ordering.
 
+    ``scenario`` tags every cell with a what-if overlay; an *empty*
+    scenario normalizes to ``None`` here, so a baseline-equivalent
+    scenario plans (and caches) exactly like no scenario at all.
+
     One normalization relative to the pre-shard runner: undeployable
     environments used to emit their skip records app-major across sizes;
     as cells they now emit size-major like every deployable environment.
     The record *set* is unchanged, only its order within those rows.
     """
+    scenario = active(scenario)
     shards: list[StudyShard] = []
     for env_id in config.env_ids:
         env = ENVIRONMENTS[env_id]
@@ -99,6 +115,7 @@ def plan_shards(config, *, cache_dir: str | None = None) -> list[StudyShard]:
                     iterations=config.iterations,
                     seed=config.seed,
                     cache_dir=cache_dir,
+                    scenario=scenario,
                 )
             )
     return shards
@@ -140,6 +157,7 @@ def _deploy_kubernetes(env: Environment, cluster) -> float:
 def _shard_cache_key(shard: StudyShard, engine: ExecutionEngine) -> str:
     # Derive the engine options from the engine actually executing the
     # cell so the cell-level key invalidates exactly when run-level keys do.
+    scn = active(engine.scenario)
     return shard_key(
         seed=shard.seed,
         env_id=shard.env_id,
@@ -147,6 +165,7 @@ def _shard_cache_key(shard: StudyShard, engine: ExecutionEngine) -> str:
         apps=shard.apps,
         iterations=shard.iterations,
         engine_options={"azure_ucx_tuned": engine.azure_ucx_tuned},
+        scenario=scn.digest() if scn is not None else None,
     )
 
 
@@ -201,8 +220,9 @@ def execute_shard(shard: StudyShard) -> ShardResult:
     repeat campaign skips provisioning and Kubernetes bring-up too.
     """
     env = ENVIRONMENTS[shard.env_id]
+    scn = active(shard.scenario)
     cache = RunCache(shard.cache_dir) if shard.cache_dir else None
-    engine = ExecutionEngine(seed=shard.seed, cache=cache)
+    engine = ExecutionEngine(seed=shard.seed, cache=cache, scenario=scn)
     if cache is not None:
         cached = cache.get_json(_shard_cache_key(shard, engine))
         if cached is not None:
@@ -236,18 +256,49 @@ def execute_shard(shard: StudyShard) -> ShardResult:
         )
         now += queue.sample_wait(nodes)
     else:
-        provider = get_provider(cloud, seed=shard.seed)
+        provider = overlay_provider(get_provider(cloud, seed=shard.seed), scn)
         itype = env.instance()
         # Quota requests are retried until granted — the paper's AWS
         # GPU saga: the reservation was denied repeatedly and finally
         # granted as a 48-hour block at month's end.
-        for attempt in range(10):
-            try:
-                provider.request_quota(itype.name, nodes + 1, attempt=attempt)
-                break
-            except QuotaError:
-                if attempt == 9:
-                    raise
+        try:
+            for attempt in range(10):
+                try:
+                    grant = provider.request_quota(itype.name, nodes + 1, attempt=attempt)
+                    break
+                except QuotaError:
+                    if attempt == 9:
+                        raise
+        except QuotaError:
+            if scn is None:
+                raise
+            # Under a quota-squeeze scenario a cell can be denied
+            # outright; the counterfactual outcome is an abandoned cell
+            # (skip records + an effort incident), not a crashed study.
+            _abandon_cell_for_quota(shard, result, engine, env, itype.name, scn)
+            _finish_shard(shard, result, cache, engine)
+            return result
+        if (
+            scn is not None
+            and scn.quota is not None
+            and (scn.quota.clouds is None or cloud in scn.quota.clouds)
+            and grant.delay_days > 0
+        ):
+            # A squeezed world charges the wait: daily status checks
+            # while the grant sits in the cloud's queue (the paper's AWS
+            # GPU request took weeks and landed as a 48-hour block).
+            result.incidents.append(
+                Incident(
+                    env_ids=(env.env_id,),
+                    category="setup",
+                    effort_minutes=15.0 * grant.delay_days,
+                    description=(
+                        f"waited {grant.delay_days:.1f} days for "
+                        f"{itype.name} quota (checked in daily)"
+                    ),
+                    source=f"scenario:{scn.scenario_id}:quota-wait",
+                )
+            )
         kind = "k8s" if env.kind is EnvironmentKind.K8S else "vm"
         try:
             cluster = provider.provision_cluster(
@@ -279,11 +330,80 @@ def execute_shard(shard: StudyShard) -> ShardResult:
             ):
                 break
 
+    if scn is not None and scn.spot is not None:
+        # Every reclaim cost somebody a resubmission: charge the effort.
+        for record in result.records:
+            if record.failure_kind == "spot-preemption":
+                result.incidents.append(
+                    Incident(
+                        env_ids=(env.env_id,),
+                        category="manual_intervention",
+                        effort_minutes=20.0,
+                        description=(
+                            f"spot node reclaimed mid-run: {record.app} at "
+                            f"scale {record.scale}, iteration {record.iteration}"
+                        ),
+                        source=f"scenario:{scn.scenario_id}:spot",
+                    )
+                )
+
     if provider is not None:
         provider.release_cluster(cluster, now=now)
         result.spend_by_cloud[cloud] = provider.spend()
+        if (
+            scn is not None
+            and scn.reporting is not None
+            and cloud in dict(scn.reporting.lag_hours)
+        ):
+            # §4.2: lagged reporting means dollars spent here are not
+            # yet on the console at teardown — someone has to reconcile
+            # the bill later (and eat any overspend meanwhile).  Only
+            # clouds whose lag the scenario actually shifts are charged.
+            unreported = provider.spend() - provider.meter.reported(now, cloud)
+            if unreported > 0.005:
+                result.incidents.append(
+                    Incident(
+                        env_ids=(env.env_id,),
+                        category="manual_intervention",
+                        effort_minutes=45.0,
+                        description=(
+                            f"${unreported:,.2f} of {cloud} spend invisible on "
+                            f"the console at cluster teardown (reporting lag "
+                            f"{provider.meter.lag_hours_for(cloud):.0f}h); "
+                            "reconciled against receipts later"
+                        ),
+                        source=f"scenario:{scn.scenario_id}:billing-lag",
+                    )
+                )
     _finish_shard(shard, result, cache, engine)
     return result
+
+
+def _abandon_cell_for_quota(
+    shard: StudyShard,
+    result: ShardResult,
+    engine: ExecutionEngine,
+    env: Environment,
+    instance_type: str,
+    scn: Scenario,
+) -> None:
+    """Record a cell whose quota was never granted under a scenario."""
+    result.incidents.append(
+        Incident(
+            env_ids=(env.env_id,),
+            category="manual_intervention",
+            effort_minutes=240.0,
+            description=(
+                f"{instance_type} quota denied after 10 requests; "
+                f"cell ({env.env_id}, {shard.scale}) abandoned"
+            ),
+            source=f"scenario:{scn.scenario_id}:quota",
+        )
+    )
+    for app_name in shard.apps:
+        result.records.append(
+            engine.skipped(env, app_name, shard.scale, reason="quota denied")
+        )
 
 
 def _finish_shard(

@@ -1,14 +1,19 @@
-"""Report rendering: ASCII tables, series, paper-vs-measured comparisons."""
+"""Report rendering: ASCII tables, series, paper-vs-measured comparisons,
+and what-if scenario delta reports."""
 
 from repro.reporting.compare import Expectation, check_expectations
+from repro.reporting.deltas import ScenarioDelta, delta_table, scenario_deltas
 from repro.reporting.series import Series, render_series
 from repro.reporting.tables import Table, render_table
 
 __all__ = [
     "Expectation",
+    "ScenarioDelta",
     "Series",
     "Table",
     "check_expectations",
+    "delta_table",
     "render_series",
     "render_table",
+    "scenario_deltas",
 ]

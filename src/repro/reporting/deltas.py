@@ -1,0 +1,156 @@
+"""Scenario delta reports: each counterfactual world vs the baseline.
+
+A sweep (:mod:`repro.scenarios.sweep`) yields one
+:class:`~repro.core.study.StudyReport` per scenario.  This module folds
+them against the baseline into per-scenario :class:`ScenarioDelta` rows
+— spend, run cost, run-state counts, incident counts, and a matched
+figure-of-merit ratio — and renders the result as the usual
+:class:`~repro.reporting.tables.Table`.
+
+The FOM ratio is a geometric mean over runs completed in *both* worlds,
+matched on ``(env, app, scale, iteration)``; runs a scenario killed
+(preemptions, timeouts from a degraded fabric) therefore show up in the
+state counts, not as a distorted ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.reporting.tables import Table
+from repro.sim.run_result import RunState
+
+
+@dataclass(frozen=True)
+class ScenarioDelta:
+    """One scenario's outcome relative to the baseline study."""
+
+    scenario_id: str
+    #: provider dollars (cluster billing, stalls, fault charges)
+    spend_usd: float
+    spend_delta_usd: float
+    #: dataset dollars (per-run pricing in the result store)
+    run_cost_usd: float
+    run_cost_delta_usd: float
+    completed: int
+    completed_delta: int
+    failed: int
+    failed_delta: int
+    timeout: int
+    timeout_delta: int
+    incidents: int
+    incident_delta: int
+    #: geometric-mean FOM ratio vs baseline over runs completed in both
+    #: worlds; ``None`` when no run completed in both
+    fom_ratio: float | None
+
+
+def _spend(report) -> float:
+    return sum(report.spend_by_cloud.values())
+
+
+def _incident_count(report) -> int:
+    return sum(len(incidents) for incidents in report.incidents.values())
+
+
+def _state_count(report, state: RunState) -> int:
+    return report.store.counts_by_state().get(state, 0)
+
+
+def _completed_foms(report) -> dict[tuple, float]:
+    return {
+        (r.env_id, r.app, r.scale, r.iteration): r.fom
+        for r in report.store
+        if r.state is RunState.COMPLETED and r.fom is not None and r.fom > 0
+    }
+
+
+def _fom_ratio(baseline, report) -> float | None:
+    base = _completed_foms(baseline)
+    scn = _completed_foms(report)
+    # Sorted so float summation order (and hence the last ulp of the
+    # ratio) never depends on hash randomization between invocations.
+    logs = [
+        math.log(scn[key] / base[key])
+        for key in sorted(scn.keys() & base.keys())
+    ]
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
+def scenario_delta(scenario_id: str, baseline, report) -> ScenarioDelta:
+    """Fold one scenario report against the baseline."""
+    spend = _spend(report)
+    run_cost = report.store.total_cost()
+    completed = _state_count(report, RunState.COMPLETED)
+    failed = _state_count(report, RunState.FAILED)
+    timeout = _state_count(report, RunState.TIMEOUT)
+    incidents = _incident_count(report)
+    return ScenarioDelta(
+        scenario_id=scenario_id,
+        spend_usd=spend,
+        spend_delta_usd=spend - _spend(baseline),
+        run_cost_usd=run_cost,
+        run_cost_delta_usd=run_cost - baseline.store.total_cost(),
+        completed=completed,
+        completed_delta=completed - _state_count(baseline, RunState.COMPLETED),
+        failed=failed,
+        failed_delta=failed - _state_count(baseline, RunState.FAILED),
+        timeout=timeout,
+        timeout_delta=timeout - _state_count(baseline, RunState.TIMEOUT),
+        incidents=incidents,
+        incident_delta=incidents - _incident_count(baseline),
+        fom_ratio=_fom_ratio(baseline, report),
+    )
+
+
+def scenario_deltas(baseline, reports: Mapping[str, object]) -> list[ScenarioDelta]:
+    """Fold every scenario report (insertion order) against the baseline."""
+    return [
+        scenario_delta(scenario_id, baseline, report)
+        for scenario_id, report in reports.items()
+    ]
+
+
+def delta_table(baseline, reports: Mapping[str, object]) -> Table:
+    """The what-if comparison as a renderable table.
+
+    ``reports`` maps scenario id → :class:`StudyReport` for the
+    counterfactual worlds (the baseline row is added first).
+    """
+    table = Table(
+        title="What-if scenarios vs baseline",
+        columns=(
+            "scenario", "spend $", "Δ spend $", "run cost $", "Δ cost $",
+            "completed", "Δ completed", "failed", "Δ failed",
+            "timeout", "Δ timeout", "incidents", "Δ incidents", "FOM ×",
+        ),
+        caption="Δ columns are against the baseline study; FOM × is the "
+        "geometric-mean figure-of-merit ratio over runs completed in "
+        "both worlds.",
+    )
+    table.add(
+        "baseline",
+        _spend(baseline), 0.0,
+        baseline.store.total_cost(), 0.0,
+        _state_count(baseline, RunState.COMPLETED), 0,
+        _state_count(baseline, RunState.FAILED), 0,
+        _state_count(baseline, RunState.TIMEOUT), 0,
+        _incident_count(baseline), 0,
+        1.0,
+    )
+    for delta in scenario_deltas(baseline, reports):
+        table.add(
+            delta.scenario_id,
+            delta.spend_usd, delta.spend_delta_usd,
+            delta.run_cost_usd, delta.run_cost_delta_usd,
+            delta.completed, delta.completed_delta,
+            delta.failed, delta.failed_delta,
+            delta.timeout, delta.timeout_delta,
+            delta.incidents, delta.incident_delta,
+            "n/a" if delta.fom_ratio is None else delta.fom_ratio,
+        )
+    return table

@@ -1,0 +1,93 @@
+"""Applying a scenario: pure overlays over the baseline substrate.
+
+A scenario never mutates shared state — not the instance catalog, not
+the fault registry, not the quota friction table, not a registered
+fabric.  Instead each shard builds its *own* provider and engine (it
+always did; that is what makes cells parallel), and this module layers
+the scenario onto those per-shard instances:
+
+* :func:`overlay_provider` — configures a freshly constructed
+  :class:`~repro.cloud.providers.CloudProvider` with the scenario's
+  price overlay, quota friction overrides, fault scaling, and
+  reporting-lag shifts;
+* :func:`overlay_fabric` — derives the degraded copy of a fabric the
+  execution engine should hand to the app models;
+* :func:`quota_friction_overrides` — the squeezed per-(cloud, class)
+  friction table a ledger consults before the module-level defaults.
+
+Because every overlay is either a derived value or a field on an object
+the shard owns, running a scenario and running the baseline in the same
+process can never contaminate each other.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.quota import QUOTA_FRICTION, QuotaFriction
+from repro.network.fabric import Fabric
+from repro.scenarios.spec import QuotaSqueeze, Scenario, active
+
+
+def quota_friction_overrides(
+    squeeze: QuotaSqueeze,
+) -> dict[tuple[str, str], QuotaFriction]:
+    """The squeezed friction table for a ledger's ``friction_overrides``.
+
+    Grant probabilities scale down (clamped to [0, 1]), delays stretch,
+    usage windows survive unchanged.  On-prem has no quota workflow, so
+    ``p`` entries are never squeezed.
+    """
+    out: dict[tuple[str, str], QuotaFriction] = {}
+    for (cloud, resource_class), friction in QUOTA_FRICTION.items():
+        if cloud == "p":
+            continue
+        if squeeze.clouds is not None and cloud not in squeeze.clouds:
+            continue
+        lo, hi = friction.delay_days
+        out[(cloud, resource_class)] = QuotaFriction(
+            grant_probability=max(
+                0.0, min(1.0, friction.grant_probability * squeeze.grant_probability_scale)
+            ),
+            delay_days=(lo * squeeze.delay_scale, hi * squeeze.delay_scale),
+            window_hours=friction.window_hours,
+        )
+    return out
+
+
+def overlay_provider(provider, scenario: Scenario | None):
+    """Configure a shard-local provider for a scenario; returns it.
+
+    A no-op for the baseline (``None`` or an empty scenario), so the
+    overlaid path is byte-identical to the pre-scenario code path.
+    """
+    scn = active(scenario)
+    if scn is None:
+        return provider
+    cloud = provider.short_name
+    if scn.reporting is not None:
+        provider.meter.lag_overrides.update(dict(scn.reporting.lag_hours))
+    if scn.quota is not None:
+        provider.ledger.friction_overrides.update(quota_friction_overrides(scn.quota))
+    if scn.faults is not None and (
+        scn.faults.clouds is None or cloud in scn.faults.clouds
+    ):
+        provider.provisioner.fault_scale = scn.faults.scale
+    provider.provisioner.price_overlay = (
+        lambda itype, nodes: scn.price_multiplier(itype.cloud, nodes)
+    )
+    return provider
+
+
+def overlay_fabric(fabric: Fabric, scenario: Scenario | None, cloud: str) -> Fabric:
+    """The fabric an engine should use for ``cloud`` under a scenario."""
+    scn = active(scenario)
+    if scn is None or scn.fabric is None:
+        return fabric
+    deg = scn.fabric
+    if deg.clouds is not None and cloud not in deg.clouds:
+        return fabric
+    return fabric.overlaid(
+        latency_multiplier=deg.latency_multiplier,
+        bandwidth_multiplier=deg.bandwidth_multiplier,
+        overhead_multiplier=deg.overhead_multiplier,
+        jitter_multiplier=deg.jitter_multiplier,
+    )

@@ -1,0 +1,124 @@
+"""Named scenario presets: the counterfactuals the paper begs for.
+
+Each preset is one question §3–§4 of the paper leaves open.  The
+registry is ordered (insertion order is display order) and extensible —
+:func:`register_scenario` admits user-defined scenarios, and
+:func:`scenario` resolves a name with a helpful error.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.scenarios.market import SpotMarket
+from repro.scenarios.spec import (
+    FabricDegradation,
+    FaultScaling,
+    PriceShock,
+    QuotaSqueeze,
+    ReportingShift,
+    Scenario,
+)
+
+#: The empty scenario: the study exactly as it ran.
+BASELINE = Scenario(
+    scenario_id="baseline",
+    description="the study as it ran: on-demand pricing, observed faults",
+)
+
+_PRESETS = (
+    BASELINE,
+    Scenario(
+        scenario_id="spot-everything",
+        description="every cloud bought on the spot market (steep discount, "
+        "Poisson preemptions)",
+        spot=SpotMarket(
+            clouds=("aws", "az", "g"),
+            base_discount=0.62,
+            discount_halving_nodes=512.0,
+            preemptions_per_hour=0.35,
+        ),
+    ),
+    Scenario(
+        scenario_id="spot-aws",
+        description="only AWS on spot: gentler discount, gentler reclaim rate",
+        spot=SpotMarket(
+            clouds=("aws",),
+            base_discount=0.55,
+            discount_halving_nodes=384.0,
+            preemptions_per_hour=0.15,
+        ),
+    ),
+    Scenario(
+        scenario_id="azure-price-spike",
+        description="Azure demand spike: every Azure hourly rate x2.5",
+        price_shocks=(PriceShock(cloud="az", multiplier=2.5),),
+    ),
+    Scenario(
+        scenario_id="price-war",
+        description="a cloud price war: 20% off every on-demand rate",
+        price_shocks=(
+            PriceShock(cloud="aws", multiplier=0.8),
+            PriceShock(cloud="az", multiplier=0.8),
+            PriceShock(cloud="g", multiplier=0.8),
+        ),
+    ),
+    Scenario(
+        scenario_id="quota-crunch",
+        description="a capacity crunch: grant odds x0.35, grant delays x3",
+        quota=QuotaSqueeze(grant_probability_scale=0.35, delay_scale=3.0),
+    ),
+    Scenario(
+        scenario_id="degraded-efa",
+        description="a degraded EFA season on AWS: latency x3, bandwidth x0.6",
+        fabric=FabricDegradation(
+            latency_multiplier=3.0, bandwidth_multiplier=0.6, clouds=("aws",)
+        ),
+    ),
+    Scenario(
+        scenario_id="congested-fabrics",
+        description="noisy-neighbour congestion on every cloud fabric: "
+        "latency x1.5, bandwidth x0.8, jitter x2",
+        fabric=FabricDegradation(
+            latency_multiplier=1.5,
+            bandwidth_multiplier=0.8,
+            jitter_multiplier=2.0,
+            clouds=("aws", "az", "g"),
+        ),
+    ),
+    Scenario(
+        scenario_id="laggy-bills",
+        description="worst-case cost-reporting lag (2-3 days) on every cloud",
+        reporting=ReportingShift(lag_hours=(("aws", 48.0), ("az", 72.0), ("g", 48.0))),
+    ),
+    Scenario(
+        scenario_id="flaky-clouds",
+        description="twice the documented fault rates during bring-up",
+        faults=FaultScaling(scale=2.0),
+    ),
+    Scenario(
+        scenario_id="calm-seas",
+        description="a perfect week: no provisioning faults fire at all",
+        faults=FaultScaling(scale=0.0),
+    ),
+)
+
+#: Registered scenarios by id, in display order.
+SCENARIOS: dict[str, Scenario] = {s.scenario_id: s for s in _PRESETS}
+
+
+def scenario(scenario_id: str) -> Scenario:
+    """Look up a registered scenario by id."""
+    try:
+        return SCENARIOS[scenario_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {scenario_id!r}; registered: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def register_scenario(scn: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (e.g. one loaded from JSON)."""
+    if not replace and scn.scenario_id in SCENARIOS:
+        raise ConfigurationError(f"scenario {scn.scenario_id!r} already registered")
+    SCENARIOS[scn.scenario_id] = scn
+    return scn

@@ -1,0 +1,170 @@
+"""Scenario sweeps: N counterfactual worlds × the campaign's cells.
+
+A :class:`ScenarioSweep` is the plan/execute layer of the scenario
+engine.  It reuses the study's own parallel machinery — every scenario
+is planned as the usual (environment, size) cells, all cells of all
+worlds are flattened into *one* work list, and :func:`repro.parallel.pool.pmap`
+fans that list across the worker pool.  A 4-scenario sweep over a
+14-cell campaign is simply 56 shards; worlds make progress concurrently
+instead of queueing behind each other.
+
+Container builds are scenario-independent (no perturbation touches the
+build matrix), so the sweep builds the matrix once and seeds every
+world's incident log with a fresh copy of the build incidents — exactly
+what :class:`~repro.core.study.StudyRunner` does per campaign.
+
+Determinism carries over unchanged: each shard is pure, each scenario's
+randomness is keyed (never drawn from call order), so any worker count
+produces byte-identical per-scenario datasets, and the baseline world of
+a sweep is byte-identical to a plain :class:`StudyRunner` campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.study import StudyConfig, StudyReport, StudyRunner
+from repro.reporting.deltas import delta_table, scenario_deltas
+from repro.reporting.tables import render_table
+from repro.scenarios.presets import BASELINE
+from repro.scenarios.spec import Scenario
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One world's campaign: the scenario and everything it produced."""
+
+    scenario: Scenario
+    report: StudyReport
+
+
+@dataclass
+class SweepResult:
+    """Every world of a sweep, baseline first (insertion order)."""
+
+    outcomes: dict[str, ScenarioOutcome]
+
+    @property
+    def baseline(self) -> StudyReport:
+        for outcome in self.outcomes.values():
+            if outcome.scenario.is_baseline:
+                return outcome.report
+        raise ValueError(
+            "this sweep has no baseline world to compare against (it ran "
+            "with include_baseline=False); re-run with a baseline to build "
+            "a delta report"
+        )
+
+    @property
+    def reports(self) -> dict[str, StudyReport]:
+        """Scenario id → study report, baseline included."""
+        return {sid: outcome.report for sid, outcome in self.outcomes.items()}
+
+    def _counterfactuals(self) -> dict[str, StudyReport]:
+        return {
+            sid: outcome.report
+            for sid, outcome in self.outcomes.items()
+            if not outcome.scenario.is_baseline
+        }
+
+    def deltas(self):
+        """Per-scenario :class:`~repro.reporting.deltas.ScenarioDelta` rows."""
+        return scenario_deltas(self.baseline, self._counterfactuals())
+
+    def delta_table(self):
+        """The what-if comparison as a :class:`~repro.reporting.tables.Table`."""
+        return delta_table(self.baseline, self._counterfactuals())
+
+    def render_deltas(self) -> str:
+        """The delta report as fixed-width text."""
+        return render_table(self.delta_table())
+
+
+class ScenarioSweep:
+    """Runs a study under N scenarios and compares them to the baseline.
+
+    ``workers`` and ``cache_dir`` behave exactly as on
+    :class:`~repro.core.study.StudyRunner`; the cache keys embed each
+    scenario's digest, so worlds never share entries but each world
+    replays its own on a repeat sweep.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        scenarios: Iterable[Scenario] | Sequence[Scenario],
+        *,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        include_baseline: bool = True,
+    ):
+        self.config = config
+        self.scenarios = list(scenarios)
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.include_baseline = include_baseline
+        seen: set[str] = set()
+        for scn in self.scenarios:
+            if scn.scenario_id in seen:
+                raise ValueError(f"duplicate scenario id {scn.scenario_id!r} in sweep")
+            seen.add(scn.scenario_id)
+            if scn.scenario_id == "baseline" and not scn.is_baseline:
+                # The label "baseline" is reserved for the empty world;
+                # a perturbed scenario wearing it would silently replace
+                # the real baseline in the outcome map.
+                raise ValueError(
+                    "scenario id 'baseline' is reserved for the empty scenario"
+                )
+
+    def _worlds(self) -> list[Scenario]:
+        worlds = list(self.scenarios)
+        if self.include_baseline and not any(s.is_baseline for s in worlds):
+            worlds.insert(0, BASELINE)
+        return worlds
+
+    def run(self) -> SweepResult:
+        """Execute every world; returns per-scenario reports."""
+        # Imported lazily: repro.parallel sits below this module in the
+        # import graph (its shards import repro.scenarios.spec).
+        from repro.parallel.merge import merge_shard_results
+        from repro.parallel.pool import pmap
+        from repro.parallel.shard import execute_shard, plan_shards
+
+        builder_runner = StudyRunner(self.config)
+        builder_runner.build_containers()
+        build_incidents = builder_runner.incidents
+
+        worlds = self._worlds()
+        plans = [
+            plan_shards(self.config, cache_dir=self.cache_dir, scenario=scn)
+            for scn in worlds
+        ]
+        flat = [shard for shards in plans for shard in shards]
+        results = pmap(execute_shard, flat, workers=self.workers)
+
+        outcomes: dict[str, ScenarioOutcome] = {}
+        position = 0
+        for scn, shards in zip(worlds, plans):
+            chunk = results[position:position + len(shards)]
+            position += len(shards)
+            merged = merge_shard_results(
+                chunk,
+                incidents={env: list(incs) for env, incs in build_incidents.items()},
+            )
+            # Worlds keep their own ids (the injected BASELINE's id is
+            # "baseline"), so no two worlds can ever share a label.
+            outcomes[scn.scenario_id] = ScenarioOutcome(
+                scenario=scn,
+                report=StudyReport(
+                    store=merged.store,
+                    incidents=merged.incidents,
+                    spend_by_cloud=merged.spend_by_cloud,
+                    containers_built=builder_runner.builder.built,
+                    containers_failed=builder_runner.builder.failed,
+                    clusters_created=merged.clusters_created,
+                    cache_hits=merged.cache_hits,
+                    cache_misses=merged.cache_misses,
+                ),
+            )
+        return SweepResult(outcomes=outcomes)

@@ -36,7 +36,9 @@ from typing import Any, Mapping
 from repro.sim.run_result import RunRecord, RunState
 
 #: Bump to invalidate every existing cache entry (schema/semantics change).
-CACHE_VERSION = 1
+#: v2: keys grew a scenario digest (repro.scenarios) so what-if worlds
+#: never collide with the baseline or each other.
+CACHE_VERSION = 2
 
 
 def _jsonable(value: Any) -> Any:
@@ -60,13 +62,16 @@ def run_key(
     scale: int,
     iteration: int,
     engine_options: Mapping[str, Any] | None = None,
+    scenario: str | None = None,
 ) -> str:
     """Content hash naming one deterministic run.
 
     ``engine_options`` must include everything that changes the engine's
     output beyond the coordinates — e.g. ``azure_ucx_tuned`` and the
     per-run ``options`` dict — so a changed option is a cache miss, not
-    a stale hit.
+    a stale hit.  ``scenario`` is the active scenario's digest
+    (:meth:`repro.scenarios.Scenario.digest`), or ``None`` for the
+    baseline world — an *empty* scenario keys identically to none.
     """
     payload = json.dumps(
         {
@@ -77,6 +82,7 @@ def run_key(
             "scale": scale,
             "iteration": iteration,
             "engine": _jsonable(dict(engine_options or {})),
+            "scenario": scenario,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -92,13 +98,15 @@ def shard_key(
     apps: tuple[str, ...],
     iterations: int,
     engine_options: Mapping[str, Any] | None = None,
+    scenario: str | None = None,
 ) -> str:
     """Content hash naming one whole (environment, size) study cell.
 
     A cell bundles every ``(seed, env, app, scale, iteration)`` run of a
     shard plus its provisioning by-products (incidents, spend, cluster
     count), all deterministic in these coordinates — so a cell-level hit
-    can skip cluster bring-up as well as simulation.
+    can skip cluster bring-up as well as simulation.  ``scenario`` is
+    the active scenario digest, as in :func:`run_key`.
     """
     payload = json.dumps(
         {
@@ -110,6 +118,7 @@ def shard_key(
             "apps": list(apps),
             "iterations": iterations,
             "engine": _jsonable(dict(engine_options or {})),
+            "scenario": scenario,
         },
         sort_keys=True,
         separators=(",", ":"),

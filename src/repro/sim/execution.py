@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.apps.base import AppModel, RunContext
 from repro.apps.registry import app as app_lookup
+from repro.cloud.catalog import effective_rate
 from repro.cloud.placement import apply_placement
 from repro.envs.environment import Environment, EnvironmentKind
 from repro.errors import EnvironmentUnavailableError
@@ -34,6 +35,9 @@ from repro.network.hookup import hookup_time
 from repro.network.quirks import AZURE_UNTUNED_UCX
 from repro.network.topology import effective_fabric
 from repro.rng import stream
+from repro.scenarios.apply import overlay_fabric
+from repro.scenarios.market import draw_preemption
+from repro.scenarios.spec import Scenario, active
 from repro.sim.cache import RunCache, run_key
 from repro.sim.run_result import RunRecord, RunState
 from repro.units import HOUR
@@ -57,6 +61,10 @@ class ExecutionEngine:
     history: list[RunRecord] = field(default_factory=list)
     #: optional content-addressed run cache; hits skip simulation
     cache: RunCache | None = None
+    #: optional what-if overlay (:mod:`repro.scenarios`): spot pricing
+    #: and preemptions, price shocks, fabric degradation.  ``None`` or
+    #: an empty scenario reproduces the baseline byte for byte.
+    scenario: Scenario | None = None
 
     # -- fabric resolution ----------------------------------------------------
 
@@ -72,7 +80,9 @@ class ExecutionEngine:
     AZURE_VM_UD_PENALTY_US = 0.3
 
     def _effective_fabric(self, env: Environment, nodes: int) -> Fabric:
-        base = env.base_fabric()
+        # Scenario fabric degradation is a property of the counterfactual
+        # world, so it applies to the base fabric before tenancy effects.
+        base = overlay_fabric(env.base_fabric(), self.scenario, env.cloud)
         if env.cloud == "az" and env.kind is EnvironmentKind.VM:
             base = Fabric(
                 name=base.name,
@@ -170,6 +180,7 @@ class ExecutionEngine:
         iteration: int,
         options: dict[str, Any] | None,
     ) -> str:
+        scn = active(self.scenario)
         return run_key(
             seed=self.seed,
             env_id=env.env_id,
@@ -180,6 +191,7 @@ class ExecutionEngine:
                 "azure_ucx_tuned": self.azure_ucx_tuned,
                 "options": options or {},
             },
+            scenario=scn.digest() if scn is not None else None,
         )
 
     def _cached_execute(
@@ -197,6 +209,21 @@ class ExecutionEngine:
         if record is None:
             record = self._execute(env, model, scale, iteration, options)
             self.cache.put(key, record)
+        return record
+
+    def skipped(
+        self,
+        env: Environment,
+        app: AppModel | str,
+        scale: int,
+        *,
+        iteration: int = 0,
+        reason: str,
+    ) -> RunRecord:
+        """Record a run that never executed (e.g. a scenario denied quota)."""
+        model = app_lookup(app) if isinstance(app, str) else app
+        record = self._skip(env, model, scale, iteration, reason)
+        self.history.append(record)
         return record
 
     def _skip(
@@ -256,12 +283,44 @@ class ExecutionEngine:
             fom = result.fom
             wall = result.wall_seconds
 
-        cost = (
-            ctx.nodes
-            * env.instance().cost_per_hour
-            * (wall + hookup)
-            / HOUR
+        failure_kind = result.failure_kind if result.failed else (
+            "walltime" if state is RunState.TIMEOUT else None
         )
+        extra = result.extra
+        itype = env.instance()
+        rate = itype.cost_per_hour
+
+        scn = active(self.scenario)
+        if scn is not None:
+            # Spot preemption: a reclaimed run dies partway through its
+            # window; the consumed node-time still bills.  Runs that
+            # already failed on their own keep their original cause.
+            if (
+                scn.spot is not None
+                and env.is_cloud
+                and env.cloud in scn.spot.clouds
+                and state is not RunState.FAILED
+            ):
+                preempt = draw_preemption(
+                    scn.spot,
+                    self.seed,
+                    scn.scenario_id,
+                    env.env_id,
+                    model.name,
+                    scale,
+                    iteration,
+                    wall + hookup,
+                )
+                if preempt is not None:
+                    state = RunState.FAILED
+                    fom = None
+                    wall *= preempt.at_fraction
+                    failure_kind = "spot-preemption"
+                    extra = dict(result.extra)
+                    extra["preempted_at_fraction"] = preempt.at_fraction
+            rate = effective_rate(itype, scn.price_multiplier(env.cloud, ctx.nodes))
+
+        cost = ctx.nodes * rate * (wall + hookup) / HOUR
         return RunRecord(
             env_id=env.env_id,
             app=model.name,
@@ -275,8 +334,6 @@ class ExecutionEngine:
             hookup_seconds=hookup,
             cost_usd=cost,
             phases=result.phases,
-            failure_kind=result.failure_kind if result.failed else (
-                "walltime" if state is RunState.TIMEOUT else None
-            ),
-            extra=result.extra,
+            failure_kind=failure_kind,
+            extra=extra,
         )

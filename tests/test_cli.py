@@ -12,6 +12,8 @@ def test_list_command(capsys):
     assert "cpu-eks-aws" in out
     assert "amg2023" in out
     assert "undeployable" in out  # ParallelCluster GPU marked
+    assert "scenarios:" in out
+    assert "spot-everything" in out
 
 
 def test_run_command(capsys):
@@ -89,13 +91,73 @@ def test_study_cache_path_collision_is_a_clean_error(tmp_path, capsys):
     assert "not a directory" in capsys.readouterr().err
 
 
+def test_scenario_list_command(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "spot-everything" in out
+    assert "quota-crunch" in out
+
+
+def test_scenario_run_command(tmp_path, capsys):
+    csv_path = tmp_path / "deltas.csv"
+    rc = main([
+        "scenario", "run",
+        "--scenario", "azure-price-spike",
+        "--envs", "cpu-aks-az,cpu-onprem-a",
+        "--apps", "amg2023",
+        "--sizes", "32",
+        "--iterations", "2",
+        "--workers", "2",
+        "--output", str(csv_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "What-if scenarios vs baseline" in out
+    assert "azure-price-spike" in out
+    assert "baseline" in out
+    assert csv_path.read_text().startswith("scenario,")
+
+
+def test_scenario_run_duplicate_scenario_is_a_clean_error(capsys):
+    rc = main(["scenario", "run", "--scenario", "spot-aws",
+               "--scenario", "spot-aws",
+               "--envs", "cpu-onprem-a", "--apps", "stream", "--sizes", "32"])
+    assert rc == 2
+    assert "duplicate" in capsys.readouterr().err
+
+
+def test_scenario_run_unknown_scenario_is_a_clean_error(capsys):
+    rc = main(["scenario", "run", "--scenario", "asteroid-strike",
+               "--envs", "cpu-onprem-a", "--apps", "stream", "--sizes", "32"])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenario_run_cache_path_collision_is_a_clean_error(tmp_path, capsys):
+    not_a_dir = tmp_path / "cache"
+    not_a_dir.write_text("occupied")
+    rc = main(["scenario", "run", "--scenario", "spot-aws",
+               "--envs", "cpu-eks-aws", "--apps", "stream", "--sizes", "32",
+               "--cache", str(not_a_dir)])
+    assert rc == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
 def test_help_documents_every_subcommand_with_examples():
     help_text = build_parser().format_help()
-    for subcommand in ("list", "experiment", "run", "study", "report"):
+    for subcommand in ("list", "experiment", "run", "study", "scenario", "report"):
         assert subcommand in help_text
     assert "examples:" in help_text
     assert "--workers 4" in help_text
     assert "--cache" in help_text
+
+
+def test_scenario_help_documents_examples(capsys):
+    with pytest.raises(SystemExit):
+        main(["scenario", "--help"])
+    out = capsys.readouterr().out
+    assert "spot-everything" in out
+    assert "examples:" in out
 
 
 def test_study_help_documents_workers_and_cache(capsys):

@@ -1,0 +1,107 @@
+"""The scenario delta report: folding counterfactual worlds vs baseline."""
+
+import pytest
+
+from repro.core.study import StudyConfig
+from repro.reporting.deltas import delta_table, scenario_delta, scenario_deltas
+from repro.reporting.tables import render_table
+from repro.scenarios import ScenarioSweep, scenario
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    config = StudyConfig(
+        env_ids=("cpu-eks-aws", "cpu-aks-az"),
+        apps=("amg2023", "minife"),
+        sizes=(32, 64),
+        iterations=2,
+        seed=0,
+    )
+    return ScenarioSweep(
+        config,
+        [scenario("azure-price-spike"), scenario("congested-fabrics")],
+        workers=2,
+    ).run()
+
+
+def test_delta_rows_cover_every_counterfactual(sweep_result):
+    deltas = sweep_result.deltas()
+    assert [d.scenario_id for d in deltas] == ["azure-price-spike", "congested-fabrics"]
+
+
+def test_price_spike_delta_is_pure_cost(sweep_result):
+    spike = next(d for d in sweep_result.deltas() if d.scenario_id == "azure-price-spike")
+    assert spike.spend_delta_usd > 0
+    assert spike.run_cost_delta_usd > 0
+    assert spike.completed_delta == 0
+    assert spike.fom_ratio == pytest.approx(1.0)
+
+
+def test_congestion_delta_shows_in_the_fom_ratio(sweep_result):
+    congested = next(
+        d for d in sweep_result.deltas() if d.scenario_id == "congested-fabrics"
+    )
+    assert congested.fom_ratio is not None
+    assert congested.fom_ratio < 1.0  # a degraded fabric can only hurt
+
+
+def test_delta_against_itself_is_zero(sweep_result):
+    base = sweep_result.baseline
+    self_delta = scenario_delta("self", base, base)
+    assert self_delta.spend_delta_usd == 0.0
+    assert self_delta.run_cost_delta_usd == 0.0
+    assert self_delta.completed_delta == 0
+    assert self_delta.failed_delta == 0
+    assert self_delta.incident_delta == 0
+    assert self_delta.fom_ratio == pytest.approx(1.0)
+
+
+def test_delta_table_has_baseline_row_first(sweep_result):
+    table = delta_table(
+        sweep_result.baseline,
+        {sid: r for sid, r in sweep_result.reports.items() if sid != "baseline"},
+    )
+    assert table.rows[0][0] == "baseline"
+    assert [row[0] for row in table.rows[1:]] == [
+        "azure-price-spike", "congested-fabrics",
+    ]
+    assert len(table.rows[0]) == len(table.columns)
+    rendered = render_table(table)
+    assert "What-if scenarios vs baseline" in rendered
+
+
+def test_delta_table_headers_are_unique(sweep_result):
+    table = sweep_result.delta_table()
+    assert len(set(table.columns)) == len(table.columns)
+    csv_header = table.to_csv().splitlines()[0]
+    assert csv_header.count("Δ completed") == 1
+    assert csv_header.count("Δ incidents") == 1
+
+
+def test_scenario_timeouts_show_up_in_the_state_counts():
+    from repro.scenarios import FabricDegradation, Scenario
+
+    collapse = Scenario(
+        scenario_id="fabric-collapse",
+        fabric=FabricDegradation(latency_multiplier=20.0, bandwidth_multiplier=0.05),
+    )
+    config = StudyConfig(
+        env_ids=("cpu-eks-aws",), apps=("laghos",), sizes=(64,),
+        iterations=2, seed=0,
+    )
+    result = ScenarioSweep(config, [collapse]).run()
+    (delta,) = result.deltas()
+    # Laghos at 64 completes on the healthy fabric but hits the cloud
+    # walltime ceiling on the collapsed one — visible as a timeout
+    # delta, exactly as the module docstring promises.
+    assert delta.timeout_delta > 0
+    assert delta.completed_delta == -delta.timeout_delta
+    assert delta.failed_delta == 0
+
+
+def test_scenario_deltas_preserves_insertion_order(sweep_result):
+    reports = {
+        sid: r for sid, r in sweep_result.reports.items() if sid != "baseline"
+    }
+    deltas = scenario_deltas(sweep_result.baseline, reports)
+    assert [d.scenario_id for d in deltas] == list(reports)

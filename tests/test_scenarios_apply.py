@@ -1,0 +1,259 @@
+"""The overlay step: pure application of scenarios, no shared-state bleed."""
+
+import copy
+
+import pytest
+
+from repro.cloud.catalog import CATALOG, effective_rate, instance
+from repro.errors import CatalogError
+from repro.cloud.faults import FAULT_REGISTRY, FaultContext, evaluate_faults
+from repro.cloud.pricing import REPORTING_LAG_HOURS, BillingMeter
+from repro.cloud.providers import get_provider
+from repro.cloud.quota import QUOTA_FRICTION, QuotaLedger, QuotaRequest
+from repro.envs.registry import ENVIRONMENTS
+from repro.errors import QuotaError
+from repro.network.fabrics import fabric
+from repro.scenarios import (
+    FabricDegradation,
+    FaultScaling,
+    PriceShock,
+    QuotaSqueeze,
+    ReportingShift,
+    Scenario,
+    SpotMarket,
+    scenario,
+)
+from repro.scenarios.apply import overlay_fabric, overlay_provider, quota_friction_overrides
+from repro.sim.execution import ExecutionEngine
+from repro.sim.run_result import RunState
+from repro.units import HOUR
+
+
+# ---------------------------------------------------------------- purity
+
+
+def test_overlay_never_mutates_shared_state():
+    frictions_before = copy.deepcopy(QUOTA_FRICTION)
+    lags_before = dict(REPORTING_LAG_HOURS)
+    costs_before = {name: it.cost_per_hour for name, it in CATALOG.items()}
+    fault_ids_before = [(s.fault_id, s.probability) for s in FAULT_REGISTRY]
+    fabric_before = fabric("efa-gen1.5")
+
+    big = Scenario(
+        scenario_id="everything-at-once",
+        price_shocks=(PriceShock(cloud="aws", multiplier=3.0),),
+        spot=SpotMarket(),
+        quota=QuotaSqueeze(grant_probability_scale=1.0, delay_scale=5.0),
+        fabric=FabricDegradation(latency_multiplier=4.0, bandwidth_multiplier=0.5),
+        reporting=ReportingShift(lag_hours=(("aws", 96.0),)),
+        faults=FaultScaling(scale=3.0),
+    )
+    provider = overlay_provider(get_provider("aws", seed=0), big)
+    provider.request_quota("hpc6a.48xlarge", 33)
+    cluster = provider.provision_cluster("hpc6a.48xlarge", 32, environment_kind="k8s")
+    provider.release_cluster(cluster, now=3600.0)
+    overlay_fabric(fabric("efa-gen1.5"), big, "aws")
+
+    assert QUOTA_FRICTION == frictions_before
+    assert dict(REPORTING_LAG_HOURS) == lags_before
+    assert {name: it.cost_per_hour for name, it in CATALOG.items()} == costs_before
+    assert [(s.fault_id, s.probability) for s in FAULT_REGISTRY] == fault_ids_before
+    assert fabric("efa-gen1.5") == fabric_before
+
+
+def test_baseline_overlay_is_identity():
+    provider = get_provider("aws", seed=0)
+    assert overlay_provider(provider, None) is provider
+    assert provider.provisioner.price_overlay is None
+    assert overlay_provider(provider, Scenario(scenario_id="noop")) is provider
+    assert provider.provisioner.price_overlay is None
+    f = fabric("efa-gen1.5")
+    assert overlay_fabric(f, None, "aws") is f
+
+
+# ------------------------------------------------------------ fabric overlay
+
+
+def test_fabric_overlaid_scales_every_parameter():
+    base = fabric("efa-gen1.5")
+    worse = base.overlaid(
+        latency_multiplier=3.0,
+        bandwidth_multiplier=0.5,
+        overhead_multiplier=2.0,
+        jitter_multiplier=4.0,
+    )
+    assert worse.latency_us == pytest.approx(base.latency_us * 3.0)
+    assert worse.bandwidth_gbps == pytest.approx(base.bandwidth_gbps * 0.5)
+    assert worse.per_message_overhead_us == pytest.approx(
+        base.per_message_overhead_us * 2.0
+    )
+    assert worse.jitter_cv == pytest.approx(base.jitter_cv * 4.0)
+    assert worse.quirks == base.quirks
+    with pytest.raises(ValueError):
+        base.overlaid(latency_multiplier=0.0)
+
+
+def test_fabric_overlay_respects_cloud_filter():
+    scn = scenario("degraded-efa")
+    base = fabric("efa-gen1.5")
+    assert overlay_fabric(base, scn, "aws").latency_us > base.latency_us
+    assert overlay_fabric(base, scn, "az") is base
+
+
+# ------------------------------------------------------------- price overlay
+
+
+def test_effective_rate_hook():
+    it = instance("hpc6a.48xlarge")
+    assert effective_rate(it, 1.0) == it.cost_per_hour
+    assert effective_rate(it, 2.0) == pytest.approx(it.cost_per_hour * 2.0)
+    with pytest.raises(CatalogError):
+        effective_rate(it, -0.5)
+    # The catalog entry is untouched by rate derivation.
+    assert instance("hpc6a.48xlarge").cost_per_hour == it.cost_per_hour
+
+
+def test_price_shock_scales_cluster_billing():
+    def spend(scn):
+        provider = overlay_provider(get_provider("az", seed=0), scn)
+        provider.request_quota("HB96rs_v3", 33)
+        cluster = provider.provision_cluster("HB96rs_v3", 32, environment_kind="k8s")
+        provider.release_cluster(cluster, now=HOUR)
+        return provider.spend()
+
+    base = spend(None)
+    spiked = spend(scenario("azure-price-spike"))
+    assert spiked == pytest.approx(base * 2.5)
+
+
+# ------------------------------------------------------------- quota squeeze
+
+
+def test_quota_friction_overrides_squeeze_without_touching_onprem():
+    overrides = quota_friction_overrides(
+        QuotaSqueeze(grant_probability_scale=0.5, delay_scale=2.0)
+    )
+    assert all(cloud != "p" for cloud, _ in overrides)
+    base = QUOTA_FRICTION[("aws", "gpu")]
+    squeezed = overrides[("aws", "gpu")]
+    assert squeezed.grant_probability == pytest.approx(base.grant_probability * 0.5)
+    assert squeezed.delay_days == pytest.approx(
+        (base.delay_days[0] * 2.0, base.delay_days[1] * 2.0)
+    )
+    assert squeezed.window_hours == base.window_hours
+
+
+def test_ledger_honours_friction_overrides():
+    ledger = QuotaLedger(seed=0)
+    ledger.friction_overrides.update(
+        quota_friction_overrides(QuotaSqueeze(grant_probability_scale=0.0))
+    )
+    req = QuotaRequest(cloud="aws", instance_type="hpc6a.48xlarge",
+                       resource_class="cpu", quantity=33)
+    with pytest.raises(QuotaError):
+        ledger.request(req)
+
+
+# -------------------------------------------------------------- fault scaling
+
+
+def _aws_k8s_gpu_ctx():
+    return FaultContext(
+        cloud="aws", environment_kind="k8s", instance_type="p3dn.24xlarge",
+        is_gpu=True, nodes=4, attempt=0,
+    )
+
+
+def test_fault_probability_scale_zero_silences_everything():
+    for seed in range(5):
+        assert evaluate_faults(_aws_k8s_gpu_ctx(), seed=seed, probability_scale=0.0) == []
+
+
+def test_fault_probability_scale_one_is_the_baseline():
+    for seed in range(5):
+        assert evaluate_faults(_aws_k8s_gpu_ctx(), seed=seed) == evaluate_faults(
+            _aws_k8s_gpu_ctx(), seed=seed, probability_scale=1.0
+        )
+
+
+def test_fault_probability_scale_grows_the_event_set():
+    # Scaling to certainty fires every triggered fault, for any seed.
+    triggered = [s for s in FAULT_REGISTRY if s.trigger(_aws_k8s_gpu_ctx())]
+    for seed in range(5):
+        events = evaluate_faults(_aws_k8s_gpu_ctx(), seed=seed, probability_scale=1e9)
+        assert len(events) == len(triggered)
+
+
+# ------------------------------------------------------------- reporting lag
+
+
+def test_meter_lag_overrides_delay_reporting():
+    meter = BillingMeter()
+    meter.meter("aws", "hpc6a.48xlarge", 32, 0.0, HOUR, 2.88)
+    probe = (8.0 + 1.5) * HOUR  # past the default 8h lag
+    assert meter.reported(probe, "aws") > 0.0
+    meter.lag_overrides["aws"] = 96.0
+    assert meter.reported(probe, "aws") == 0.0
+    assert meter.reported((96.0 + 1.5) * HOUR, "aws") > 0.0
+    assert meter.accrued("aws") > 0.0  # ground truth is lag-independent
+
+
+# ------------------------------------------------------------ engine effects
+
+
+def test_engine_price_shock_scales_run_cost_only():
+    env = ENVIRONMENTS["cpu-aks-az"]
+    base = ExecutionEngine(seed=3).run(env, "amg2023", 32)
+    shocked = ExecutionEngine(seed=3, scenario=scenario("azure-price-spike")).run(
+        env, "amg2023", 32
+    )
+    assert shocked.wall_seconds == base.wall_seconds
+    assert shocked.fom == base.fom
+    assert shocked.cost_usd == pytest.approx(base.cost_usd * 2.5)
+
+
+def test_engine_fabric_degradation_slows_communication_bound_runs():
+    env = ENVIRONMENTS["cpu-eks-aws"]
+    base = ExecutionEngine(seed=3).run(env, "osu", 64)
+    degraded = ExecutionEngine(seed=3, scenario=scenario("degraded-efa")).run(
+        env, "osu", 64
+    )
+    assert degraded.wall_seconds > base.wall_seconds
+
+
+def test_engine_spot_preemption_kills_and_still_bills():
+    env = ENVIRONMENTS["cpu-eks-aws"]
+    reaper = Scenario(
+        scenario_id="reaper",
+        spot=SpotMarket(clouds=("aws",), base_discount=0.0,
+                        preemptions_per_hour=1e6),
+    )
+    base = ExecutionEngine(seed=3).run(env, "amg2023", 32)
+    record = ExecutionEngine(seed=3, scenario=reaper).run(env, "amg2023", 32)
+    assert record.state is RunState.FAILED
+    assert record.failure_kind == "spot-preemption"
+    assert record.fom is None
+    assert 0.0 < record.wall_seconds < base.wall_seconds
+    assert record.cost_usd > 0.0
+    assert 0.0 < record.extra["preempted_at_fraction"] < 1.0
+
+
+def test_engine_spot_preemption_never_touches_onprem():
+    env = ENVIRONMENTS["cpu-onprem-a"]
+    reaper = Scenario(
+        scenario_id="reaper-p",
+        spot=SpotMarket(clouds=("aws", "az", "g", "p"), preemptions_per_hour=1e6),
+    )
+    base = ExecutionEngine(seed=3).run(env, "amg2023", 32)
+    record = ExecutionEngine(seed=3, scenario=reaper).run(env, "amg2023", 32)
+    assert record == base
+
+
+def test_engine_empty_scenario_is_byte_identical():
+    env = ENVIRONMENTS["gpu-aks-az"]
+    for app in ("amg2023", "lammps"):
+        base = ExecutionEngine(seed=11).run(env, app, 32)
+        empty = ExecutionEngine(seed=11, scenario=Scenario(scenario_id="noop")).run(
+            env, app, 32
+        )
+        assert empty == base
