@@ -4,9 +4,20 @@ Each benchmark regenerates one table or figure of the paper, times the
 regeneration, verifies every paper claim attached to the experiment,
 and prints the regenerated rows/series so a benchmark run reproduces
 the evaluation section end to end (run with ``-s`` to see the output).
+
+Every benchmark run also leaves a machine-readable trace: per-test wall
+times (an autouse fixture records every collected benchmark) plus any
+richer entries benchmarks add via :func:`record_timing` (speedups,
+record counts) are written to ``BENCH_ensemble.json`` at session end —
+the artifact CI uploads so the bench trajectory is diffable run over
+run.  Point ``BENCH_ARTIFACT`` somewhere else to redirect it.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -19,6 +30,17 @@ from repro.reporting.tables import render_table
 #: iterations per (env, app, size) point; the paper ran 5
 BENCH_ITERATIONS = 5
 
+#: where the machine-readable timing artifact lands
+BENCH_ARTIFACT = os.environ.get("BENCH_ARTIFACT", "BENCH_ensemble.json")
+
+#: everything recorded this session, keyed by timing name
+_TIMINGS: dict[str, dict] = {}
+
+
+def record_timing(name: str, seconds: float, **extra) -> None:
+    """Record one named timing (plus free-form metadata) for the artifact."""
+    _TIMINGS[name] = {"seconds": seconds, **extra}
+
 
 def pytest_collection_modifyitems(items):
     """Every benchmark carries the registered ``bench`` marker."""
@@ -26,14 +48,43 @@ def pytest_collection_modifyitems(items):
         item.add_marker(pytest.mark.bench)
 
 
+@pytest.fixture(autouse=True)
+def _record_test_timing(request):
+    """Wall-time every benchmark test into the artifact automatically."""
+    start = time.perf_counter()
+    yield
+    record_timing(
+        f"test::{request.node.name}",
+        time.perf_counter() - start,
+        kind="test-wall-time",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-run timing artifact (see module docstring)."""
+    if not _TIMINGS:
+        return
+    payload = {"schema": 1, "exit_status": int(exitstatus), "timings": _TIMINGS}
+    with open(BENCH_ARTIFACT, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def regenerate(benchmark, experiment_id: str, *, iterations: int = BENCH_ITERATIONS) -> ExperimentOutput:
     """Time one experiment regeneration, then print and verify it."""
+    start = time.perf_counter()
     out = benchmark.pedantic(
         run_experiment,
         args=(experiment_id,),
         kwargs={"seed": 0, "iterations": iterations},
         rounds=1,
         iterations=1,
+    )
+    record_timing(
+        f"experiment::{experiment_id}",
+        time.perf_counter() - start,
+        kind="experiment",
+        iterations=iterations,
     )
     print()
     if out.table is not None:

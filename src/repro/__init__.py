@@ -36,6 +36,7 @@ from repro.core import (
     assess_environment,
     usability_table,
 )
+from repro.ensemble import EnsembleRunner, EnsembleSpec, ResultFrame
 from repro.envs import ENVIRONMENTS, Environment, environment
 from repro.network import FABRICS, fabric, hookup_time
 from repro.parallel import StudyShard, execute_shards, merge_shard_results, plan_shards
@@ -55,12 +56,15 @@ __all__ = [
     "Component",
     "ComponentKind",
     "ENVIRONMENTS",
+    "EnsembleRunner",
+    "EnsembleSpec",
     "Environment",
     "ExecutionEngine",
     "FABRICS",
     "GoogleCloud",
     "OnPrem",
     "PortabilityScorer",
+    "ResultFrame",
     "ResultStore",
     "RunCache",
     "RunContext",

@@ -12,13 +12,20 @@ Subcommands:
   optionally written to disk;
 * ``scenario`` — the what-if engine: ``scenario list`` shows the
   registered counterfactuals, ``scenario run`` executes selected
-  scenarios against the baseline and prints the delta report;
+  scenarios (preset names or JSON spec files) against the baseline and
+  prints the delta report;
+* ``ensemble`` — the Monte-Carlo replication engine: ``ensemble run``
+  replicates the campaign across a seed grid × scenario grid and prints
+  distributions (mean ± 95% CI, percentiles, exceedance probabilities)
+  instead of point estimates, with CSV/JSON export;
 * ``report`` — render the full evaluation report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.apps.registry import APPS
@@ -29,6 +36,7 @@ from repro.reporting.compare import summarize
 from repro.reporting.series import render_series
 from repro.reporting.tables import render_table
 from repro.scenarios.presets import SCENARIOS, scenario as scenario_lookup
+from repro.scenarios.spec import Scenario
 from repro.sim.execution import ExecutionEngine
 from repro.units import fmt_seconds, fmt_usd
 
@@ -93,13 +101,16 @@ def _cache_dir_error(cache: str | None) -> str | None:
     return None
 
 
+def _split_flag(value: str | None) -> tuple[str, ...] | None:
+    """A comma-separated CLI flag as a tuple; ``None`` when unset."""
+    return tuple(value.split(",")) if value else None
+
+
 def _config_from_args(args: argparse.Namespace) -> StudyConfig:
     """The campaign selection shared by ``study`` and ``scenario run``."""
-    env_ids = tuple(args.envs.split(",")) if args.envs else tuple(ENVIRONMENTS)
-    apps = tuple(args.apps.split(",")) if args.apps else tuple(APPS)
     return StudyConfig(
-        env_ids=env_ids,
-        apps=apps,
+        env_ids=_split_flag(args.envs) or tuple(ENVIRONMENTS),
+        apps=_split_flag(args.apps) or tuple(APPS),
         sizes=tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None,
         iterations=args.iterations,
         seed=args.seed,
@@ -129,6 +140,38 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_json_file(path: str, kind: str) -> dict:
+    """Parsed JSON from ``path``, with read/parse errors as clean
+    :class:`~repro.errors.ConfigurationError` usage messages."""
+    from repro.errors import ConfigurationError
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {kind} file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON in {kind} file {path!r}: {exc}")
+
+
+def _resolve_scenario(name: str) -> Scenario:
+    """A registered preset name, or a path to a Scenario JSON file.
+
+    Anything that looks like a path (a ``.json`` suffix or a path
+    separator) loads via
+    :meth:`~repro.scenarios.spec.Scenario.from_dict`; otherwise the
+    preset registry wins — a stray local file that happens to share a
+    preset's name never shadows the preset — and only then is an
+    existing file accepted as a spec.
+    """
+    looks_like_path = name.endswith(".json") or os.sep in name
+    if not looks_like_path and name in SCENARIOS:
+        return scenario_lookup(name)
+    if looks_like_path or os.path.exists(name):
+        return Scenario.from_dict(_load_json_file(name, "scenario"))
+    return scenario_lookup(name)
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.scenarios.sweep import ScenarioSweep
@@ -143,7 +186,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     try:
-        scenarios = [scenario_lookup(name) for name in args.scenario]
+        scenarios = [_resolve_scenario(name) for name in args.scenario]
         sweep = ScenarioSweep(
             _config_from_args(args),
             scenarios,
@@ -164,6 +207,55 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             fh.write(result.delta_table().to_csv())
         print(f"\ndelta CSV         : {args.output}")
+    return 0
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    from repro.ensemble import EnsembleRunner, EnsembleSpec
+    from repro.errors import ConfigurationError
+
+    error = _cache_dir_error(args.cache)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        if args.spec:
+            spec = EnsembleSpec.from_dict(_load_json_file(args.spec, "ensemble spec"))
+        else:
+            spec = EnsembleSpec(
+                n_replicas=args.replicas,
+                base_seed=args.seed,
+                scenarios=tuple(
+                    _resolve_scenario(name) for name in (args.scenario or ())
+                ),
+                env_ids=_split_flag(args.envs),
+                apps=_split_flag(args.apps),
+                sizes=tuple(int(s) for s in args.sizes.split(","))
+                if args.sizes
+                else None,
+                iterations=args.iterations,
+            )
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = EnsembleRunner(spec, workers=args.workers, cache_dir=args.cache)
+    result = runner.run()
+    print(result.render())
+    print()
+    print(f"worlds folded     : {result.worlds} "
+          f"({len(spec.scenario_grid())} scenarios x {spec.n_replicas} replicas)")
+    print(f"spec digest       : {spec.digest()}")
+    if args.cache:
+        print(f"world cache       : {result.world_cache_hits} hits, "
+              f"{result.world_cache_misses} misses")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.distribution_table().to_csv())
+        print(f"distribution CSV  : {args.output}")
+    if args.json_output:
+        with open(args.json_output, "w") as fh:
+            fh.write(result.to_json())
+        print(f"distribution JSON : {args.json_output}")
     return 0
 
 
@@ -194,6 +286,8 @@ examples:
       a focused campaign over one environment
   python -m repro scenario run --scenario spot-everything --workers 4
       the campaign under a what-if overlay, vs the baseline
+  python -m repro ensemble run --replicas 8 --workers 4
+      replicate the campaign over 8 seeds; distributions, not points
   python -m repro report -o report.md
       render the full evaluation report to markdown
 """
@@ -223,6 +317,26 @@ examples:
   python -m repro scenario run --scenario degraded-efa \\
       --envs cpu-eks-aws --apps osu,minife --sizes 64 --output deltas.csv
       a focused sweep, delta table exported as CSV
+  python -m repro scenario run --scenario my-scenario.json
+      a scenario loaded from a JSON spec file instead of a preset
+"""
+
+
+_ENSEMBLE_EPILOG = """\
+examples:
+  python -m repro ensemble run --replicas 8 --workers 4
+      replicate the default campaign over 8 seeds and print
+      distributions (mean ± 95% CI, p10/p50/p90) per cell
+  python -m repro ensemble run --replicas 8 --scenario spot-everything
+      seed grid x scenario grid: exceedance probabilities show how
+      often the spot world keeps up with the seed study's numbers
+  python -m repro ensemble run --replicas 4 --scenario my-scenario.json \\
+      --envs cpu-eks-aws --apps amg2023 --sizes 32 --cache .repro-cache
+      a focused ensemble with per-world summary caching (a warm
+      re-run folds cached summaries and simulates nothing)
+  python -m repro ensemble run --spec ensemble.json --output dist.csv --json dist.json
+      the whole plan from a declarative EnsembleSpec JSON file,
+      exported as CSV and JSON
 """
 
 
@@ -310,10 +424,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         action="append",
         required=True,
-        metavar="NAME",
-        help="scenario to run (repeatable); see `repro scenario list`",
+        metavar="NAME|FILE",
+        help="scenario to run (repeatable): a preset name "
+        "(see `repro scenario list`) or a path to a Scenario JSON spec file",
     )
     p_scn_run.add_argument("--output", help="write the delta table CSV here")
+
+    p_ensemble = sub.add_parser(
+        "ensemble",
+        help="Monte-Carlo replication engine (distributions, not point estimates)",
+        epilog=_ENSEMBLE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ensemble_sub = p_ensemble.add_subparsers(dest="ensemble_command", required=True)
+    p_ens_run = ensemble_sub.add_parser(
+        "run",
+        help="replicate the campaign across a seed grid x scenario grid",
+        epilog=_ENSEMBLE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[campaign_options],
+    )
+    p_ens_run.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="independent replicas per scenario; replica r runs at "
+        "seed (--seed + r) (default: 3)",
+    )
+    p_ens_run.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME|FILE",
+        help="counterfactual world to replicate alongside the baseline "
+        "(repeatable): a preset name or a Scenario JSON spec file",
+    )
+    p_ens_run.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="load the whole plan from an EnsembleSpec JSON file "
+        "(overrides --replicas/--scenario and the campaign selection)",
+    )
+    p_ens_run.add_argument("--output", help="write the distribution table CSV here")
+    p_ens_run.add_argument(
+        "--json",
+        dest="json_output",
+        metavar="FILE",
+        help="write the full distribution dataset as JSON here",
+    )
 
     p_report = sub.add_parser(
         "report",
@@ -335,6 +492,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "study": _cmd_study,
         "scenario": _cmd_scenario,
+        "ensemble": _cmd_ensemble,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

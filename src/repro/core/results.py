@@ -104,6 +104,20 @@ class ResultStore:
     def total_cost(self) -> float:
         return sum(r.cost_usd for r in self.records)
 
+    # -- columnar fast path --------------------------------------------------
+
+    def to_frame(self):
+        """A columnar :class:`~repro.ensemble.frame.ResultFrame` view.
+
+        One conversion pass over the records; aggregation from then on
+        is vectorized NumPy.  The fold path for anything that touches
+        the store more than once per record (the ensemble engine, bulk
+        statistics) — the list of dataclasses stays the archival truth.
+        """
+        from repro.ensemble.frame import ResultFrame
+
+        return ResultFrame.from_store(self)
+
     # -- export -------------------------------------------------------------
 
     CSV_FIELDS = (

@@ -1,0 +1,257 @@
+"""Columnar result frames: NumPy structured-array views of run records.
+
+A :class:`~repro.core.results.ResultStore` is a list of dataclasses —
+ideal for building the dataset, slow for folding one.  An ensemble folds
+*worlds × runs* records, so the fold's hot path converts each store to a
+:class:`ResultFrame` once (one pass over the records) and aggregates on
+typed columns from then on: the conversion also factorizes each
+record's (env, app, scale) into an integer cell label, so every
+aggregation is a handful of ``np.bincount`` passes over int64 labels —
+no string comparisons on the hot path.  Over a paper-scale store (25k+
+records) the vectorized cell aggregation is more than an order of
+magnitude faster than the per-record Python loop it replaces
+(``benchmarks/test_bench_ensemble.py`` keeps the receipt).
+
+Float semantics are preserved exactly: ``np.bincount`` accumulates in
+original record order, so every cell sum — and therefore every cell
+mean — is bit-identical to the per-record loop, and matches ``np.mean``
+of :meth:`ResultStore.foms` at study cell sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.sim.run_result import RunRecord, RunState
+
+#: column order of the ``state`` code; index into this tuple to decode
+STATE_ORDER: tuple[RunState, ...] = tuple(RunState)
+_STATE_CODE = {state: code for code, state in enumerate(STATE_ORDER)}
+
+#: the frame's schema: one typed column per dataset CSV field that
+#: aggregations touch (string payloads like ``failure_kind`` stay in the
+#: store; the frame is a fold structure, not an archive)
+FRAME_DTYPE = np.dtype(
+    [
+        ("env", "U32"),
+        ("app", "U24"),
+        ("scale", "i8"),
+        ("nodes", "i8"),
+        ("iteration", "i8"),
+        ("state", "i1"),
+        ("fom", "f8"),
+        ("wall_seconds", "f8"),
+        ("hookup_seconds", "f8"),
+        ("cost_usd", "f8"),
+    ]
+)
+
+@dataclass(frozen=True)
+class CellAggregates:
+    """Struct-of-arrays: one entry per (env, app, scale) cell.
+
+    Cells are sorted by (env, app, scale); every array is parallel.
+    ``fom_mean`` / ``wall_mean`` average *completed* runs and are NaN
+    for cells with none; ``cost_total`` sums every record (skips cost
+    nothing, failures bill what they consumed).
+    """
+
+    env: np.ndarray
+    app: np.ndarray
+    scale: np.ndarray
+    records: np.ndarray
+    completed: np.ndarray
+    fom_mean: np.ndarray
+    wall_mean: np.ndarray
+    cost_total: np.ndarray
+    state_counts: dict[RunState, np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.env)
+
+    def rows(self) -> list[dict]:
+        """Per-cell dicts (JSON-safe: NaN means become ``None``)."""
+        out = []
+        for i in range(len(self)):
+            fom = float(self.fom_mean[i])
+            wall = float(self.wall_mean[i])
+            out.append(
+                {
+                    "env": str(self.env[i]),
+                    "app": str(self.app[i]),
+                    "scale": int(self.scale[i]),
+                    "records": int(self.records[i]),
+                    "completed": int(self.completed[i]),
+                    "fom_mean": None if np.isnan(fom) else fom,
+                    "wall_mean": None if np.isnan(wall) else wall,
+                    "cost_total": float(self.cost_total[i]),
+                }
+            )
+        return out
+
+
+class ResultFrame:
+    """A columnar view of run records, built once per store."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        *,
+        cells: list[tuple[str, str, int]] | None = None,
+        labels: np.ndarray | None = None,
+    ):
+        if data.dtype != FRAME_DTYPE:
+            raise ValueError(f"frame data must have dtype {FRAME_DTYPE}")
+        self.data = data
+        # The cell factorization: ``cells`` lists the sorted unique
+        # (env, app, scale) keys, ``labels`` maps each record to its
+        # cell index.  from_records computes it during conversion; a
+        # frame built from a raw array derives it lazily.
+        self._cells = cells
+        self._labels = labels
+        # Contiguous copies of the numeric hot columns (field views into
+        # a structured array are strided; reductions over them pay for
+        # every cache miss).  Materialized once, on first aggregation.
+        self._hot: tuple[np.ndarray, ...] | None = None
+
+    @classmethod
+    def from_records(cls, records: Iterable[RunRecord]) -> "ResultFrame":
+        """One conversion pass: dataclass list → typed columns + labels."""
+        records = list(records)
+        envs = [r.env_id for r in records]
+        apps = [r.app for r in records]
+        # Fixed-width columns truncate silently on assignment, which
+        # would merge distinct cells; refuse over-long ids instead.
+        for values, width, what in ((envs, 32, "env id"), (apps, 24, "app name")):
+            too_long = next((v for v in values if len(v) > width), None)
+            if too_long is not None:
+                raise ValueError(
+                    f"{what} {too_long!r} exceeds the frame's {width}-char column"
+                )
+        arr = np.empty(len(records), dtype=FRAME_DTYPE)
+        arr["env"] = envs
+        arr["app"] = apps
+        arr["scale"] = [r.scale for r in records]
+        arr["nodes"] = [r.nodes for r in records]
+        arr["iteration"] = [r.iteration for r in records]
+        arr["state"] = [_STATE_CODE[r.state] for r in records]
+        arr["fom"] = [np.nan if r.fom is None else r.fom for r in records]
+        arr["wall_seconds"] = [r.wall_seconds for r in records]
+        arr["hookup_seconds"] = [r.hookup_seconds for r in records]
+        arr["cost_usd"] = [r.cost_usd for r in records]
+        keys = [(r.env_id, r.app, r.scale) for r in records]
+        cells = sorted(set(keys))
+        index = {cell: i for i, cell in enumerate(cells)}
+        labels = np.fromiter(
+            (index[key] for key in keys), dtype=np.int64, count=len(keys)
+        )
+        return cls(arr, cells=cells, labels=labels)
+
+    @classmethod
+    def from_store(cls, store) -> "ResultFrame":
+        """Convert a :class:`~repro.core.results.ResultStore`."""
+        return cls.from_records(store.records)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def column(self, name: str) -> np.ndarray:
+        """One typed column (a view, not a copy)."""
+        return self.data[name]
+
+    def states(self) -> list[RunState]:
+        """Decoded run states, record order."""
+        return [STATE_ORDER[code] for code in self.data["state"]]
+
+    def _hot_columns(self) -> tuple[np.ndarray, ...]:
+        """(state_codes, fom, wall, cost, completed), all contiguous."""
+        if self._hot is None:
+            state = np.ascontiguousarray(self.data["state"]).astype(np.int64)
+            fom = np.ascontiguousarray(self.data["fom"])
+            wall = np.ascontiguousarray(self.data["wall_seconds"])
+            cost = np.ascontiguousarray(self.data["cost_usd"])
+            completed = (state == _STATE_CODE[RunState.COMPLETED]) & ~np.isnan(fom)
+            self._hot = (state, fom, wall, cost, completed)
+        return self._hot
+
+    def completed_mask(self) -> np.ndarray:
+        """Completed runs carrying a figure of merit."""
+        return self._hot_columns()[4]
+
+    # -- vectorized group-by ------------------------------------------------
+
+    def cell_index(self) -> tuple[list[tuple[str, str, int]], np.ndarray]:
+        """(sorted unique cells, per-record int64 cell labels).
+
+        Computed during conversion for frames built via
+        :meth:`from_records`; derived vectorized (a factorize per key
+        column, then one dense composite code) for frames handed a raw
+        array.  Either way the cell order is sorted (env, app, scale).
+        """
+        if self._labels is None:
+            env_codes, env_inv = np.unique(self.data["env"], return_inverse=True)
+            app_codes, app_inv = np.unique(self.data["app"], return_inverse=True)
+            sc_codes, sc_inv = np.unique(self.data["scale"], return_inverse=True)
+            dense = (env_inv * len(app_codes) + app_inv) * len(sc_codes) + sc_inv
+            present, labels = np.unique(dense, return_inverse=True)
+            span = len(app_codes) * len(sc_codes)
+            self._cells = [
+                (
+                    str(env_codes[code // span]),
+                    str(app_codes[(code % span) // len(sc_codes)]),
+                    int(sc_codes[code % len(sc_codes)]),
+                )
+                for code in present
+            ]
+            self._labels = labels.astype(np.int64)
+        return self._cells, self._labels
+
+    def cell_aggregates(self) -> CellAggregates:
+        """Fold every (env, app, scale) cell in a few bincount passes.
+
+        Group sums accumulate via ``np.bincount`` over the per-record
+        labels, which adds in original record order — so every cell sum
+        (and mean) is bit-identical to the per-record Python loop it
+        replaces, and to ``np.mean`` of ``store.foms`` at study cell
+        sizes.
+        """
+        cells, labels = self.cell_index()
+        n_cells = len(cells)
+        state, fom, wall, cost, completed = self._hot_columns()
+
+        def _sums(values: np.ndarray) -> np.ndarray:
+            return np.bincount(labels, weights=values, minlength=n_cells)
+
+        records = np.bincount(labels, minlength=n_cells)
+        n_completed = _sums(completed.astype(np.float64)).astype(np.int64)
+        fom_sum = _sums(np.where(completed, fom, 0.0))
+        wall_sum = _sums(np.where(completed, wall, 0.0))
+        cost_total = _sums(cost)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            fom_mean = np.where(n_completed > 0, fom_sum / n_completed, np.nan)
+            wall_mean = np.where(n_completed > 0, wall_sum / n_completed, np.nan)
+
+        # One pass for all states: a composite (cell, state) code.
+        n_states = len(STATE_ORDER)
+        per_state = np.bincount(
+            labels * n_states + state,
+            minlength=n_cells * n_states,
+        ).reshape(n_cells, n_states)
+        state_counts = {
+            state: per_state[:, code] for code, state in enumerate(STATE_ORDER)
+        }
+        return CellAggregates(
+            env=np.array([c[0] for c in cells], dtype="U32"),
+            app=np.array([c[1] for c in cells], dtype="U24"),
+            scale=np.array([c[2] for c in cells], dtype=np.int64),
+            records=records,
+            completed=n_completed,
+            fom_mean=fom_mean,
+            wall_mean=wall_mean,
+            cost_total=cost_total,
+            state_counts=state_counts,
+        )

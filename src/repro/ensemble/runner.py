@@ -1,0 +1,365 @@
+"""The Monte-Carlo replication engine: seeds × scenarios → distributions.
+
+:class:`EnsembleRunner` executes an :class:`~repro.ensemble.spec.EnsembleSpec`
+by fanning every replica-world — one full campaign at one
+``(seed, scenario)`` coordinate — through the study's own parallel
+machinery, then folding each world down to streaming per-cell statistics
+the moment its shards return.  Three properties are engineered in:
+
+**Determinism.**  Worlds are planned and folded in spec order
+(scenario-major, replicas ascending) no matter how many workers execute
+the shards, and every shard is the same pure function the study runner
+uses — so any worker count produces a byte-identical distribution
+report, and world 0 (baseline, replica 0) *is* the seed study.
+
+**Bounded memory.**  Shard batches stream through
+:func:`~repro.parallel.pool.pmap_chunked`; each world collapses to one
+:class:`~repro.ensemble.frame.ResultFrame` fold (a dozen floats per
+cell) before the next world's records exist.  State is O(cells), never
+O(worlds × runs).
+
+**Warm re-runs are nearly free.**  Cache keys are seed- and
+scenario-aware at all three levels: run and cell entries
+(:mod:`repro.sim.cache`) replay individual simulations, and a new
+world-level entry (:func:`~repro.sim.cache.world_key`) stores each
+world's *folded summary* so a repeat ensemble skips shard execution and
+the fold entirely.
+
+Container builds contribute incidents but no run records and do not
+vary across worlds, so the ensemble (a distribution engine over
+records) skips them — exactly like
+:func:`~repro.parallel.shard.execute_shard` itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ensemble.frame import ResultFrame
+from repro.ensemble.spec import EnsembleSpec
+from repro.ensemble.stats import CellStats, StreamAccumulator
+from repro.parallel.pool import pmap_chunked
+from repro.parallel.shard import ShardResult, StudyShard, execute_shard, plan_shards
+from repro.scenarios.spec import Scenario, active
+from repro.sim.cache import RunCache, world_key
+from repro.sim.execution import ExecutionEngine
+
+#: world-summary payload schema; bump on shape changes so stale
+#: summaries miss instead of resurfacing
+WORLD_SUMMARY_VERSION = 1
+
+
+def _engine_options() -> dict:
+    """The engine options every ensemble shard runs under.
+
+    Shards build their engines with defaults
+    (:func:`~repro.parallel.shard.execute_shard`), so the world key
+    derives the options from a default engine — the same way the
+    cell-level key derives them from the executing engine — and cannot
+    drift if the default ever changes.
+    """
+    return {"azure_ucx_tuned": ExecutionEngine().azure_ucx_tuned}
+
+#: a cell's identity across worlds
+CellKey = tuple[str, str, str, int]  # (scenario_id, env, app, scale)
+
+
+@dataclass(frozen=True)
+class WorldPlan:
+    """One replica-world: a full campaign at (seed, scenario)."""
+
+    position: int  # fold order; 0 is always (baseline, replica 0)
+    scenario: Scenario
+    replica: int
+    seed: int
+
+
+@dataclass
+class EnsembleResult:
+    """Everything an ensemble folded, ready to report.
+
+    ``cells`` maps (scenario_id, env, app, scale) → streaming stats, in
+    deterministic fold order (scenario-major, cells sorted).
+    ``thresholds`` holds the seed study's per-cell point-estimate FOMs —
+    world 0's values, the numbers the paper would have published — which
+    the distribution report turns into exceedance probabilities.
+    """
+
+    spec: EnsembleSpec
+    cells: dict[CellKey, CellStats] = field(default_factory=dict)
+    thresholds: dict[tuple[str, str, int], float] = field(default_factory=dict)
+    spend: dict[str, StreamAccumulator] = field(default_factory=dict)
+    incidents: dict[str, StreamAccumulator] = field(default_factory=dict)
+    worlds: int = 0
+    world_cache_hits: int = 0
+    world_cache_misses: int = 0
+
+    def scenario_ids(self) -> list[str]:
+        """Scenario ids in fold order (baseline first)."""
+        return [scn.scenario_id for scn in self.spec.scenario_grid()]
+
+    def threshold_for(self, env: str, app: str, scale: int) -> float | None:
+        return self.thresholds.get((env, app, scale))
+
+    # -- reporting ----------------------------------------------------------
+
+    def distribution_table(self):
+        """Per-cell CI/percentile table (:mod:`repro.reporting.distributions`)."""
+        from repro.reporting.distributions import distribution_table
+
+        return distribution_table(self)
+
+    def exceedance_table(self):
+        """Per-scenario exceedance summary."""
+        from repro.reporting.distributions import exceedance_table
+
+        return exceedance_table(self)
+
+    def render(self) -> str:
+        """Both tables as fixed-width text."""
+        from repro.reporting.distributions import render_distributions
+
+        return render_distributions(self)
+
+    def to_json_dict(self) -> dict:
+        """A JSON-safe snapshot of the whole distribution dataset."""
+        cells = []
+        for (sid, env, app, scale), stats in self.cells.items():
+            threshold = self.threshold_for(env, app, scale)
+            entry = {
+                "scenario": sid,
+                "env": env,
+                "app": app,
+                "scale": scale,
+                "worlds": stats.worlds,
+                "fom": stats.fom.summary(),
+                "wall_seconds": stats.wall.summary(),
+                "cost_usd": stats.cost.summary(),
+                "completed": stats.completed.summary(),
+                "fom_threshold": threshold,
+            }
+            if threshold is not None and stats.fom.count:
+                entry["fom_exceedance"] = stats.fom.exceedance(threshold)
+            cells.append(entry)
+        return {
+            "spec": self.spec.to_dict(),
+            "digest": self.spec.digest(),
+            "worlds": self.worlds,
+            "world_cache": {
+                "hits": self.world_cache_hits,
+                "misses": self.world_cache_misses,
+            },
+            "spend_usd": {sid: acc.summary() for sid, acc in self.spend.items()},
+            "incidents": {sid: acc.summary() for sid, acc in self.incidents.items()},
+            "cells": cells,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+
+class EnsembleRunner:
+    """Executes an :class:`EnsembleSpec` and folds the distributions.
+
+    ``workers`` and ``cache_dir`` behave exactly as on
+    :class:`~repro.core.study.StudyRunner`; the cache additionally
+    stores per-world folded summaries under
+    :func:`~repro.sim.cache.world_key`.
+    """
+
+    def __init__(
+        self,
+        spec: EnsembleSpec,
+        *,
+        workers: int = 1,
+        cache_dir: str | None = None,
+    ):
+        self.spec = spec
+        self.workers = workers
+        self.cache_dir = cache_dir
+
+    # -- planning -----------------------------------------------------------
+
+    def _plans(self) -> list[WorldPlan]:
+        return [
+            WorldPlan(
+                position=i,
+                scenario=scn,
+                replica=replica,
+                seed=self.spec.replica_seed(replica),
+            )
+            for i, (scn, replica) in enumerate(self.spec.worlds())
+        ]
+
+    def _world_key(self, world: WorldPlan) -> str:
+        scn = active(world.scenario)
+        config = self.spec.study_config(world.replica)
+        return world_key(
+            seed=world.seed,
+            env_ids=tuple(config.env_ids),
+            apps=tuple(config.apps),
+            sizes=config.sizes,
+            iterations=config.iterations,
+            engine_options=_engine_options(),
+            scenario=scn.digest() if scn is not None else None,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> EnsembleResult:
+        """Execute every world and fold the streaming distributions."""
+        result = EnsembleResult(spec=self.spec)
+        cache = RunCache(self.cache_dir) if self.cache_dir else None
+        for world, summary, cached in self._summaries(self._plans(), cache):
+            if cache is not None:  # no phantom misses when uncached
+                if cached:
+                    result.world_cache_hits += 1
+                else:
+                    result.world_cache_misses += 1
+            self._fold(result, world, summary)
+            result.worlds += 1
+        return result
+
+    def _summaries(
+        self, plans: list[WorldPlan], cache: RunCache | None
+    ) -> Iterator[tuple[WorldPlan, dict, bool]]:
+        """Yield (world, folded summary, was-cached) in fold order.
+
+        Cached worlds replay their stored summary; contiguous runs of
+        missing worlds execute through the worker pool in batches.  The
+        pending list is flushed before any cached world is yielded, so
+        the output order is exactly the plan order.
+        """
+        pending: list[tuple[WorldPlan, str | None]] = []
+        for world in plans:
+            key = self._world_key(world) if cache is not None else None
+            data = cache.get_json(key) if cache is not None else None
+            if self._valid_summary(data):
+                yield from self._execute(pending, cache)
+                pending = []
+                yield world, data, True
+            else:
+                pending.append((world, key))
+        yield from self._execute(pending, cache)
+
+    @staticmethod
+    def _is_number(value) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    @classmethod
+    def _valid_cell(cls, cell) -> bool:
+        return (
+            isinstance(cell, dict)
+            and isinstance(cell.get("env"), str)
+            and isinstance(cell.get("app"), str)
+            and all(
+                cls._is_number(cell.get(field))
+                for field in ("scale", "records", "completed", "cost_total")
+            )
+            and all(
+                cell.get(field) is None or cls._is_number(cell[field])
+                for field in ("fom_mean", "wall_mean")
+            )
+        )
+
+    @classmethod
+    def _valid_summary(cls, data) -> bool:
+        """Deep-enough validation that a cached entry can be folded.
+
+        JSON-valid but malformed entries (truncated-and-repaired files,
+        rows missing fields, mistyped values) must re-simulate
+        silently, exactly like non-JSON corruption — the cache is an
+        accelerator, never a source of truth.  Every field and type
+        :meth:`_fold` touches is checked here.
+        """
+        if not (isinstance(data, dict) and data.get("v") == WORLD_SUMMARY_VERSION):
+            return False
+        cells = data.get("cells")
+        if not isinstance(cells, list) or not all(map(cls._valid_cell, cells)):
+            return False
+        return cls._is_number(data.get("spend")) and cls._is_number(
+            data.get("incidents")
+        )
+
+    def _execute(
+        self,
+        pending: list[tuple[WorldPlan, str | None]],
+        cache: RunCache | None,
+    ) -> Iterator[tuple[WorldPlan, dict, bool]]:
+        """Execute missing worlds as streamed shard batches, in order."""
+        if not pending:
+            return
+        plans: list[list[StudyShard]] = [
+            plan_shards(
+                self.spec.study_config(world.replica),
+                cache_dir=self.cache_dir,
+                scenario=world.scenario,
+                world=world.position,
+            )
+            for world, _ in pending
+        ]
+        flat = [shard for shards in plans for shard in shards]
+        # A chunk spans several small worlds (or part of one large one);
+        # only one chunk of shard results is ever alive at a time.
+        chunk_size = max(len(plans[0]), max(1, self.workers) * 4)
+        results: Iterator[ShardResult] = (
+            shard_result
+            for batch in pmap_chunked(
+                execute_shard, flat, workers=self.workers, chunk_size=chunk_size
+            )
+            for shard_result in batch
+        )
+        for (world, key), shards in zip(pending, plans):
+            world_results = [next(results) for _ in range(len(shards))]
+            assert all(r.world == world.position for r in world_results)
+            summary = self._world_summary(world_results)
+            if cache is not None and key is not None:
+                cache.put_json(key, summary)
+            yield world, summary, False
+
+    @staticmethod
+    def _world_summary(shard_results: list[ShardResult]) -> dict:
+        """Fold one world's shard results into its columnar summary.
+
+        Records concatenate in plan order (results arrive in submission
+        order), so the frame fold — and therefore the summary — is the
+        same bytes for any worker count, and JSON floats round-trip
+        exactly, so a cache replay folds identically to a fresh fold.
+        """
+        records = [r for shard in shard_results for r in shard.records]
+        frame = ResultFrame.from_records(records)
+        spend = sum(
+            usd for shard in shard_results for usd in shard.spend_by_cloud.values()
+        )
+        incidents = sum(len(shard.incidents) for shard in shard_results)
+        return {
+            "v": WORLD_SUMMARY_VERSION,
+            "cells": frame.cell_aggregates().rows(),
+            "spend": spend,
+            "incidents": incidents,
+        }
+
+    # -- folding ------------------------------------------------------------
+
+    @staticmethod
+    def _fold(result: EnsembleResult, world: WorldPlan, summary: dict) -> None:
+        sid = world.scenario.scenario_id
+        # The seed study anchors the thresholds: the *baseline* world at
+        # replica 0 — not merely plan position 0, which could be a
+        # perturbed scenario if the user listed an empty scenario of
+        # their own after it (scenario_grid only injects BASELINE when
+        # no baseline-equivalent world is present).
+        anchor = world.scenario.is_baseline and world.replica == 0
+        for cell in summary["cells"]:
+            key: CellKey = (sid, cell["env"], cell["app"], int(cell["scale"]))
+            result.cells.setdefault(key, CellStats()).fold_cell(cell)
+            if anchor and cell["fom_mean"] is not None:
+                result.thresholds[(cell["env"], cell["app"], int(cell["scale"]))] = (
+                    cell["fom_mean"]
+                )
+        result.spend.setdefault(sid, StreamAccumulator()).push(summary["spend"])
+        result.incidents.setdefault(sid, StreamAccumulator()).push(
+            summary["incidents"]
+        )

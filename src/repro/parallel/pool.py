@@ -15,7 +15,7 @@ than failing the campaign.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -42,6 +42,62 @@ def pmap(
     except (OSError, PermissionError):
         # No process support on this host: fall back to serial execution.
         return [fn(item) for item in items]
+
+
+def pmap_chunked(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> Iterator[list[R]]:
+    """Map ``fn`` over ``items`` one chunk at a time, preserving order.
+
+    The streaming form of :func:`pmap` for work lists too large to hold
+    results for all at once (an ensemble's worlds × cells): one
+    long-lived :class:`~concurrent.futures.ProcessPoolExecutor` serves
+    the whole sequence (pool start-up is paid once, not per chunk), but
+    at most two chunks are in flight at a time — so peak memory is
+    O(chunk), not O(items), while workers never sit idle between
+    chunks.  As with :func:`pmap`, ``workers <= 1`` runs inline and a
+    host without process support degrades to the serial path.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, workers) * 4
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks = [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
+    if workers <= 1 or len(items) <= 1:
+        for chunk in chunks:
+            yield [fn(item) for item in chunk]
+        return
+    pool = None
+    try:
+        # Everything the sandboxed-host failure can touch (executor
+        # construction allocates the semaphores, the first submissions
+        # spawn the workers) happens before anything is yielded, so the
+        # serial fallback never skips or re-yields a chunk.
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(items)))
+        in_flight: list[list] = []
+        index = 0
+        while index < len(chunks) and len(in_flight) < 2:
+            in_flight.append([pool.submit(fn, item) for item in chunks[index]])
+            index += 1
+    except (OSError, PermissionError):
+        if pool is not None:
+            # Spawn failed partway: cancel what never started and drop
+            # the half-broken pool before re-running everything serially.
+            pool.shutdown(wait=False, cancel_futures=True)
+        for chunk in chunks:
+            yield [fn(item) for item in chunk]
+        return
+    with pool:
+        while in_flight:
+            done = [future.result() for future in in_flight.pop(0)]
+            if index < len(chunks):
+                in_flight.append([pool.submit(fn, item) for item in chunks[index]])
+                index += 1
+            yield done
 
 
 def execute_shards(shards: Sequence[T], *, workers: int = 1) -> list:

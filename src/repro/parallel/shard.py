@@ -62,6 +62,10 @@ class StudyShard:
     #: A pure value like the rest of the shard, so it ships to worker
     #: processes with no extra machinery.
     scenario: Scenario | None = None
+    #: which replica-world this cell belongs to when several campaigns
+    #: share one flattened work list (:mod:`repro.ensemble`); a plain
+    #: label — it never participates in cache keys or simulation.
+    world: int = 0
 
 
 @dataclass
@@ -71,6 +75,7 @@ class ShardResult:
     index: int
     env_id: str
     scale: int
+    world: int = 0
     records: list[RunRecord] = field(default_factory=list)
     incidents: list[Incident] = field(default_factory=list)
     spend_by_cloud: dict[str, float] = field(default_factory=dict)
@@ -84,6 +89,7 @@ def plan_shards(
     *,
     cache_dir: str | None = None,
     scenario: Scenario | None = None,
+    world: int = 0,
 ) -> list[StudyShard]:
     """Split a :class:`~repro.core.study.StudyConfig` into cells.
 
@@ -94,6 +100,9 @@ def plan_shards(
     ``scenario`` tags every cell with a what-if overlay; an *empty*
     scenario normalizes to ``None`` here, so a baseline-equivalent
     scenario plans (and caches) exactly like no scenario at all.
+    ``world`` labels every cell with its replica-world when plans from
+    several campaigns are flattened into one work list (the ensemble
+    runner regroups results by it).
 
     One normalization relative to the pre-shard runner: undeployable
     environments used to emit their skip records app-major across sizes;
@@ -116,6 +125,7 @@ def plan_shards(
                     seed=config.seed,
                     cache_dir=cache_dir,
                     scenario=scenario,
+                    world=world,
                 )
             )
     return shards
@@ -203,6 +213,7 @@ def _decode_shard(shard: StudyShard, data: dict) -> ShardResult:
         index=shard.index,
         env_id=shard.env_id,
         scale=shard.scale,
+        world=shard.world,
         records=records,
         incidents=incidents,
         spend_by_cloud=dict(data["spend_by_cloud"]),
@@ -233,7 +244,9 @@ def execute_shard(shard: StudyShard) -> ShardResult:
         # The cell-level lookup must not leak into the run-level stats.
         cache.hits = 0
         cache.misses = 0
-    result = ShardResult(index=shard.index, env_id=shard.env_id, scale=shard.scale)
+    result = ShardResult(
+        index=shard.index, env_id=shard.env_id, scale=shard.scale, world=shard.world
+    )
 
     if not env.deployable:
         # Record skips so the dataset shows the missing environment.

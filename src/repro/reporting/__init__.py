@@ -1,8 +1,13 @@
 """Report rendering: ASCII tables, series, paper-vs-measured comparisons,
-and what-if scenario delta reports."""
+what-if scenario delta reports, and ensemble distribution reports."""
 
 from repro.reporting.compare import Expectation, check_expectations
 from repro.reporting.deltas import ScenarioDelta, delta_table, scenario_deltas
+from repro.reporting.distributions import (
+    distribution_table,
+    exceedance_table,
+    render_distributions,
+)
 from repro.reporting.series import Series, render_series
 from repro.reporting.tables import Table, render_table
 
@@ -13,6 +18,9 @@ __all__ = [
     "Table",
     "check_expectations",
     "delta_table",
+    "distribution_table",
+    "exceedance_table",
+    "render_distributions",
     "render_series",
     "render_table",
     "scenario_deltas",

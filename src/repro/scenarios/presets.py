@@ -122,3 +122,34 @@ def register_scenario(scn: Scenario, *, replace: bool = False) -> Scenario:
         raise ConfigurationError(f"scenario {scn.scenario_id!r} already registered")
     SCENARIOS[scn.scenario_id] = scn
     return scn
+
+
+def scenario_grid(
+    scenarios,
+    *,
+    include_baseline: bool = True,
+) -> list[Scenario]:
+    """Validate and order a list of worlds for a sweep or ensemble.
+
+    Checks the two invariants every multi-world plan needs — unique ids,
+    and the label ``"baseline"`` reserved for the empty scenario — and
+    injects :data:`BASELINE` at the front when no world is a baseline
+    (unless ``include_baseline`` is off).  Raises :class:`ValueError` so
+    callers that validate user input surface a clean message.
+    """
+    worlds = list(scenarios)
+    seen: set[str] = set()
+    for scn in worlds:
+        if scn.scenario_id in seen:
+            raise ValueError(f"duplicate scenario id {scn.scenario_id!r} in sweep")
+        seen.add(scn.scenario_id)
+        if scn.scenario_id == "baseline" and not scn.is_baseline:
+            # The label "baseline" is reserved for the empty world; a
+            # perturbed scenario wearing it would silently replace the
+            # real baseline in the outcome map.
+            raise ValueError(
+                "scenario id 'baseline' is reserved for the empty scenario"
+            )
+    if include_baseline and not any(s.is_baseline for s in worlds):
+        worlds.insert(0, BASELINE)
+    return worlds

@@ -27,7 +27,7 @@ from typing import Iterable, Sequence
 from repro.core.study import StudyConfig, StudyReport, StudyRunner
 from repro.reporting.deltas import delta_table, scenario_deltas
 from repro.reporting.tables import render_table
-from repro.scenarios.presets import BASELINE
+from repro.scenarios.presets import scenario_grid
 from repro.scenarios.spec import Scenario
 
 
@@ -104,24 +104,11 @@ class ScenarioSweep:
         self.workers = workers
         self.cache_dir = cache_dir
         self.include_baseline = include_baseline
-        seen: set[str] = set()
-        for scn in self.scenarios:
-            if scn.scenario_id in seen:
-                raise ValueError(f"duplicate scenario id {scn.scenario_id!r} in sweep")
-            seen.add(scn.scenario_id)
-            if scn.scenario_id == "baseline" and not scn.is_baseline:
-                # The label "baseline" is reserved for the empty world;
-                # a perturbed scenario wearing it would silently replace
-                # the real baseline in the outcome map.
-                raise ValueError(
-                    "scenario id 'baseline' is reserved for the empty scenario"
-                )
+        # Fail fast on duplicate/reserved ids — before any world runs.
+        scenario_grid(self.scenarios, include_baseline=include_baseline)
 
     def _worlds(self) -> list[Scenario]:
-        worlds = list(self.scenarios)
-        if self.include_baseline and not any(s.is_baseline for s in worlds):
-            worlds.insert(0, BASELINE)
-        return worlds
+        return scenario_grid(self.scenarios, include_baseline=self.include_baseline)
 
     def run(self) -> SweepResult:
         """Execute every world; returns per-scenario reports."""

@@ -126,6 +126,45 @@ def shard_key(
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def world_key(
+    *,
+    seed: int,
+    env_ids: tuple[str, ...],
+    apps: tuple[str, ...],
+    sizes: tuple[int, ...] | None,
+    iterations: int,
+    engine_options: Mapping[str, Any] | None = None,
+    scenario: str | None = None,
+) -> str:
+    """Content hash naming one whole replica-world of an ensemble.
+
+    The third cache level (:mod:`repro.ensemble`): a world is every cell
+    of one campaign at one ``(seed, scenario)`` coordinate, and its
+    *folded summary* (per-cell aggregates) is tiny compared to its
+    records — a hit lets a warm ensemble re-run skip shard execution,
+    record decoding, and the columnar fold entirely.  ``seed`` is the
+    replica's own seed (``base_seed + replica``), so replica worlds
+    never collide; ``scenario`` is the active scenario digest, as in
+    :func:`run_key`.
+    """
+    payload = json.dumps(
+        {
+            "v": CACHE_VERSION,
+            "kind": "world",
+            "seed": seed,
+            "envs": list(env_ids),
+            "apps": list(apps),
+            "sizes": None if sizes is None else list(sizes),
+            "iterations": iterations,
+            "engine": _jsonable(dict(engine_options or {})),
+            "scenario": scenario,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
 def encode_record(record: RunRecord) -> dict[str, Any]:
     """A JSON-safe dict for one run record."""
     data = dataclasses.asdict(record)

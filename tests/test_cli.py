@@ -118,6 +118,53 @@ def test_scenario_run_command(tmp_path, capsys):
     assert csv_path.read_text().startswith("scenario,")
 
 
+def test_scenario_run_accepts_a_json_spec_file(tmp_path, capsys):
+    spec = tmp_path / "my-spike.json"
+    spec.write_text(
+        '{"scenario_id": "my-spike", '
+        '"price_shocks": [{"cloud": "aws", "multiplier": 3.0}]}'
+    )
+    rc = main([
+        "scenario", "run",
+        "--scenario", str(spec),
+        "--envs", "cpu-eks-aws,cpu-onprem-a",
+        "--apps", "amg2023",
+        "--sizes", "32",
+        "--iterations", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "my-spike" in out
+    assert "baseline" in out
+
+
+def test_scenario_preset_wins_over_a_stray_local_file(tmp_path, monkeypatch, capsys):
+    # A file in cwd named after a preset must not shadow the registry.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "calm-seas").write_text("not a scenario spec")
+    rc = main(["scenario", "run", "--scenario", "calm-seas",
+               "--envs", "cpu-onprem-a", "--apps", "stream", "--sizes", "32",
+               "--iterations", "1"])
+    assert rc == 0
+    assert "calm-seas" in capsys.readouterr().out
+
+
+def test_scenario_run_missing_json_file_is_a_clean_error(capsys):
+    rc = main(["scenario", "run", "--scenario", "no/such/scenario.json",
+               "--envs", "cpu-onprem-a", "--apps", "stream", "--sizes", "32"])
+    assert rc == 2
+    assert "cannot read scenario file" in capsys.readouterr().err
+
+
+def test_scenario_run_invalid_json_file_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    rc = main(["scenario", "run", "--scenario", str(bad),
+               "--envs", "cpu-onprem-a", "--apps", "stream", "--sizes", "32"])
+    assert rc == 2
+    assert "invalid JSON" in capsys.readouterr().err
+
+
 def test_scenario_run_duplicate_scenario_is_a_clean_error(capsys):
     rc = main(["scenario", "run", "--scenario", "spot-aws",
                "--scenario", "spot-aws",
@@ -143,9 +190,87 @@ def test_scenario_run_cache_path_collision_is_a_clean_error(tmp_path, capsys):
     assert "not a directory" in capsys.readouterr().err
 
 
+def test_ensemble_run_command(tmp_path, capsys):
+    csv_path = tmp_path / "dist.csv"
+    json_path = tmp_path / "dist.json"
+    rc = main([
+        "ensemble", "run",
+        "--replicas", "2",
+        "--envs", "cpu-eks-aws,cpu-onprem-a",
+        "--apps", "amg2023",
+        "--sizes", "32",
+        "--iterations", "2",
+        "--workers", "2",
+        "--output", str(csv_path),
+        "--json", str(json_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Ensemble distributions (per cell)" in out
+    assert "P(FOM>=base)" in out
+    assert "worlds folded     : 2" in out
+    assert csv_path.read_text().startswith("scenario,env,app,scale,n,")
+    import json as jsonlib
+
+    data = jsonlib.loads(json_path.read_text())
+    assert data["worlds"] == 2
+    assert len(data["cells"]) == 2
+
+
+def test_ensemble_run_is_byte_identical_across_worker_counts(capsys):
+    argv = [
+        "ensemble", "run", "--replicas", "2",
+        "--envs", "cpu-eks-aws,cpu-onprem-a", "--apps", "amg2023",
+        "--sizes", "32", "--iterations", "2",
+    ]
+    assert main(argv + ["--workers", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--workers", "4"]) == 0
+    sharded = capsys.readouterr().out
+    assert serial == sharded
+
+
+def test_ensemble_run_with_scenario_and_spec_file(tmp_path, capsys):
+    spec = tmp_path / "ensemble.json"
+    spec.write_text(
+        '{"n_replicas": 2, "scenarios": ["price-war"], '
+        '"env_ids": ["cpu-eks-aws"], "apps": ["amg2023"], '
+        '"sizes": [32], "iterations": 2}'
+    )
+    rc = main(["ensemble", "run", "--spec", str(spec)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "price-war" in out
+    assert "worlds folded     : 4" in out
+
+
+def test_ensemble_run_bad_spec_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"n_replicas": 0}')
+    rc = main(["ensemble", "run", "--spec", str(bad)])
+    assert rc == 2
+    assert "n_replicas" in capsys.readouterr().err
+
+
+def test_ensemble_run_unknown_scenario_is_a_clean_error(capsys):
+    rc = main(["ensemble", "run", "--scenario", "asteroid-strike",
+               "--envs", "cpu-onprem-a", "--apps", "stream", "--sizes", "32"])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_ensemble_help_documents_examples(capsys):
+    with pytest.raises(SystemExit):
+        main(["ensemble", "--help"])
+    out = capsys.readouterr().out
+    assert "examples:" in out
+    assert "distributions" in out
+
+
 def test_help_documents_every_subcommand_with_examples():
     help_text = build_parser().format_help()
-    for subcommand in ("list", "experiment", "run", "study", "scenario", "report"):
+    for subcommand in ("list", "experiment", "run", "study", "scenario",
+                       "ensemble", "report"):
         assert subcommand in help_text
     assert "examples:" in help_text
     assert "--workers 4" in help_text

@@ -76,3 +76,51 @@ def test_empty_store():
     assert s.environments() == []
     assert s.foms("x", "y", 1) == []
     assert s.total_cost() == 0.0
+
+
+# -- merge edge cases --------------------------------------------------------
+
+
+def _single_record_store(env="e1", iteration=0):
+    store = ResultStore()
+    store.add(
+        RunRecord(
+            env_id=env, app="a", scale=32, nodes=32, iteration=iteration,
+            state=RunState.COMPLETED, fom=1.0, fom_units="u",
+            wall_seconds=1.0, hookup_seconds=0.0, cost_usd=0.5,
+        )
+    )
+    return store
+
+
+def test_merge_of_no_stores_is_empty():
+    merged = ResultStore.merge([])
+    assert len(merged) == 0
+    assert merged.to_csv().splitlines() == [",".join(ResultStore.CSV_FIELDS)]
+
+
+def test_merge_with_empty_stores_preserves_order(store):
+    merged = ResultStore.merge([ResultStore(), store, ResultStore()])
+    assert merged.records == store.records
+    assert merged.to_csv() == store.to_csv()
+
+
+def test_merge_of_only_empty_stores():
+    merged = ResultStore.merge([ResultStore(), ResultStore()])
+    assert len(merged) == 0
+    assert merged.counts_by_state() == {}
+
+
+def test_merge_single_record_stores_concatenates_in_given_order():
+    stores = [_single_record_store(env=f"e{i}", iteration=i) for i in range(3)]
+    merged = ResultStore.merge(stores)
+    assert [r.env_id for r in merged] == ["e0", "e1", "e2"]
+    assert [r.iteration for r in merged] == [0, 1, 2]
+    assert merged.total_cost() == pytest.approx(1.5)
+
+
+def test_merge_does_not_alias_source_stores():
+    source = _single_record_store()
+    merged = ResultStore.merge([source])
+    merged.add(_single_record_store(env="e2").records[0])
+    assert len(source) == 1  # the source store is untouched

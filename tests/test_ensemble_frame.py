@@ -1,0 +1,140 @@
+"""Columnar result frames: conversion, group-by, float-exactness."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ResultStore
+from repro.ensemble.frame import FRAME_DTYPE, ResultFrame, STATE_ORDER
+from repro.envs.registry import environment
+from repro.sim.execution import ExecutionEngine
+from repro.sim.run_result import RunRecord, RunState
+
+
+def _record(env="e1", app="a1", scale=32, iteration=0, state=RunState.COMPLETED,
+            fom=1.0, wall=10.0, hookup=1.0, cost=0.5):
+    return RunRecord(
+        env_id=env, app=app, scale=scale, nodes=scale, iteration=iteration,
+        state=state, fom=None if state is not RunState.COMPLETED else fom,
+        fom_units="u", wall_seconds=wall, hookup_seconds=hookup, cost_usd=cost,
+    )
+
+
+@pytest.fixture(scope="module")
+def study_store():
+    engine = ExecutionEngine(seed=0)
+    store = ResultStore()
+    for app in ("amg2023", "lammps"):
+        for scale in (32, 64):
+            for it in range(3):
+                store.add(engine.run(environment("cpu-eks-aws"), app, scale, iteration=it))
+                store.add(engine.run(environment("cpu-onprem-a"), app, scale, iteration=it))
+    return store
+
+
+def test_from_store_preserves_length_and_order(study_store):
+    frame = ResultFrame.from_store(study_store)
+    assert len(frame) == len(study_store)
+    assert frame.data.dtype == FRAME_DTYPE
+    assert list(frame.column("env")[:2]) == ["cpu-eks-aws", "cpu-onprem-a"]
+    assert frame.states() == [r.state for r in study_store]
+
+
+def test_to_frame_hook_on_result_store(study_store):
+    frame = study_store.to_frame()
+    assert isinstance(frame, ResultFrame)
+    assert len(frame) == len(study_store)
+
+
+def test_fom_nan_encodes_missing():
+    frame = ResultFrame.from_records(
+        [_record(state=RunState.COMPLETED, fom=2.5), _record(state=RunState.SKIPPED)]
+    )
+    assert frame.column("fom")[0] == 2.5
+    assert np.isnan(frame.column("fom")[1])
+    assert frame.completed_mask().tolist() == [True, False]
+
+
+def test_state_codes_cover_every_state():
+    assert set(STATE_ORDER) == set(RunState)
+
+
+def test_overlong_ids_are_rejected_not_truncated():
+    # Silent fixed-width truncation could merge two distinct cells.
+    with pytest.raises(ValueError, match="env id"):
+        ResultFrame.from_records([_record(env="e" * 33)])
+    with pytest.raises(ValueError, match="app name"):
+        ResultFrame.from_records([_record(app="a" * 25)])
+
+
+def test_empty_frame_aggregates():
+    agg = ResultFrame.from_records([]).cell_aggregates()
+    assert len(agg) == 0
+    assert agg.rows() == []
+
+
+def test_cell_aggregates_match_hand_computation():
+    records = [
+        _record(env="e1", app="a", fom=10.0, wall=1.0, cost=1.0),
+        _record(env="e1", app="a", fom=20.0, wall=3.0, cost=2.0, iteration=1),
+        _record(env="e1", app="a", state=RunState.FAILED, wall=5.0, cost=4.0,
+                iteration=2),
+        _record(env="e2", app="a", state=RunState.SKIPPED, wall=0.0, cost=0.0),
+        _record(env="e1", app="b", fom=7.0, wall=2.0, cost=0.25),
+    ]
+    agg = ResultFrame.from_records(records).cell_aggregates()
+    # cells sorted by (env, app, scale)
+    assert list(agg.env) == ["e1", "e1", "e2"]
+    assert list(agg.app) == ["a", "b", "a"]
+    assert agg.records.tolist() == [3, 1, 1]
+    assert agg.completed.tolist() == [2, 1, 0]
+    assert agg.fom_mean[0] == 15.0
+    assert agg.fom_mean[1] == 7.0
+    assert np.isnan(agg.fom_mean[2])
+    assert agg.wall_mean[0] == 2.0
+    assert agg.cost_total.tolist() == [7.0, 0.25, 0.0]
+    assert agg.state_counts[RunState.FAILED].tolist() == [1, 0, 0]
+    assert agg.state_counts[RunState.SKIPPED].tolist() == [0, 0, 1]
+
+
+def test_cell_aggregates_rows_are_json_safe():
+    rows = ResultFrame.from_records(
+        [_record(), _record(env="e2", state=RunState.SKIPPED)]
+    ).cell_aggregates().rows()
+    assert rows[0]["fom_mean"] == 1.0
+    assert rows[1]["fom_mean"] is None
+    import json
+
+    json.dumps(rows)  # every value JSON-native
+
+
+def test_cell_means_match_store_foms_exactly(study_store):
+    """The acceptance anchor: frame means == np.mean over store.foms."""
+    agg = study_store.to_frame().cell_aggregates()
+    for i in range(len(agg)):
+        foms = study_store.foms(str(agg.env[i]), str(agg.app[i]), int(agg.scale[i]))
+        if foms:
+            assert agg.fom_mean[i] == float(np.mean(foms))
+        else:
+            assert np.isnan(agg.fom_mean[i])
+
+
+def test_aggregation_matches_per_record_loop(study_store):
+    """Vectorized group-by == the reference per-record Python loop."""
+    cells = {}
+    for r in study_store.records:
+        key = (r.env_id, r.app, r.scale)
+        cell = cells.setdefault(key, {"n": 0, "c": 0, "fom": 0.0, "cost": 0.0})
+        cell["n"] += 1
+        cell["cost"] += r.cost_usd
+        if r.state is RunState.COMPLETED and r.fom is not None:
+            cell["c"] += 1
+            cell["fom"] += r.fom
+    agg = study_store.to_frame().cell_aggregates()
+    assert len(agg) == len(cells)
+    for i in range(len(agg)):
+        cell = cells[(str(agg.env[i]), str(agg.app[i]), int(agg.scale[i]))]
+        assert agg.records[i] == cell["n"]
+        assert agg.completed[i] == cell["c"]
+        assert agg.cost_total[i] == pytest.approx(cell["cost"])
+        if cell["c"]:
+            assert agg.fom_mean[i] == pytest.approx(cell["fom"] / cell["c"])

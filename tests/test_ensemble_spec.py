@@ -1,0 +1,134 @@
+"""EnsembleSpec: validation, serialization, digests, world grids."""
+
+import pytest
+
+from repro.ensemble import EnsembleSpec
+from repro.errors import ConfigurationError
+from repro.scenarios import Scenario, scenario
+
+
+def test_defaults():
+    spec = EnsembleSpec()
+    assert spec.n_replicas == 3
+    assert spec.base_seed == 0
+    assert spec.scenarios == ()
+    assert spec.env_ids is None
+
+
+def test_rejects_zero_replicas():
+    with pytest.raises(ConfigurationError, match="n_replicas"):
+        EnsembleSpec(n_replicas=0)
+
+
+def test_rejects_zero_iterations():
+    with pytest.raises(ConfigurationError, match="iterations"):
+        EnsembleSpec(iterations=0)
+
+
+def test_rejects_duplicate_scenarios():
+    spot = scenario("spot-aws")
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        EnsembleSpec(scenarios=(spot, spot))
+
+
+def test_rejects_perturbed_scenario_named_baseline():
+    impostor = Scenario(
+        scenario_id="baseline",
+        price_shocks=(type(scenario("azure-price-spike").price_shocks[0])(
+            cloud="az", multiplier=2.0
+        ),),
+    )
+    with pytest.raises(ConfigurationError, match="reserved"):
+        EnsembleSpec(scenarios=(impostor,))
+
+
+def test_replica_seeds_are_offset_from_base():
+    spec = EnsembleSpec(n_replicas=3, base_seed=7)
+    assert [spec.replica_seed(r) for r in range(3)] == [7, 8, 9]
+
+
+def test_worlds_are_scenario_major_baseline_first():
+    spec = EnsembleSpec(n_replicas=2, scenarios=(scenario("spot-aws"),))
+    worlds = spec.worlds()
+    assert [(scn.scenario_id, r) for scn, r in worlds] == [
+        ("baseline", 0), ("baseline", 1), ("spot-aws", 0), ("spot-aws", 1),
+    ]
+
+
+def test_study_config_slices_the_campaign():
+    spec = EnsembleSpec(
+        n_replicas=2, base_seed=5,
+        env_ids=("cpu-eks-aws",), apps=("amg2023",), sizes=(32,), iterations=3,
+    )
+    config = spec.study_config(1)
+    assert config.env_ids == ("cpu-eks-aws",)
+    assert config.apps == ("amg2023",)
+    assert config.sizes == (32,)
+    assert config.iterations == 3
+    assert config.seed == 6
+
+
+def test_study_config_defaults_to_the_full_matrix():
+    from repro.apps.registry import APPS
+    from repro.envs.registry import ENVIRONMENTS
+
+    config = EnsembleSpec().study_config(0)
+    assert config.env_ids == tuple(ENVIRONMENTS)
+    assert config.apps == tuple(APPS)
+    assert config.sizes is None
+
+
+def test_dict_round_trip():
+    spec = EnsembleSpec(
+        n_replicas=4, base_seed=2,
+        scenarios=(scenario("spot-aws"), scenario("quota-crunch")),
+        env_ids=("cpu-eks-aws",), apps=("amg2023", "lammps"), sizes=(32, 64),
+        iterations=3,
+    )
+    assert EnsembleSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_from_dict_accepts_preset_names():
+    spec = EnsembleSpec.from_dict(
+        {"n_replicas": 2, "scenarios": ["spot-aws", {"scenario_id": "custom"}]}
+    )
+    assert spec.scenarios[0] == scenario("spot-aws")
+    assert spec.scenarios[1].scenario_id == "custom"
+    assert spec.scenarios[1].is_baseline
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError, match="unknown ensemble fields"):
+        EnsembleSpec.from_dict({"n_replicas": 2, "replicas": 2})
+
+
+def test_from_json():
+    spec = EnsembleSpec.from_json('{"n_replicas": 2, "base_seed": 9}')
+    assert spec.n_replicas == 2
+    assert spec.base_seed == 9
+
+
+def test_digest_is_stable_and_sensitive():
+    a = EnsembleSpec(n_replicas=2, env_ids=("cpu-eks-aws",))
+    b = EnsembleSpec(n_replicas=2, env_ids=("cpu-eks-aws",))
+    c = EnsembleSpec(n_replicas=3, env_ids=("cpu-eks-aws",))
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+
+
+def test_digest_ignores_scenario_descriptions():
+    noisy = Scenario(scenario_id="x", description="one wording",
+                     faults=scenario("flaky-clouds").faults)
+    quiet = Scenario(scenario_id="x", description="another wording",
+                     faults=scenario("flaky-clouds").faults)
+    assert (
+        EnsembleSpec(scenarios=(noisy,)).digest()
+        == EnsembleSpec(scenarios=(quiet,)).digest()
+    )
+
+
+def test_scenario_grid_injects_baseline_first():
+    spec = EnsembleSpec(scenarios=(scenario("spot-aws"),))
+    grid = spec.scenario_grid()
+    assert grid[0].is_baseline
+    assert grid[1].scenario_id == "spot-aws"

@@ -139,5 +139,64 @@ def test_pmap_preserves_order():
     assert pmap(_square, items, workers=4) == [i * i for i in items]
 
 
+def test_pmap_chunked_streams_in_order():
+    from repro.parallel.pool import pmap_chunked
+
+    items = list(range(23))
+    chunks = list(pmap_chunked(_square, items, workers=2, chunk_size=5))
+    assert [len(c) for c in chunks] == [5, 5, 5, 5, 3]
+    assert [x for chunk in chunks for x in chunk] == [i * i for i in items]
+
+
+def test_pmap_chunked_matches_pmap_for_any_chunk_size():
+    from repro.parallel.pool import pmap_chunked
+
+    items = list(range(17))
+    expected = pmap(_square, items, workers=1)
+    for chunk_size in (1, 4, 17, 100):
+        flat = [
+            x
+            for chunk in pmap_chunked(_square, items, workers=1, chunk_size=chunk_size)
+            for x in chunk
+        ]
+        assert flat == expected
+
+
+def test_pmap_chunked_rejects_bad_chunk_size():
+    from repro.parallel.pool import pmap_chunked
+
+    with pytest.raises(ValueError):
+        list(pmap_chunked(_square, [1, 2], workers=1, chunk_size=0))
+
+
+# --------------------------------------------------------------------- world tags
+
+
+def test_shards_carry_their_world_tag_through_execution():
+    from repro.parallel.shard import execute_shard, plan_shards
+
+    config = StudyConfig(
+        env_ids=("cpu-onprem-a",), apps=("stream",), sizes=(32,),
+        iterations=1, seed=0,
+    )
+    (shard,) = plan_shards(config, world=7)
+    assert shard.world == 7
+    result = execute_shard(shard)
+    assert result.world == 7
+
+
+def test_world_tag_defaults_to_zero_and_never_changes_results():
+    from repro.parallel.shard import execute_shard, plan_shards
+
+    config = StudyConfig(
+        env_ids=("cpu-onprem-a",), apps=("stream",), sizes=(32,),
+        iterations=1, seed=0,
+    )
+    (plain,) = plan_shards(config)
+    (tagged,) = plan_shards(config, world=3)
+    assert plain.world == 0
+    assert execute_shard(plain).records == execute_shard(tagged).records
+
+
 def _square(x):
     return x * x

@@ -99,6 +99,78 @@ def test_scenario_timeouts_show_up_in_the_state_counts():
     assert delta.failed_delta == 0
 
 
+# -- edge cases --------------------------------------------------------------
+
+
+def _report(records=()):
+    """A minimal StudyReport-shaped object for fold edge cases."""
+    from repro.core.results import ResultStore
+    from repro.core.study import StudyReport
+
+    store = ResultStore()
+    store.extend(records)
+    return StudyReport(
+        store=store, incidents={}, spend_by_cloud={},
+        containers_built=0, containers_failed=0, clusters_created=0,
+    )
+
+
+def _record(env="e1", app="a", scale=32, iteration=0,
+            state=None, fom=2.0, cost=1.0):
+    from repro.sim.run_result import RunRecord, RunState
+
+    state = state or RunState.COMPLETED
+    return RunRecord(
+        env_id=env, app=app, scale=scale, nodes=scale, iteration=iteration,
+        state=state, fom=fom if state is RunState.COMPLETED else None,
+        fom_units="u", wall_seconds=1.0, hookup_seconds=0.0, cost_usd=cost,
+    )
+
+
+def test_delta_against_an_empty_baseline_store():
+    baseline = _report()
+    world = _report([_record(fom=3.0, cost=2.0)])
+    delta = scenario_delta("world", baseline, world)
+    assert delta.fom_ratio is None  # nothing completed in both worlds
+    assert delta.completed_delta == 1
+    assert delta.run_cost_delta_usd == pytest.approx(2.0)
+    # And the renderable table shows "n/a" instead of crashing.
+    table = delta_table(baseline, {"world": world})
+    assert table.rows[1][-1] == "n/a"
+
+
+def test_delta_with_zero_matched_cells():
+    # Both worlds completed runs, but on disjoint (env, app, scale,
+    # iteration) coordinates: no matched FOM, every count still folds.
+    baseline = _report([_record(env="e1")])
+    world = _report([_record(env="e2"), _record(env="e3", cost=3.0)])
+    delta = scenario_delta("world", baseline, world)
+    assert delta.fom_ratio is None
+    assert delta.completed == 2
+    assert delta.completed_delta == 1
+    assert delta.run_cost_delta_usd == pytest.approx(3.0)
+
+
+def test_delta_between_single_record_stores():
+    baseline = _report([_record(fom=2.0, cost=1.0)])
+    world = _report([_record(fom=4.0, cost=1.5)])
+    delta = scenario_delta("world", baseline, world)
+    assert delta.fom_ratio == pytest.approx(2.0)
+    assert delta.run_cost_delta_usd == pytest.approx(0.5)
+    assert delta.completed_delta == 0
+
+
+def test_delta_ignores_failed_runs_when_matching_foms():
+    from repro.sim.run_result import RunState
+
+    baseline = _report([_record(fom=2.0)])
+    world = _report([_record(state=RunState.FAILED)])
+    delta = scenario_delta("world", baseline, world)
+    assert delta.fom_ratio is None
+    assert delta.failed_delta == 1
+    assert delta.completed_delta == -1
+
+
 def test_scenario_deltas_preserves_insertion_order(sweep_result):
     reports = {
         sid: r for sid, r in sweep_result.reports.items() if sid != "baseline"

@@ -1,0 +1,94 @@
+"""Distribution tables: the ensemble's CI / percentile / exceedance report."""
+
+import pytest
+
+from repro.ensemble import EnsembleRunner, EnsembleSpec
+from repro.reporting.distributions import (
+    distribution_table,
+    exceedance_table,
+    render_distributions,
+)
+from repro.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = EnsembleSpec(
+        n_replicas=3,
+        scenarios=(scenario("azure-price-spike"),),
+        env_ids=("cpu-aks-az", "cpu-onprem-a"),
+        apps=("amg2023",),
+        sizes=(32,),
+        iterations=2,
+    )
+    return EnsembleRunner(spec).run()
+
+
+def test_distribution_table_covers_every_cell(result):
+    table = distribution_table(result)
+    assert len(table.rows) == len(result.cells)
+    assert table.columns[:5] == ("scenario", "env", "app", "scale", "n")
+    assert "P(FOM>=base)" in table.columns
+    scenarios = {row[0] for row in table.rows}
+    assert scenarios == {"baseline", "azure-price-spike"}
+
+
+def test_distribution_rows_report_ci_and_percentiles(result):
+    table = distribution_table(result)
+    idx = {name: i for i, name in enumerate(table.columns)}
+    for row in table.rows:
+        assert row[idx["n"]] == 3
+        assert row[idx["FOM p10"]] <= row[idx["FOM p50"]] <= row[idx["FOM p90"]]
+        assert row[idx["FOM ±95%"]] >= 0
+        assert 0.0 <= row[idx["P(FOM>=base)"]] <= 1.0
+
+
+def test_exceedance_table_one_row_per_scenario(result):
+    table = exceedance_table(result)
+    assert [row[0] for row in table.rows] == ["baseline", "azure-price-spike"]
+    idx = {name: i for i, name in enumerate(table.columns)}
+    for row in table.rows:
+        assert row[idx["cells"]] == 2
+        assert 0.0 <= row[idx["mean P(FOM>=base)"]] <= 1.0
+        assert row[idx["min P(FOM>=base)"]] <= row[idx["mean P(FOM>=base)"]]
+
+
+def test_price_spike_leaves_fom_exceedance_alone(result):
+    """A pure price shock moves spend, not figures of merit."""
+    table = exceedance_table(result)
+    idx = {name: i for i, name in enumerate(table.columns)}
+    rows = {row[0]: row for row in table.rows}
+    assert (
+        rows["azure-price-spike"][idx["mean P(FOM>=base)"]]
+        == rows["baseline"][idx["mean P(FOM>=base)"]]
+    )
+    assert rows["azure-price-spike"][idx["spend mean $"]] > rows["baseline"][
+        idx["spend mean $"]
+    ]
+
+
+def test_render_contains_both_tables(result):
+    text = render_distributions(result)
+    assert "Ensemble distributions (per cell)" in text
+    assert "Per-scenario exceedance vs the seed study" in text
+
+
+def test_tables_export_csv(result):
+    csv_text = distribution_table(result).to_csv()
+    assert csv_text.startswith("scenario,env,app,scale,n,")
+    assert len(csv_text.splitlines()) == len(result.cells) + 1
+
+
+def test_cells_without_completions_render_na():
+    # An undeployable environment produces skip records only.
+    spec = EnsembleSpec(
+        n_replicas=2, env_ids=("gpu-parallelcluster-aws",), apps=("amg2023",),
+        sizes=(32,), iterations=1,
+    )
+    result = EnsembleRunner(spec).run()
+    table = distribution_table(result)
+    idx = {name: i for i, name in enumerate(table.columns)}
+    (row,) = table.rows
+    assert row[idx["n"]] == 0
+    assert row[idx["FOM mean"]] == "n/a"
+    assert row[idx["P(FOM>=base)"]] == "n/a"

@@ -65,6 +65,26 @@ def test_shard_key_covers_apps_and_iterations():
     assert shard_key(**{**base, "iterations": 3}) != shard_key(**base)
 
 
+def test_world_key_is_seed_scenario_and_slice_sensitive():
+    from repro.sim.cache import world_key
+
+    base = dict(
+        seed=0, env_ids=("cpu-eks-aws",), apps=("amg2023",), sizes=(32,),
+        iterations=2,
+    )
+    assert world_key(**base) == world_key(**base)
+    # Replica worlds (seed offsets) never collide...
+    assert world_key(**{**base, "seed": 1}) != world_key(**base)
+    # ...nor do scenario worlds, campaign slices, or the sizes=None default.
+    assert world_key(**base, scenario="abc123") != world_key(**base)
+    assert world_key(**{**base, "apps": ("lammps",)}) != world_key(**base)
+    assert world_key(**{**base, "sizes": None}) != world_key(**base)
+    # And world keys live in their own namespace: never equal a shard key.
+    assert world_key(**base) != shard_key(
+        seed=0, env_id="cpu-eks-aws", scale=32, apps=("amg2023",), iterations=2
+    )
+
+
 # ------------------------------------------------------------ record codec
 
 
