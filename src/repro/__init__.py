@@ -40,6 +40,15 @@ from repro.ensemble import EnsembleRunner, EnsembleSpec, ResultFrame
 from repro.envs import ENVIRONMENTS, Environment, environment
 from repro.network import FABRICS, fabric, hookup_time
 from repro.parallel import StudyShard, execute_shards, merge_shard_results, plan_shards
+from repro.plan import (
+    PlanExecutor,
+    PlannedRun,
+    PlanWorld,
+    RunPlan,
+    compile_ensemble,
+    compile_scenarios,
+    compile_study,
+)
 from repro.scenarios import SCENARIOS, Scenario, ScenarioSweep, scenario
 from repro.sim import ExecutionEngine, RunCache, RunRecord, RunState
 from repro.workflows import Component, ComponentKind, PortabilityScorer, Workflow
@@ -63,8 +72,12 @@ __all__ = [
     "FABRICS",
     "GoogleCloud",
     "OnPrem",
+    "PlanExecutor",
+    "PlanWorld",
+    "PlannedRun",
     "PortabilityScorer",
     "ResultFrame",
+    "RunPlan",
     "ResultStore",
     "RunCache",
     "RunContext",
@@ -77,6 +90,9 @@ __all__ = [
     "StudyRunner",
     "StudyShard",
     "Workflow",
+    "compile_ensemble",
+    "compile_scenarios",
+    "compile_study",
     "execute_shards",
     "merge_shard_results",
     "plan_shards",

@@ -8,8 +8,12 @@ Subcommands:
 * ``run <env> <app> <scale>`` — a single simulated run;
 * ``study`` — a campaign over selected environments/apps, optionally
   sharded across worker processes (``--workers``) with a
-  content-addressed run cache (``--cache``), with the dataset CSV
-  optionally written to disk;
+  content-addressed run cache (``--cache``), with the dataset
+  exportable as CSV (``--output``) or JSON (``--json``);
+* ``plan`` — the execution planner: ``plan show`` compiles the study /
+  scenario sweep / ensemble you describe into its
+  :class:`~repro.plan.ir.RunPlan` and prints worlds, shards, run
+  counts, and the plan digest — without executing anything;
 * ``scenario`` — the what-if engine: ``scenario list`` shows the
   registered counterfactuals, ``scenario run`` executes selected
   scenarios (preset names or JSON spec files) against the baseline and
@@ -117,6 +121,36 @@ def _config_from_args(args: argparse.Namespace) -> StudyConfig:
     )
 
 
+def _write_exports(
+    args: argparse.Namespace,
+    *,
+    csv_text,
+    json_text,
+    csv_label: str,
+    json_label: str,
+) -> None:
+    """The one ``--output``/``--json`` export path every runner shares.
+
+    ``csv_text``/``json_text`` are zero-argument callables so nothing is
+    rendered unless its flag was actually given.
+    """
+    if getattr(args, "output", None):
+        with open(args.output, "w") as fh:
+            fh.write(csv_text())
+        print(f"{csv_label:18s}: {args.output}")
+    if getattr(args, "json_output", None):
+        with open(args.json_output, "w") as fh:
+            fh.write(json_text())
+        print(f"{json_label:18s}: {args.json_output}")
+
+
+def _fmt_cache_line(hits: int, misses: int, invalid: int) -> str:
+    line = f"{hits} hits, {misses} misses"
+    if invalid:
+        line += f", {invalid} invalid (re-simulated; see warnings)"
+    return line
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     error = _cache_dir_error(args.cache)
     if error:
@@ -131,12 +165,15 @@ def _cmd_study(args: argparse.Namespace) -> int:
     for cloud, spend in sorted(report.spend_by_cloud.items()):
         print(f"spend on {cloud:3s}      : {fmt_usd(spend)}")
     if args.cache:
-        print(f"run cache         : {report.cache_hits} hits, "
-              f"{report.cache_misses} misses")
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(report.store.to_csv())
-        print(f"dataset CSV       : {args.output}")
+        print(f"run cache         : "
+              f"{_fmt_cache_line(report.cache_hits, report.cache_misses, report.cache_invalid)}")
+    _write_exports(
+        args,
+        csv_text=report.store.to_csv,
+        json_text=lambda: json.dumps(report.to_json_dict(), indent=2, sort_keys=True),
+        csv_label="dataset CSV",
+        json_label="dataset JSON",
+    )
     return 0
 
 
@@ -201,17 +238,43 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print()
     for sid, report in result.reports.items():
         spend = sum(report.spend_by_cloud.values())
-        print(f"{sid:18s} datasets={report.datasets}  spend={fmt_usd(spend)}  "
-              f"clusters={report.clusters_created}")
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(result.delta_table().to_csv())
-        print(f"\ndelta CSV         : {args.output}")
+        line = (f"{sid:18s} datasets={report.datasets}  spend={fmt_usd(spend)}  "
+                f"clusters={report.clusters_created}")
+        if report.cache_invalid:
+            line += f"  cache-invalid={report.cache_invalid}"
+        print(line)
+    if args.output or args.json_output:
+        print()
+    _write_exports(
+        args,
+        csv_text=lambda: result.delta_table().to_csv(),
+        json_text=result.to_json,
+        csv_label="delta CSV",
+        json_label="sweep JSON",
+    )
     return 0
 
 
+def _ensemble_spec_from_args(args: argparse.Namespace, *, replicas: int):
+    """The :class:`EnsembleSpec` both ``ensemble run`` and ``plan show``
+    build from identical flags (``--spec`` wins over the flag grid)."""
+    from repro.ensemble import EnsembleSpec
+
+    if args.spec:
+        return EnsembleSpec.from_dict(_load_json_file(args.spec, "ensemble spec"))
+    return EnsembleSpec(
+        n_replicas=replicas,
+        base_seed=args.seed,
+        scenarios=tuple(_resolve_scenario(name) for name in (args.scenario or ())),
+        env_ids=_split_flag(args.envs),
+        apps=_split_flag(args.apps),
+        sizes=tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None,
+        iterations=args.iterations,
+    )
+
+
 def _cmd_ensemble(args: argparse.Namespace) -> int:
-    from repro.ensemble import EnsembleRunner, EnsembleSpec
+    from repro.ensemble import EnsembleRunner
     from repro.errors import ConfigurationError
 
     error = _cache_dir_error(args.cache)
@@ -219,22 +282,7 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     try:
-        if args.spec:
-            spec = EnsembleSpec.from_dict(_load_json_file(args.spec, "ensemble spec"))
-        else:
-            spec = EnsembleSpec(
-                n_replicas=args.replicas,
-                base_seed=args.seed,
-                scenarios=tuple(
-                    _resolve_scenario(name) for name in (args.scenario or ())
-                ),
-                env_ids=_split_flag(args.envs),
-                apps=_split_flag(args.apps),
-                sizes=tuple(int(s) for s in args.sizes.split(","))
-                if args.sizes
-                else None,
-                iterations=args.iterations,
-            )
+        spec = _ensemble_spec_from_args(args, replicas=args.replicas)
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -246,16 +294,72 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
           f"({len(spec.scenario_grid())} scenarios x {spec.n_replicas} replicas)")
     print(f"spec digest       : {spec.digest()}")
     if args.cache:
-        print(f"world cache       : {result.world_cache_hits} hits, "
-              f"{result.world_cache_misses} misses")
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(result.distribution_table().to_csv())
-        print(f"distribution CSV  : {args.output}")
-    if args.json_output:
-        with open(args.json_output, "w") as fh:
-            fh.write(result.to_json())
-        print(f"distribution JSON : {args.json_output}")
+        print(f"world cache       : "
+              f"{_fmt_cache_line(result.world_cache_hits, result.world_cache_misses, result.world_cache_invalid)}")
+    _write_exports(
+        args,
+        csv_text=lambda: result.distribution_table().to_csv(),
+        json_text=result.to_json,
+        csv_label="distribution CSV",
+        json_label="distribution JSON",
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.plan import compile_ensemble, compile_scenarios, compile_study
+
+    error = _cache_dir_error(args.cache)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        if args.spec or args.replicas is not None:
+            spec = _ensemble_spec_from_args(args, replicas=args.replicas or 1)
+            plan = compile_ensemble(spec, cache_dir=args.cache)
+            kind = "ensemble"
+        elif args.scenario:
+            plan = compile_scenarios(
+                _config_from_args(args),
+                [_resolve_scenario(name) for name in args.scenario],
+                cache_dir=args.cache,
+            )
+            kind = "scenario sweep"
+        else:
+            plan = compile_study(_config_from_args(args), cache_dir=args.cache)
+            kind = "study"
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    description = plan.describe()
+    if args.json_dump:
+        print(json.dumps(description, indent=2, sort_keys=True))
+        return 0
+
+    totals = description["totals"]
+    print(f"plan              : {kind}")
+    print(f"digest            : {plan.digest()}")
+    print(f"worlds            : {totals['worlds']}")
+    print(f"shards            : {totals['shards']}")
+    print(f"planned runs      : {totals['runs']}")
+    if plan.cache_dir:
+        print(f"cache             : {plan.cache_dir}")
+    print()
+    print(f"{'world':>5s}  {'scenario':20s} {'seed':>6s} {'replica':>7s} "
+          f"{'shards':>6s} {'runs':>6s}")
+    for world in description["worlds"]:
+        print(f"{world['world']:5d}  {world['scenario']:20s} {world['seed']:6d} "
+              f"{world['replica']:7d} {world['shards']:6d} {world['runs']:6d}")
+    if args.shards:
+        print()
+        print(f"{'shard':>5s} {'world':>5s}  {'env':28s} {'scale':>5s} "
+              f"{'iters':>5s}  apps")
+        for shard in plan.shards:
+            print(f"{shard.index:5d} {shard.world:5d}  {shard.env_id:28s} "
+                  f"{shard.scale:5d} {shard.iterations:5d}  "
+                  f"{','.join(shard.apps)}")
     return 0
 
 
@@ -284,6 +388,9 @@ examples:
       the default campaign, sharded over 4 processes with run caching
   python -m repro study --envs cpu-eks-aws --apps lammps --sizes 32,64
       a focused campaign over one environment
+  python -m repro plan show --workers 4 --replicas 8
+      compile the matching ensemble to its RunPlan and inspect it
+      (worlds, shards, run counts, digest) without executing anything
   python -m repro scenario run --scenario spot-everything --workers 4
       the campaign under a what-if overlay, vs the baseline
   python -m repro ensemble run --replicas 8 --workers 4
@@ -303,6 +410,24 @@ examples:
       also cache every run; a repeat campaign replays from the cache
   python -m repro study --seed 7 --iterations 5 --output study.csv
       the paper-scale iteration count, dataset exported as CSV
+  python -m repro study --output study.csv --json study.json
+      the same dataset as CSV and as a JSON snapshot (summary + records)
+"""
+
+
+_PLAN_EPILOG = """\
+examples:
+  python -m repro plan show
+      the default campaign as a RunPlan: one world, its (env, size)
+      shards, and the explicit run count — nothing executes
+  python -m repro plan show --scenario spot-everything --scenario price-war
+      a 3-world scenario sweep (baseline injected first)
+  python -m repro plan show --replicas 8 --scenario spot-everything
+      the ensemble grid: scenario-major x replicas, replica r at seed+r
+  python -m repro plan show --envs cpu-eks-aws --sizes 32,64 --shards
+      list every compiled shard of a focused campaign
+  python -m repro plan show --json
+      the full compiled plan as JSON (worlds, shards, totals)
 """
 
 
@@ -404,6 +529,58 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[campaign_options],
     )
     p_study.add_argument("--output", help="write dataset CSV here")
+    p_study.add_argument(
+        "--json",
+        dest="json_output",
+        metavar="FILE",
+        help="write a JSON snapshot (summary + every record) here",
+    )
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="the execution planner (compile campaigns without running them)",
+        epilog=_PLAN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    plan_sub = p_plan.add_subparsers(dest="plan_command", required=True)
+    p_plan_show = plan_sub.add_parser(
+        "show",
+        help="compile a study/sweep/ensemble to its RunPlan and print it",
+        epilog=_PLAN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[campaign_options],
+    )
+    p_plan_show.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME|FILE",
+        help="what-if world to include (repeatable): a preset name or a "
+        "Scenario JSON spec file; compiles a scenario-sweep plan",
+    )
+    p_plan_show.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compile an ensemble plan with N replicas per scenario "
+        "(replica r at seed --seed + r)",
+    )
+    p_plan_show.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="compile an ensemble plan from an EnsembleSpec JSON file",
+    )
+    p_plan_show.add_argument(
+        "--shards",
+        action="store_true",
+        help="also list every compiled shard",
+    )
+    p_plan_show.add_argument(
+        "--json",
+        dest="json_dump",
+        action="store_true",
+        help="print the compiled plan as JSON instead of tables",
+    )
 
     p_scenario = sub.add_parser(
         "scenario",
@@ -429,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(see `repro scenario list`) or a path to a Scenario JSON spec file",
     )
     p_scn_run.add_argument("--output", help="write the delta table CSV here")
+    p_scn_run.add_argument(
+        "--json",
+        dest="json_output",
+        metavar="FILE",
+        help="write the sweep as JSON (per-world summaries + delta rows) here",
+    )
 
     p_ensemble = sub.add_parser(
         "ensemble",
@@ -491,6 +674,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "run": _cmd_run,
         "study": _cmd_study,
+        "plan": _cmd_plan,
         "scenario": _cmd_scenario,
         "ensemble": _cmd_ensemble,
         "report": _cmd_report,

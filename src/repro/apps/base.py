@@ -85,10 +85,32 @@ class RunContext:
     iteration: int = 0
     #: app-specific options (e.g. AMG process topology "-P 8 4 2")
     options: dict[str, Any] = field(default_factory=dict)
+    #: shared memoized collective model; a batched group
+    #: (:meth:`ExecutionEngine.run_batch`) passes one model to every
+    #: iteration's context so distinct collectives price once per group
+    comm_model: CollectiveModel | None = field(default=None, repr=False, compare=False)
+    #: group-scoped memo for :meth:`once`; a batched group shares one
+    #: dict across its iterations, a standalone context gets its own
+    group_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def comm(self) -> CollectiveModel:
-        return CollectiveModel(self.fabric)
+        if self.comm_model is None:
+            self.comm_model = CollectiveModel(self.fabric)
+        return self.comm_model
+
+    def once(self, key: tuple, fn):
+        """Compute a group-deterministic value once per batched group.
+
+        ``fn`` must be pure in the group coordinates (env, app, scale,
+        options) — in particular it must never touch :attr:`rng`, which
+        is per-iteration.  Outside a batch the memo is per-context, so
+        values (and rng call patterns) are identical either way.
+        """
+        value = self.group_memo.get(key)
+        if value is None:
+            value = self.group_memo[key] = fn()
+        return value
 
     def straggler(self) -> float:
         return straggler_factor(self.fabric, self.ranks)

@@ -46,17 +46,21 @@ class Kripke(AppModel):
                 extra={"detail": "process-to-GPU mapping failure"},
             )
 
-        unknowns = UNKNOWNS_PER_RANK * ctx.ranks
-        work_gflops = unknowns * FLOPS_PER_UNKNOWN / 1e9
-        t_sweep = ctx.compute_time(work_gflops, KernelClass.BANDWIDTH)
+        def _base():
+            unknowns = UNKNOWNS_PER_RANK * ctx.ranks
+            work_gflops = unknowns * FLOPS_PER_UNKNOWN / 1e9
+            t_sweep = ctx.compute_time(work_gflops, KernelClass.BANDWIDTH)
 
-        # KBA pipeline: one sweep per octant; fill depth ~ 2 * cbrt(ranks)
-        # stages, each forwarding two faces of angular flux (zone face x
-        # groups x per-octant directions x doubles).
-        octants = 8
-        stages = int(2 * round(ctx.ranks ** (1.0 / 3.0)))
-        face_bytes = 16 * 16 * 32 * 8 * 8
-        t_pipeline = octants * stages * ctx.comm.halo(face_bytes, neighbors=2)
+            # KBA pipeline: one sweep per octant; fill depth ~ 2 * cbrt(ranks)
+            # stages, each forwarding two faces of angular flux (zone face x
+            # groups x per-octant directions x doubles).
+            octants = 8
+            stages = int(2 * round(ctx.ranks ** (1.0 / 3.0)))
+            face_bytes = 16 * 16 * 32 * 8 * 8
+            t_pipeline = octants * stages * ctx.comm.halo(face_bytes, neighbors=2)
+            return unknowns, t_sweep, stages, t_pipeline
+
+        unknowns, t_sweep, stages, t_pipeline = ctx.once(("kripke-base",), _base)
 
         # Structured sweeps are cache-predictable; run-to-run noise is far
         # below the fabric's small-message jitter.

@@ -47,7 +47,7 @@ class Mixbench(AppModel):
         return {i: min(peak, i * bw) for i in INTENSITIES}
 
     def simulate(self, ctx: RunContext) -> AppResult:
-        roof = self.roofline(ctx)
+        roof = ctx.once(("mixbench-roof",), lambda: self.roofline(ctx))
         attained = {i: self._noisy(ctx, v, cv=0.02) for i, v in roof.items()}
         peak = max(attained.values())
         ecc_on = None

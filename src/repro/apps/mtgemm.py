@@ -57,8 +57,9 @@ class MTGemm(AppModel):
 
     def simulate(self, ctx: RunContext) -> AppResult:
         n = N_GPU if ctx.env.is_gpu else N_CPU
-        t_compute, t_comm = (
-            self._gpu_rep(ctx) if ctx.env.is_gpu else self._cpu_rep(ctx)
+        t_compute, t_comm = ctx.once(
+            ("mtgemm-base",),
+            lambda: self._gpu_rep(ctx) if ctx.env.is_gpu else self._cpu_rep(ctx),
         )
         # Dense GEMM throughput is very stable run-to-run; noise is far
         # below the fabric's small-message jitter.

@@ -77,8 +77,18 @@ class SingleNodeBenchmark(AppModel):
         return inventories
 
     def simulate(self, ctx: RunContext) -> AppResult:
-        inventories = self.collect(ctx)
-        fish = find_fish(inventories)
+        if ctx.env.env_id.startswith(("cpu-aks", "gpu-aks")):
+            # AKS draws the fish lottery per node, per iteration.
+            inventories = self.collect(ctx)
+            fish = find_fish(inventories)
+        else:
+            # Everywhere else the survey is rng-free and identical for
+            # every iteration of a group: collect once, reuse.
+            def _survey():
+                collected = self.collect(ctx)
+                return collected, find_fish(collected)
+
+            inventories, fish = ctx.once(("nodebench-survey",), _survey)
         return self._result(
             ctx,
             fom=float(len(fish)),

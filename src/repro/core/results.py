@@ -1,4 +1,4 @@
-"""Result store: the study's dataset collection.
+"""Result store: the study's dataset collection, columnar-native.
 
 The paper reports 25,541 datasets (runs) of which 3,546 appear in the
 paper.  :class:`ResultStore` is the in-memory analogue: every
@@ -6,30 +6,167 @@ paper.  :class:`ResultStore` is the in-memory analogue: every
 the experiments use and a CSV exporter for archival (the study pushed
 job output to an OCI registry via ORAS; :meth:`to_artifact` produces
 the equivalent payload).
+
+Storage is columnar: records append into growing typed NumPy column
+buffers (amortized-doubling capacity), plus parallel Python lists for
+the string/dict payloads aggregations never touch.  That inverts the
+seed design — a list of dataclasses converted to columns at every fold
+(the former hot-path cost PR 3 measured) — into columns as the truth:
+
+* :meth:`to_frame` hands :class:`~repro.ensemble.frame.ResultFrame`
+  *views* of the buffers — zero copies, so aggregation starts
+  immediately;
+* CSV/artifact export walks the columns directly;
+* legacy callers that want row objects (queries, iteration,
+  ``store.records``) get :class:`RunRecord` instances materialized
+  lazily and cached — built once, only when actually asked for.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator
 
-from repro.sim.run_result import RunRecord, RunState
+import numpy as np
+
+from repro.sim.run_result import (
+    APP_NAME_WIDTH as _APP_WIDTH,
+    ENV_ID_WIDTH as _ENV_WIDTH,
+    STATE_CODE,
+    STATE_ORDER,
+    RunRecord,
+    RunState,
+)
 
 
-@dataclass
+class _ColumnBuffer:
+    """One growing typed column: amortized-doubling NumPy storage."""
+
+    __slots__ = ("_arr", "_n")
+
+    def __init__(self, dtype):
+        self._arr = np.empty(0, dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def view(self) -> np.ndarray:
+        """The live column as a zero-copy view of the buffer."""
+        return self._arr[: self._n]
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need > len(self._arr):
+            capacity = max(need, 2 * len(self._arr), 16)
+            grown = np.empty(capacity, dtype=self._arr.dtype)
+            grown[: self._n] = self._arr[: self._n]
+            self._arr = grown
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self._arr[self._n] = value
+        self._n += 1
+
+    def extend(self, values) -> None:
+        """Append a list (or ndarray) of values in one vectorized copy."""
+        if len(values) == 0:
+            return
+        chunk = np.asarray(values, dtype=self._arr.dtype)
+        self._reserve(len(chunk))
+        self._arr[self._n : self._n + len(chunk)] = chunk
+        self._n += len(chunk)
+
+
+#: (column name, dtype, value extractor) for every typed buffer
+_TYPED_COLUMNS: tuple[tuple[str, str, Callable[[RunRecord], Any]], ...] = (
+    ("env", f"U{_ENV_WIDTH}", lambda r: r.env_id),
+    ("app", f"U{_APP_WIDTH}", lambda r: r.app),
+    ("scale", "i8", lambda r: r.scale),
+    ("nodes", "i8", lambda r: r.nodes),
+    ("iteration", "i8", lambda r: r.iteration),
+    ("state", "i1", lambda r: STATE_CODE[r.state]),
+    ("fom", "f8", lambda r: np.nan if r.fom is None else r.fom),
+    ("wall_seconds", "f8", lambda r: r.wall_seconds),
+    ("hookup_seconds", "f8", lambda r: r.hookup_seconds),
+    ("cost_usd", "f8", lambda r: r.cost_usd),
+)
+
+
 class ResultStore:
-    """Queryable collection of run records."""
+    """Queryable columnar collection of run records."""
 
-    records: list[RunRecord] = field(default_factory=list)
+    def __init__(self, records: Iterable[RunRecord] | None = None):
+        self._cols: dict[str, _ColumnBuffer] = {
+            name: _ColumnBuffer(dtype) for name, dtype, _ in _TYPED_COLUMNS
+        }
+        #: explicit None mask for ``fom`` (NaN is the column encoding)
+        self._fom_none = _ColumnBuffer("?")
+        #: incremental (env, app, scale) factorization: first-seen code
+        #: per cell plus a per-record label column, so a frame never
+        #: re-derives the group-by keys from the string columns
+        self._cell_codes: dict[tuple[str, str, int], int] = {}
+        self._labels = _ColumnBuffer("i8")
+        #: per-record Python payloads the columns don't carry
+        self._fom_units: list[str] = []
+        self._failure_kind: list[str | None] = []
+        self._phases: list[dict] = []
+        self._extra: list[dict] = []
+        #: lazily materialized row objects (a prefix cache; appends
+        #: extend it on the next access, not eagerly)
+        self._rows: list[RunRecord] = []
+        if records:
+            self.extend(records)
+
+    # -- building -----------------------------------------------------------
+
+    @staticmethod
+    def _check_widths(env_id: str, app: str) -> None:
+        if len(env_id) > _ENV_WIDTH:
+            raise ValueError(
+                f"env id {env_id!r} exceeds the store's {_ENV_WIDTH}-char column"
+            )
+        if len(app) > _APP_WIDTH:
+            raise ValueError(
+                f"app name {app!r} exceeds the store's {_APP_WIDTH}-char column"
+            )
+
+    def _label_for(self, env_id: str, app: str, scale: int) -> int:
+        codes = self._cell_codes
+        key = (env_id, app, scale)
+        code = codes.get(key)
+        if code is None:
+            code = codes[key] = len(codes)
+        return code
 
     def add(self, record: RunRecord) -> None:
-        self.records.append(record)
+        self._check_widths(record.env_id, record.app)
+        for name, _, extract in _TYPED_COLUMNS:
+            self._cols[name].append(extract(record))
+        self._fom_none.append(record.fom is None)
+        self._labels.append(self._label_for(record.env_id, record.app, record.scale))
+        self._fom_units.append(record.fom_units)
+        self._failure_kind.append(record.failure_kind)
+        self._phases.append(record.phases)
+        self._extra.append(record.extra)
 
     def extend(self, records: Iterable[RunRecord]) -> None:
-        self.records.extend(records)
+        records = list(records)
+        if not records:
+            return
+        for r in records:
+            self._check_widths(r.env_id, r.app)
+        for name, _, extract in _TYPED_COLUMNS:
+            self._cols[name].extend([extract(r) for r in records])
+        self._fom_none.extend([r.fom is None for r in records])
+        self._labels.extend(
+            [self._label_for(r.env_id, r.app, r.scale) for r in records]
+        )
+        self._fom_units.extend(r.fom_units for r in records)
+        self._failure_kind.extend(r.failure_kind for r in records)
+        self._phases.extend(r.phases for r in records)
+        self._extra.extend(r.extra for r in records)
 
     @classmethod
     def merge(cls, stores: "Iterable[ResultStore]") -> "ResultStore":
@@ -41,14 +178,61 @@ class ResultStore:
         """
         merged = cls()
         for store in stores:
-            merged.extend(store.records)
+            for name in merged._cols:
+                merged._cols[name].extend(store._cols[name].view())
+            merged._fom_none.extend(store._fom_none.view())
+            if len(store):
+                # Remap the source's first-seen cell codes into ours.
+                remap = np.empty(len(store._cell_codes), dtype=np.int64)
+                for key, code in store._cell_codes.items():
+                    remap[code] = merged._label_for(*key)
+                merged._labels.extend(remap[store._labels.view()])
+            merged._fom_units.extend(store._fom_units)
+            merged._failure_kind.extend(store._failure_kind)
+            merged._phases.extend(store._phases)
+            merged._extra.extend(store._extra)
         return merged
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._fom_units)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RunRecord]:
         return iter(self.records)
+
+    # -- lazy row materialization -------------------------------------------
+
+    @property
+    def records(self) -> list[RunRecord]:
+        """Row objects for legacy callers, materialized lazily.
+
+        The list is built from the columns on first access and cached;
+        appends after that only materialize the new tail.  Treat it as
+        read-only — mutate the store through :meth:`add`/:meth:`extend`.
+        """
+        n = len(self)
+        if len(self._rows) < n:
+            cols = {name: buf.view() for name, buf in self._cols.items()}
+            fom_none = self._fom_none.view()
+            for i in range(len(self._rows), n):
+                self._rows.append(
+                    RunRecord(
+                        env_id=str(cols["env"][i]),
+                        app=str(cols["app"][i]),
+                        scale=int(cols["scale"][i]),
+                        nodes=int(cols["nodes"][i]),
+                        iteration=int(cols["iteration"][i]),
+                        state=STATE_ORDER[cols["state"][i]],
+                        fom=None if fom_none[i] else float(cols["fom"][i]),
+                        fom_units=self._fom_units[i],
+                        wall_seconds=float(cols["wall_seconds"][i]),
+                        hookup_seconds=float(cols["hookup_seconds"][i]),
+                        cost_usd=float(cols["cost_usd"][i]),
+                        phases=self._phases[i],
+                        failure_kind=self._failure_kind[i],
+                        extra=self._extra[i],
+                    )
+                )
+        return self._rows
 
     # -- queries ------------------------------------------------------------
 
@@ -87,36 +271,57 @@ class ResultStore:
         ]
 
     def environments(self) -> list[str]:
-        return sorted({r.env_id for r in self.records})
+        return [str(v) for v in np.unique(self._cols["env"].view())]
 
     def apps(self) -> list[str]:
-        return sorted({r.app for r in self.records})
+        return [str(v) for v in np.unique(self._cols["app"].view())]
 
     def scales(self, env_id: str, app: str) -> list[int]:
-        return sorted({r.scale for r in self.query(env_id=env_id, app=app)})
+        mask = (self._cols["env"].view() == env_id) & (
+            self._cols["app"].view() == app
+        )
+        return [int(v) for v in np.unique(self._cols["scale"].view()[mask])]
 
     def counts_by_state(self) -> dict[RunState, int]:
-        counts: dict[RunState, int] = defaultdict(int)
-        for r in self.records:
-            counts[r.state] += 1
-        return dict(counts)
+        codes, counts = np.unique(self._cols["state"].view(), return_counts=True)
+        return {STATE_ORDER[code]: int(count) for code, count in zip(codes, counts)}
 
     def total_cost(self) -> float:
-        return sum(r.cost_usd for r in self.records)
+        return float(np.sum(self._cols["cost_usd"].view())) if len(self) else 0.0
 
     # -- columnar fast path --------------------------------------------------
+
+    def frame_columns(self) -> dict[str, np.ndarray]:
+        """The frame-schema columns as zero-copy views of the buffers."""
+        return {name: buf.view() for name, buf in self._cols.items()}
+
+    def cell_index(self) -> tuple[list[tuple[str, str, int]], np.ndarray]:
+        """(sorted unique cells, per-record int64 labels), precomputed.
+
+        The factorization is maintained incrementally at append time
+        (first-seen codes), so producing the sorted view is one
+        vectorized remap — no string sorting at fold time.
+        """
+        cells = sorted(self._cell_codes)
+        remap = np.empty(max(len(cells), 1), dtype=np.int64)
+        for sorted_index, key in enumerate(cells):
+            remap[self._cell_codes[key]] = sorted_index
+        return cells, remap[self._labels.view()]
 
     def to_frame(self):
         """A columnar :class:`~repro.ensemble.frame.ResultFrame` view.
 
-        One conversion pass over the records; aggregation from then on
-        is vectorized NumPy.  The fold path for anything that touches
-        the store more than once per record (the ensemble engine, bulk
-        statistics) — the list of dataclasses stays the archival truth.
+        Zero-copy: the frame borrows views of this store's buffers (and
+        the store's incremental cell factorization), so aggregation
+        starts without a conversion pass.  (Appending to the store after
+        taking a frame leaves the frame on its snapshot.)
         """
         from repro.ensemble.frame import ResultFrame
 
-        return ResultFrame.from_store(self)
+        cells, labels = self.cell_index()
+        return ResultFrame.from_columns(
+            self.frame_columns(), cells=cells, labels=labels
+        )
 
     # -- export -------------------------------------------------------------
 
@@ -139,21 +344,23 @@ class ResultStore:
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(self.CSV_FIELDS)
-        for r in self.records:
+        cols = {name: b.view() for name, b in self._cols.items()}
+        fom_none = self._fom_none.view()
+        for i in range(len(self)):
             writer.writerow(
                 [
-                    r.env_id,
-                    r.app,
-                    r.scale,
-                    r.nodes,
-                    r.iteration,
-                    r.state.value,
-                    "" if r.fom is None else f"{r.fom:.6g}",
-                    r.fom_units,
-                    f"{r.wall_seconds:.3f}",
-                    f"{r.hookup_seconds:.3f}",
-                    f"{r.cost_usd:.4f}",
-                    r.failure_kind or "",
+                    str(cols["env"][i]),
+                    str(cols["app"][i]),
+                    int(cols["scale"][i]),
+                    int(cols["nodes"][i]),
+                    int(cols["iteration"][i]),
+                    STATE_ORDER[cols["state"][i]].value,
+                    "" if fom_none[i] else f"{float(cols['fom'][i]):.6g}",
+                    self._fom_units[i],
+                    f"{float(cols['wall_seconds'][i]):.3f}",
+                    f"{float(cols['hookup_seconds'][i]):.3f}",
+                    f"{float(cols['cost_usd'][i]):.4f}",
+                    self._failure_kind[i] or "",
                 ]
             )
         return buf.getvalue()

@@ -92,10 +92,34 @@ class StudyReport:
     clusters_created: int
     cache_hits: int = 0
     cache_misses: int = 0
+    #: malformed cache entries encountered (each re-simulated, each
+    #: leaving a one-line warning — see :mod:`repro.sim.cache`)
+    cache_invalid: int = 0
 
     @property
     def datasets(self) -> int:
         return len(self.store)
+
+    def to_json_dict(self) -> dict:
+        """A JSON-safe snapshot: campaign summary plus every record."""
+        from repro.sim.cache import encode_record
+
+        return {
+            "summary": {
+                "datasets": self.datasets,
+                "clusters_created": self.clusters_created,
+                "containers_built": self.containers_built,
+                "containers_failed": self.containers_failed,
+                "spend_by_cloud": dict(sorted(self.spend_by_cloud.items())),
+                "incidents": sum(len(i) for i in self.incidents.values()),
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "invalid": self.cache_invalid,
+                },
+            },
+            "records": [encode_record(r) for r in self.store],
+        }
 
 
 class StudyRunner:
@@ -174,20 +198,24 @@ class StudyRunner:
 
     # -- campaign ----------------------------------------------------------------
 
-    def run(self) -> StudyReport:
-        """Execute the configured campaign."""
-        from repro.parallel import execute_shards, merge_shard_results, plan_shards
+    def compile(self):
+        """The campaign as a :class:`~repro.plan.ir.RunPlan` (one world)."""
+        from repro.plan import compile_study
 
+        return compile_study(
+            self.config, cache_dir=self.cache_dir, scenario=self.scenario
+        )
+
+    def run(self) -> StudyReport:
+        """Execute the configured campaign through the shared planner."""
+        from repro.plan import PlanExecutor
         from repro.scenarios.spec import active
 
         self.build_containers()
 
         scn = active(self.scenario)
-        shards = plan_shards(
-            self.config, cache_dir=self.cache_dir, scenario=self.scenario
-        )
-        results = execute_shards(shards, workers=self.workers)
-        merged = merge_shard_results(results, incidents=self.incidents)
+        executor = PlanExecutor(self.compile(), workers=self.workers)
+        ((_, merged),) = executor.run(seed_incidents=self.incidents)
 
         self.store = merged.store
         self.incidents = merged.incidents
@@ -209,4 +237,5 @@ class StudyRunner:
             clusters_created=self.clusters_created,
             cache_hits=merged.cache_hits,
             cache_misses=merged.cache_misses,
+            cache_invalid=merged.cache_invalid,
         )

@@ -17,9 +17,11 @@ seed study's own point values.
   :class:`CellStats`, streaming Welford moments, min/max, and exact
   small-N percentiles keyed by cell — O(cells) memory however many
   worlds run;
-* :mod:`~repro.ensemble.runner` — :class:`EnsembleRunner`, which fans
-  replica-worlds through :mod:`repro.parallel` in streamed shard
-  batches, folds each world on arrival, and caches per-world summaries
+* :mod:`~repro.ensemble.runner` — :class:`EnsembleRunner`, a thin
+  front-end over the shared execution planner (:mod:`repro.plan`): the
+  grid compiles to one :class:`~repro.plan.ir.RunPlan`, worlds stream
+  through the :class:`~repro.plan.executor.PlanExecutor`, each world
+  folds on arrival, and per-world summaries are cached
   (:func:`repro.sim.cache.world_key`) so warm re-runs are nearly free.
 
 Quickstart::
@@ -37,7 +39,7 @@ Quickstart::
 """
 
 from repro.ensemble.frame import FRAME_DTYPE, CellAggregates, ResultFrame
-from repro.ensemble.runner import EnsembleResult, EnsembleRunner, WorldPlan
+from repro.ensemble.runner import EnsembleResult, EnsembleRunner
 from repro.ensemble.spec import EnsembleSpec
 from repro.ensemble.stats import CellStats, StreamAccumulator, t_critical_95
 
@@ -50,6 +52,5 @@ __all__ = [
     "FRAME_DTYPE",
     "ResultFrame",
     "StreamAccumulator",
-    "WorldPlan",
     "t_critical_95",
 ]

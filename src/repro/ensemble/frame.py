@@ -1,16 +1,23 @@
-"""Columnar result frames: NumPy structured-array views of run records.
+"""Columnar result frames: typed NumPy column views of run records.
 
-A :class:`~repro.core.results.ResultStore` is a list of dataclasses —
-ideal for building the dataset, slow for folding one.  An ensemble folds
-*worlds × runs* records, so the fold's hot path converts each store to a
-:class:`ResultFrame` once (one pass over the records) and aggregates on
-typed columns from then on: the conversion also factorizes each
-record's (env, app, scale) into an integer cell label, so every
-aggregation is a handful of ``np.bincount`` passes over int64 labels —
-no string comparisons on the hot path.  Over a paper-scale store (25k+
-records) the vectorized cell aggregation is more than an order of
-magnitude faster than the per-record Python loop it replaces
-(``benchmarks/test_bench_ensemble.py`` keeps the receipt).
+A :class:`~repro.core.results.ResultStore` keeps the dataset in growing
+typed column buffers; a :class:`ResultFrame` is the aggregation view
+over those columns.  ``store.to_frame()`` hands the frame *views* of the
+store's buffers — zero copies — so the fold's hot path starts at the
+aggregation itself: each record's (env, app, scale) is factorized into
+an integer cell label, and every aggregation is a handful of
+``np.bincount`` passes over int64 labels — no string comparisons on the
+hot path.  Over a paper-scale store (25k+ records) the vectorized cell
+aggregation is more than an order of magnitude faster than the
+per-record Python loop it replaces (``benchmarks/test_bench_ensemble.py``
+keeps the receipt), and the zero-copy conversion beats the seed's
+row-based ``from_records`` pass by far more
+(``benchmarks/test_bench_plan.py``).
+
+Frames can still be built from a list of :class:`RunRecord` dataclasses
+(:meth:`ResultFrame.from_records` — the row-based path shard results
+take) or from a raw structured array; either way the column storage and
+the aggregation semantics are identical.
 
 Float semantics are preserved exactly: ``np.bincount`` accumulates in
 original record order, so every cell sum — and therefore every cell
@@ -21,23 +28,34 @@ of :meth:`ResultStore.foms` at study cell sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.sim.run_result import RunRecord, RunState
+from repro.sim.run_result import (
+    APP_NAME_WIDTH,
+    ENV_ID_WIDTH,
+    STATE_CODE,
+    STATE_ORDER,
+    RunRecord,
+    RunState,
+)
 
-#: column order of the ``state`` code; index into this tuple to decode
-STATE_ORDER: tuple[RunState, ...] = tuple(RunState)
-_STATE_CODE = {state: code for code, state in enumerate(STATE_ORDER)}
+_STATE_CODE = STATE_CODE  # the shared coding (repro.sim.run_result)
+
+#: fixed string-column widths (shared with the store's buffers via
+#: :mod:`repro.sim.run_result`); assignment beyond them would truncate
+#: silently and merge distinct cells, so conversions refuse instead
+ENV_WIDTH = ENV_ID_WIDTH
+APP_WIDTH = APP_NAME_WIDTH
 
 #: the frame's schema: one typed column per dataset CSV field that
 #: aggregations touch (string payloads like ``failure_kind`` stay in the
 #: store; the frame is a fold structure, not an archive)
 FRAME_DTYPE = np.dtype(
     [
-        ("env", "U32"),
-        ("app", "U24"),
+        ("env", f"U{ENV_WIDTH}"),
+        ("app", f"U{APP_WIDTH}"),
         ("scale", "i8"),
         ("nodes", "i8"),
         ("iteration", "i8"),
@@ -48,6 +66,20 @@ FRAME_DTYPE = np.dtype(
         ("cost_usd", "f8"),
     ]
 )
+
+#: column names in schema order
+FRAME_COLUMNS: tuple[str, ...] = tuple(FRAME_DTYPE.names)
+
+
+def check_id_widths(envs: Iterable[str], apps: Iterable[str]) -> None:
+    """Refuse env ids / app names wider than the frame's string columns."""
+    for values, width, what in ((envs, ENV_WIDTH, "env id"), (apps, APP_WIDTH, "app name")):
+        too_long = next((v for v in values if len(v) > width), None)
+        if too_long is not None:
+            raise ValueError(
+                f"{what} {too_long!r} exceeds the frame's {width}-char column"
+            )
+
 
 @dataclass(frozen=True)
 class CellAggregates:
@@ -94,22 +126,43 @@ class CellAggregates:
 
 
 class ResultFrame:
-    """A columnar view of run records, built once per store."""
+    """A columnar view of run records.
+
+    Internally the frame is a mapping of named typed columns — either
+    views borrowed zero-copy from a columnar store, columns converted
+    once from a record list, or the fields of a raw structured array.
+    The structured-array form (:attr:`data`) is assembled lazily for
+    callers that want one record-per-row value.
+    """
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         *,
+        columns: Mapping[str, np.ndarray] | None = None,
         cells: list[tuple[str, str, int]] | None = None,
         labels: np.ndarray | None = None,
     ):
-        if data.dtype != FRAME_DTYPE:
-            raise ValueError(f"frame data must have dtype {FRAME_DTYPE}")
-        self.data = data
+        if columns is None:
+            if data is None:
+                raise ValueError("a frame needs either data or columns")
+            if data.dtype != FRAME_DTYPE:
+                raise ValueError(f"frame data must have dtype {FRAME_DTYPE}")
+            columns = {name: data[name] for name in FRAME_COLUMNS}
+            self._data: np.ndarray | None = data
+        else:
+            missing = set(FRAME_COLUMNS) - set(columns)
+            if missing:
+                raise ValueError(f"frame columns missing {sorted(missing)}")
+            lengths = {len(columns[name]) for name in FRAME_COLUMNS}
+            if len(lengths) > 1:
+                raise ValueError("frame columns must be parallel (equal lengths)")
+            self._data = None
+        self._columns = {name: columns[name] for name in FRAME_COLUMNS}
         # The cell factorization: ``cells`` lists the sorted unique
         # (env, app, scale) keys, ``labels`` maps each record to its
         # cell index.  from_records computes it during conversion; a
-        # frame built from a raw array derives it lazily.
+        # frame built from raw columns derives it lazily.
         self._cells = cells
         self._labels = labels
         # Contiguous copies of the numeric hot columns (field views into
@@ -118,61 +171,98 @@ class ResultFrame:
         self._hot: tuple[np.ndarray, ...] | None = None
 
     @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, np.ndarray],
+        *,
+        cells: list[tuple[str, str, int]] | None = None,
+        labels: np.ndarray | None = None,
+    ) -> "ResultFrame":
+        """Wrap already-typed parallel columns; no copies are made."""
+        return cls(columns=columns, cells=cells, labels=labels)
+
+    @classmethod
     def from_records(cls, records: Iterable[RunRecord]) -> "ResultFrame":
         """One conversion pass: dataclass list → typed columns + labels."""
         records = list(records)
         envs = [r.env_id for r in records]
         apps = [r.app for r in records]
-        # Fixed-width columns truncate silently on assignment, which
-        # would merge distinct cells; refuse over-long ids instead.
-        for values, width, what in ((envs, 32, "env id"), (apps, 24, "app name")):
-            too_long = next((v for v in values if len(v) > width), None)
-            if too_long is not None:
-                raise ValueError(
-                    f"{what} {too_long!r} exceeds the frame's {width}-char column"
-                )
-        arr = np.empty(len(records), dtype=FRAME_DTYPE)
-        arr["env"] = envs
-        arr["app"] = apps
-        arr["scale"] = [r.scale for r in records]
-        arr["nodes"] = [r.nodes for r in records]
-        arr["iteration"] = [r.iteration for r in records]
-        arr["state"] = [_STATE_CODE[r.state] for r in records]
-        arr["fom"] = [np.nan if r.fom is None else r.fom for r in records]
-        arr["wall_seconds"] = [r.wall_seconds for r in records]
-        arr["hookup_seconds"] = [r.hookup_seconds for r in records]
-        arr["cost_usd"] = [r.cost_usd for r in records]
+        check_id_widths(envs, apps)
+        n = len(records)
+        columns = {
+            "env": np.array(envs, dtype="U32") if n else np.empty(0, dtype="U32"),
+            "app": np.array(apps, dtype="U24") if n else np.empty(0, dtype="U24"),
+            "scale": np.fromiter((r.scale for r in records), dtype=np.int64, count=n),
+            "nodes": np.fromiter((r.nodes for r in records), dtype=np.int64, count=n),
+            "iteration": np.fromiter(
+                (r.iteration for r in records), dtype=np.int64, count=n
+            ),
+            "state": np.fromiter(
+                (_STATE_CODE[r.state] for r in records), dtype=np.int8, count=n
+            ),
+            "fom": np.fromiter(
+                (np.nan if r.fom is None else r.fom for r in records),
+                dtype=np.float64,
+                count=n,
+            ),
+            "wall_seconds": np.fromiter(
+                (r.wall_seconds for r in records), dtype=np.float64, count=n
+            ),
+            "hookup_seconds": np.fromiter(
+                (r.hookup_seconds for r in records), dtype=np.float64, count=n
+            ),
+            "cost_usd": np.fromiter(
+                (r.cost_usd for r in records), dtype=np.float64, count=n
+            ),
+        }
         keys = [(r.env_id, r.app, r.scale) for r in records]
         cells = sorted(set(keys))
         index = {cell: i for i, cell in enumerate(cells)}
         labels = np.fromiter(
             (index[key] for key in keys), dtype=np.int64, count=len(keys)
         )
-        return cls(arr, cells=cells, labels=labels)
+        return cls(columns=columns, cells=cells, labels=labels)
 
     @classmethod
     def from_store(cls, store) -> "ResultFrame":
-        """Convert a :class:`~repro.core.results.ResultStore`."""
+        """Convert a :class:`~repro.core.results.ResultStore`.
+
+        Columnar stores hand over buffer views (zero-copy); anything
+        else falls back to the record-list conversion pass.
+        """
+        frame_columns = getattr(store, "frame_columns", None)
+        if frame_columns is not None:
+            return cls.from_columns(frame_columns())
         return cls.from_records(store.records)
 
     def __len__(self) -> int:
-        return len(self.data)
+        return len(self._columns["state"])
+
+    @property
+    def data(self) -> np.ndarray:
+        """The one-row-per-record structured array (assembled lazily)."""
+        if self._data is None:
+            arr = np.empty(len(self), dtype=FRAME_DTYPE)
+            for name in FRAME_COLUMNS:
+                arr[name] = self._columns[name]
+            self._data = arr
+        return self._data
 
     def column(self, name: str) -> np.ndarray:
         """One typed column (a view, not a copy)."""
-        return self.data[name]
+        return self._columns[name]
 
     def states(self) -> list[RunState]:
         """Decoded run states, record order."""
-        return [STATE_ORDER[code] for code in self.data["state"]]
+        return [STATE_ORDER[code] for code in self._columns["state"]]
 
     def _hot_columns(self) -> tuple[np.ndarray, ...]:
         """(state_codes, fom, wall, cost, completed), all contiguous."""
         if self._hot is None:
-            state = np.ascontiguousarray(self.data["state"]).astype(np.int64)
-            fom = np.ascontiguousarray(self.data["fom"])
-            wall = np.ascontiguousarray(self.data["wall_seconds"])
-            cost = np.ascontiguousarray(self.data["cost_usd"])
+            state = np.ascontiguousarray(self._columns["state"]).astype(np.int64)
+            fom = np.ascontiguousarray(self._columns["fom"])
+            wall = np.ascontiguousarray(self._columns["wall_seconds"])
+            cost = np.ascontiguousarray(self._columns["cost_usd"])
             completed = (state == _STATE_CODE[RunState.COMPLETED]) & ~np.isnan(fom)
             self._hot = (state, fom, wall, cost, completed)
         return self._hot
@@ -188,13 +278,13 @@ class ResultFrame:
 
         Computed during conversion for frames built via
         :meth:`from_records`; derived vectorized (a factorize per key
-        column, then one dense composite code) for frames handed a raw
-        array.  Either way the cell order is sorted (env, app, scale).
+        column, then one dense composite code) for frames handed raw
+        columns.  Either way the cell order is sorted (env, app, scale).
         """
         if self._labels is None:
-            env_codes, env_inv = np.unique(self.data["env"], return_inverse=True)
-            app_codes, app_inv = np.unique(self.data["app"], return_inverse=True)
-            sc_codes, sc_inv = np.unique(self.data["scale"], return_inverse=True)
+            env_codes, env_inv = np.unique(self._columns["env"], return_inverse=True)
+            app_codes, app_inv = np.unique(self._columns["app"], return_inverse=True)
+            sc_codes, sc_inv = np.unique(self._columns["scale"], return_inverse=True)
             dense = (env_inv * len(app_codes) + app_inv) * len(sc_codes) + sc_inv
             present, labels = np.unique(dense, return_inverse=True)
             span = len(app_codes) * len(sc_codes)

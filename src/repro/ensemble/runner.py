@@ -40,9 +40,9 @@ from typing import Iterator
 from repro.ensemble.frame import ResultFrame
 from repro.ensemble.spec import EnsembleSpec
 from repro.ensemble.stats import CellStats, StreamAccumulator
-from repro.parallel.pool import pmap_chunked
-from repro.parallel.shard import ShardResult, StudyShard, execute_shard, plan_shards
-from repro.scenarios.spec import Scenario, active
+from repro.parallel.shard import ShardResult
+from repro.plan import PlanExecutor, PlanWorld, RunPlan, compile_ensemble
+from repro.scenarios.spec import active
 from repro.sim.cache import RunCache, world_key
 from repro.sim.execution import ExecutionEngine
 
@@ -66,16 +66,6 @@ def _engine_options() -> dict:
 CellKey = tuple[str, str, str, int]  # (scenario_id, env, app, scale)
 
 
-@dataclass(frozen=True)
-class WorldPlan:
-    """One replica-world: a full campaign at (seed, scenario)."""
-
-    position: int  # fold order; 0 is always (baseline, replica 0)
-    scenario: Scenario
-    replica: int
-    seed: int
-
-
 @dataclass
 class EnsembleResult:
     """Everything an ensemble folded, ready to report.
@@ -95,6 +85,9 @@ class EnsembleResult:
     worlds: int = 0
     world_cache_hits: int = 0
     world_cache_misses: int = 0
+    #: malformed world-summary entries encountered (each re-executed,
+    #: each leaving a one-line warning — see :mod:`repro.sim.cache`)
+    world_cache_invalid: int = 0
 
     def scenario_ids(self) -> list[str]:
         """Scenario ids in fold order (baseline first)."""
@@ -150,6 +143,7 @@ class EnsembleResult:
             "world_cache": {
                 "hits": self.world_cache_hits,
                 "misses": self.world_cache_misses,
+                "invalid": self.world_cache_invalid,
             },
             "spend_usd": {sid: acc.summary() for sid, acc in self.spend.items()},
             "incidents": {sid: acc.summary() for sid, acc in self.incidents.items()},
@@ -182,18 +176,15 @@ class EnsembleRunner:
 
     # -- planning -----------------------------------------------------------
 
-    def _plans(self) -> list[WorldPlan]:
-        return [
-            WorldPlan(
-                position=i,
-                scenario=scn,
-                replica=replica,
-                seed=self.spec.replica_seed(replica),
-            )
-            for i, (scn, replica) in enumerate(self.spec.worlds())
-        ]
+    def compile(self) -> RunPlan:
+        """The whole grid as one :class:`~repro.plan.ir.RunPlan`."""
+        return compile_ensemble(self.spec, cache_dir=self.cache_dir)
 
-    def _world_key(self, world: WorldPlan) -> str:
+    def _plans(self) -> tuple[PlanWorld, ...]:
+        """The grid's worlds in fold order (compiled plan's world list)."""
+        return self.compile().worlds
+
+    def _world_key(self, world: PlanWorld) -> str:
         scn = active(world.scenario)
         config = self.spec.study_config(world.replica)
         return world_key(
@@ -212,7 +203,7 @@ class EnsembleRunner:
         """Execute every world and fold the streaming distributions."""
         result = EnsembleResult(spec=self.spec)
         cache = RunCache(self.cache_dir) if self.cache_dir else None
-        for world, summary, cached in self._summaries(self._plans(), cache):
+        for world, summary, cached in self._summaries(self.compile(), cache):
             if cache is not None:  # no phantom misses when uncached
                 if cached:
                     result.world_cache_hits += 1
@@ -220,29 +211,37 @@ class EnsembleRunner:
                     result.world_cache_misses += 1
             self._fold(result, world, summary)
             result.worlds += 1
+        if cache is not None:
+            # This cache object only ever touches world-summary entries,
+            # so its invalid counter *is* the world-level degradation.
+            result.world_cache_invalid = cache.invalid
         return result
 
     def _summaries(
-        self, plans: list[WorldPlan], cache: RunCache | None
-    ) -> Iterator[tuple[WorldPlan, dict, bool]]:
+        self, plan: RunPlan, cache: RunCache | None
+    ) -> Iterator[tuple[PlanWorld, dict, bool]]:
         """Yield (world, folded summary, was-cached) in fold order.
 
         Cached worlds replay their stored summary; contiguous runs of
-        missing worlds execute through the worker pool in batches.  The
-        pending list is flushed before any cached world is yielded, so
-        the output order is exactly the plan order.
+        missing worlds execute through the shared plan executor as one
+        sub-plan.  The pending list is flushed before any cached world
+        is yielded, so the output order is exactly the plan order.
         """
-        pending: list[tuple[WorldPlan, str | None]] = []
-        for world in plans:
+        pending: list[tuple[PlanWorld, str | None]] = []
+        for world in plan.worlds:
             key = self._world_key(world) if cache is not None else None
             data = cache.get_json(key) if cache is not None else None
             if self._valid_summary(data):
-                yield from self._execute(pending, cache)
+                yield from self._execute(plan, pending, cache)
                 pending = []
                 yield world, data, True
             else:
+                if data is not None and cache is not None:
+                    # JSON-valid but malformed: trace the degradation
+                    # (non-JSON corruption is traced inside get_json).
+                    cache.note_invalid(key, "world summary malformed")
                 pending.append((world, key))
-        yield from self._execute(pending, cache)
+        yield from self._execute(plan, pending, cache)
 
     @staticmethod
     def _is_number(value) -> bool:
@@ -285,36 +284,21 @@ class EnsembleRunner:
 
     def _execute(
         self,
-        pending: list[tuple[WorldPlan, str | None]],
+        plan: RunPlan,
+        pending: list[tuple[PlanWorld, str | None]],
         cache: RunCache | None,
-    ) -> Iterator[tuple[WorldPlan, dict, bool]]:
-        """Execute missing worlds as streamed shard batches, in order."""
+    ) -> Iterator[tuple[PlanWorld, dict, bool]]:
+        """Execute missing worlds through the shared executor, in order."""
         if not pending:
             return
-        plans: list[list[StudyShard]] = [
-            plan_shards(
-                self.spec.study_config(world.replica),
-                cache_dir=self.cache_dir,
-                scenario=world.scenario,
-                world=world.position,
-            )
-            for world, _ in pending
-        ]
-        flat = [shard for shards in plans for shard in shards]
-        # A chunk spans several small worlds (or part of one large one);
-        # only one chunk of shard results is ever alive at a time.
-        chunk_size = max(len(plans[0]), max(1, self.workers) * 4)
-        results: Iterator[ShardResult] = (
-            shard_result
-            for batch in pmap_chunked(
-                execute_shard, flat, workers=self.workers, chunk_size=chunk_size
-            )
-            for shard_result in batch
+        executor = PlanExecutor(
+            plan.subset(world.index for world, _ in pending),
+            workers=self.workers,
         )
-        for (world, key), shards in zip(pending, plans):
-            world_results = [next(results) for _ in range(len(shards))]
-            assert all(r.world == world.position for r in world_results)
-            summary = self._world_summary(world_results)
+        world_results = executor.iter_world_results()
+        for (world, key), (executed, shard_results) in zip(pending, world_results):
+            assert executed.index == world.index
+            summary = self._world_summary(shard_results)
             if cache is not None and key is not None:
                 cache.put_json(key, summary)
             yield world, summary, False
@@ -344,7 +328,7 @@ class EnsembleRunner:
     # -- folding ------------------------------------------------------------
 
     @staticmethod
-    def _fold(result: EnsembleResult, world: WorldPlan, summary: dict) -> None:
+    def _fold(result: EnsembleResult, world: PlanWorld, summary: dict) -> None:
         sid = world.scenario.scenario_id
         # The seed study anchors the thresholds: the *baseline* world at
         # replica 0 — not merely plan position 0, which could be a

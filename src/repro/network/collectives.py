@@ -22,7 +22,7 @@ so property tests can assert monotonicity and scaling laws.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.network.fabric import Fabric
 
@@ -130,36 +130,70 @@ def halo_exchange_time(
 
 @dataclass(frozen=True)
 class CollectiveModel:
-    """Bound collective operations for one fabric.
+    """Bound collective operations for one fabric, memoized.
 
     Convenience wrapper so app models can carry a single object::
 
         cm = CollectiveModel(fabric("efa-gen1.5"))
         t = cm.allreduce(8 * n, nprocs)
+
+    Every operation is a pure function of (fabric, sizes), so results
+    are memoized per instance: an app's level hierarchy re-asking for
+    the same tiny allreduce, and a batched group
+    (:meth:`~repro.sim.execution.ExecutionEngine.run_batch`) sharing one
+    model across iterations, pay for each distinct collective once.
+    The memo never changes a value — only skips recomputing it.
     """
 
     fabric: Fabric
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def _cached(self, key: tuple, compute, *args) -> float:
+        t = self._memo.get(key)
+        if t is None:
+            t = self._memo[key] = compute(self.fabric, *args)
+        return t
+
+    def cached(self, key: tuple, compute) -> float:
+        """Memoize any pure-per-fabric value on this model.
+
+        ``compute(fabric) -> float`` must be deterministic in the fabric
+        and the key; app models use this for per-message-size base times
+        that never change across a batched group's iterations.
+        """
+        return self._cached(key, compute)
 
     def allreduce(self, nbytes: int, nprocs: int) -> float:
-        return allreduce_time(self.fabric, nbytes, nprocs)
+        return self._cached(("ar", nbytes, nprocs), allreduce_time, nbytes, nprocs)
 
     def bcast(self, nbytes: int, nprocs: int) -> float:
-        return bcast_time(self.fabric, nbytes, nprocs)
+        return self._cached(("bc", nbytes, nprocs), bcast_time, nbytes, nprocs)
 
     def allgather(self, total_bytes: int, nprocs: int) -> float:
-        return allgather_time(self.fabric, total_bytes, nprocs)
+        return self._cached(
+            ("ag", total_bytes, nprocs), allgather_time, total_bytes, nprocs
+        )
 
     def alltoall(self, per_pair_bytes: int, nprocs: int) -> float:
-        return alltoall_time(self.fabric, per_pair_bytes, nprocs)
+        return self._cached(
+            ("aa", per_pair_bytes, nprocs), alltoall_time, per_pair_bytes, nprocs
+        )
 
     def reduce(self, nbytes: int, nprocs: int) -> float:
-        return reduce_time(self.fabric, nbytes, nprocs)
+        return self._cached(("rd", nbytes, nprocs), reduce_time, nbytes, nprocs)
 
     def barrier(self, nprocs: int) -> float:
-        return barrier_time(self.fabric, nprocs)
+        return self._cached(("ba", nprocs), barrier_time, nprocs)
 
     def halo(self, nbytes_per_neighbor: int, neighbors: int) -> float:
-        return halo_exchange_time(self.fabric, nbytes_per_neighbor, neighbors)
+        return self._cached(
+            ("ha", nbytes_per_neighbor, neighbors),
+            halo_exchange_time,
+            nbytes_per_neighbor,
+            neighbors,
+        )
 
     def p2p(self, nbytes: int) -> float:
-        return self.fabric.p2p_time(nbytes)
+        return self._cached(
+            ("pp", nbytes), lambda fab, n: fab.p2p_time(n), nbytes
+        )

@@ -28,6 +28,7 @@ class MergedStudy:
     clusters_created: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_invalid: int = 0
 
 
 def merge_shard_results(
@@ -51,4 +52,5 @@ def merge_shard_results(
         merged.clusters_created += shard.clusters_created
         merged.cache_hits += shard.cache_hits
         merged.cache_misses += shard.cache_misses
+        merged.cache_invalid += shard.cache_invalid
     return merged

@@ -82,6 +82,8 @@ class ShardResult:
     clusters_created: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: malformed cache entries encountered (and re-simulated around)
+    cache_invalid: int = 0
 
 
 def plan_shards(
@@ -235,13 +237,16 @@ def execute_shard(shard: StudyShard) -> ShardResult:
     cache = RunCache(shard.cache_dir) if shard.cache_dir else None
     engine = ExecutionEngine(seed=shard.seed, cache=cache, scenario=scn)
     if cache is not None:
-        cached = cache.get_json(_shard_cache_key(shard, engine))
+        cell_key = _shard_cache_key(shard, engine)
+        cached = cache.get_json(cell_key)
         if cached is not None:
             try:
                 return _decode_shard(shard, cached)
-            except (KeyError, TypeError, ValueError):
-                pass  # corrupt or stale cell entry: re-execute
-        # The cell-level lookup must not leak into the run-level stats.
+            except (KeyError, TypeError, ValueError) as exc:
+                # Corrupt or stale cell entry: warn once and re-execute.
+                cache.note_invalid(cell_key, f"study-cell entry malformed: {exc}")
+        # The cell-level lookup must not leak into the run-level stats
+        # (the invalid counter keeps accumulating — it is the trace).
         cache.hits = 0
         cache.misses = 0
     result = ShardResult(
@@ -329,19 +334,27 @@ def execute_shard(shard: StudyShard) -> ShardResult:
         if env.kind is EnvironmentKind.K8S:
             now += _deploy_kubernetes(env, cluster)
 
+    def _aks_single_iteration(record: RunRecord) -> bool:
+        # §3.3: AKS CPU 256 ran a single iteration because hookup took
+        # 8.82 minutes.
+        return (
+            env.env_id == "cpu-aks-az"
+            and shard.scale == 256
+            and record.hookup_seconds > 300.0
+        )
+
     for app_name in shard.apps:
-        for it in range(shard.iterations):
-            record = engine.run(env, app_name, shard.scale, iteration=it)
-            result.records.append(record)
-            now += record.total_seconds
-            # §3.3: AKS CPU 256 ran a single iteration because hookup
-            # took 8.82 minutes.
-            if (
-                env.env_id == "cpu-aks-az"
-                and shard.scale == 256
-                and record.hookup_seconds > 300.0
-            ):
-                break
+        # One batch per (env, app, size) group: the engine resolves
+        # placement/fabric/pricing once and reuses it every iteration.
+        records = engine.run_batch(
+            env,
+            app_name,
+            shard.scale,
+            iterations=shard.iterations,
+            stop=_aks_single_iteration,
+        )
+        result.records.extend(records)
+        now += sum(record.total_seconds for record in records)
 
     if scn is not None and scn.spot is not None:
         # Every reclaim cost somebody a resubmission: charge the effort.
@@ -429,4 +442,5 @@ def _finish_shard(
         return
     result.cache_hits = cache.hits
     result.cache_misses = cache.misses
+    result.cache_invalid = cache.invalid
     cache.put_json(_shard_cache_key(shard, engine), _encode_shard(result))

@@ -1,0 +1,30 @@
+"""One execution planner for every orchestration front-end.
+
+``repro.plan`` is the compile→execute→merge pipeline the study, the
+scenario sweep, and the ensemble all share:
+
+* :mod:`repro.plan.ir` — the :class:`RunPlan` intermediate
+  representation: worlds → shards → explicit :class:`PlannedRun` units;
+* :mod:`repro.plan.compile` — compilers from each front-end's config;
+* :mod:`repro.plan.executor` — the single :class:`PlanExecutor` that
+  runs any plan serially or across the worker pool with byte-identical
+  merge order.
+
+``repro plan show`` on the CLI prints a compiled plan — worlds, shards,
+run counts, digest — before anything executes.
+"""
+
+from repro.plan.compile import compile_ensemble, compile_scenarios, compile_study
+from repro.plan.executor import PlanExecutor
+from repro.plan.ir import PlannedRun, PlanWorld, RunPlan, planned_runs
+
+__all__ = [
+    "PlanExecutor",
+    "PlanWorld",
+    "PlannedRun",
+    "RunPlan",
+    "compile_ensemble",
+    "compile_scenarios",
+    "compile_study",
+    "planned_runs",
+]

@@ -1,0 +1,105 @@
+"""Compilers: front-end configs → one :class:`~repro.plan.ir.RunPlan`.
+
+Three front-ends, one IR:
+
+* :func:`compile_study` — a single campaign (one world);
+* :func:`compile_scenarios` — a what-if sweep (one world per scenario,
+  all at the campaign's seed);
+* :func:`compile_ensemble` — a Monte-Carlo replication (scenario-major
+  × replicas ascending, replica ``r`` at seed ``base_seed + r``).
+
+All three delegate cell planning to the one shared
+:func:`~repro.parallel.shard.plan_shards` (environments in config
+order, sizes in environment order — the serial campaign order) and then
+re-index the shards world-major so every shard's ``index`` is its
+global position in the plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.parallel.shard import StudyShard, plan_shards
+from repro.plan.ir import PlanWorld, RunPlan
+from repro.scenarios.presets import scenario_grid
+from repro.scenarios.spec import Scenario
+
+
+def _world_shards(
+    config, world: PlanWorld, cache_dir: str | None, start_index: int
+) -> list[StudyShard]:
+    """One world's cells, re-indexed to their global plan positions."""
+    shards = plan_shards(
+        config, cache_dir=cache_dir, scenario=world.scenario, world=world.index
+    )
+    return [
+        dataclasses.replace(shard, index=start_index + offset)
+        for offset, shard in enumerate(shards)
+    ]
+
+
+def compile_study(
+    config,
+    *,
+    cache_dir: str | None = None,
+    scenario: Scenario | None = None,
+) -> RunPlan:
+    """Compile one :class:`~repro.core.study.StudyConfig` campaign."""
+    world = PlanWorld(index=0, scenario=scenario, seed=config.seed)
+    return RunPlan(
+        worlds=(world,),
+        shards=tuple(_world_shards(config, world, cache_dir, start_index=0)),
+        cache_dir=cache_dir,
+    )
+
+
+def compile_scenarios(
+    config,
+    scenarios: Iterable[Scenario],
+    *,
+    cache_dir: str | None = None,
+    include_baseline: bool = True,
+) -> RunPlan:
+    """Compile a what-if sweep: one world per scenario, same seed.
+
+    ``scenarios`` passes through :func:`~repro.scenarios.presets.scenario_grid`
+    — unique ids enforced, the label ``"baseline"`` reserved, and the
+    baseline world injected first unless ``include_baseline`` is off.
+    """
+    worlds = tuple(
+        PlanWorld(index=i, scenario=scn, seed=config.seed)
+        for i, scn in enumerate(
+            scenario_grid(list(scenarios), include_baseline=include_baseline)
+        )
+    )
+    shards: list[StudyShard] = []
+    for world in worlds:
+        shards.extend(_world_shards(config, world, cache_dir, start_index=len(shards)))
+    return RunPlan(worlds=worlds, shards=tuple(shards), cache_dir=cache_dir)
+
+
+def compile_ensemble(spec, *, cache_dir: str | None = None) -> RunPlan:
+    """Compile an :class:`~repro.ensemble.spec.EnsembleSpec` grid.
+
+    World order is the spec's fold order — scenario-major, replicas
+    ascending — so world 0 is always (baseline, replica 0): the seed
+    study that anchors the exceedance thresholds.
+    """
+    worlds = tuple(
+        PlanWorld(
+            index=i,
+            scenario=scn,
+            seed=spec.replica_seed(replica),
+            replica=replica,
+        )
+        for i, (scn, replica) in enumerate(spec.worlds())
+    )
+    shards: list[StudyShard] = []
+    for world in worlds:
+        shards.extend(
+            _world_shards(
+                spec.study_config(world.replica), world, cache_dir, start_index=len(shards)
+            )
+        )
+    return RunPlan(worlds=worlds, shards=tuple(shards), cache_dir=cache_dir)

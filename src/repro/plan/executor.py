@@ -1,0 +1,88 @@
+"""The one executor every front-end shares.
+
+A :class:`PlanExecutor` runs any :class:`~repro.plan.ir.RunPlan` —
+serially for ``workers=1``, through the :mod:`repro.parallel` process
+pool otherwise — and hands results back **in plan order** regardless of
+worker count or completion order.  That single ordering guarantee is
+what makes every front-end's output byte-identical across worker
+counts: the shards are pure functions, the pool preserves submission
+order, and the merge folds per world in shard-plan order.
+
+Shard batches stream through
+:func:`~repro.parallel.pool.pmap_chunked`, so peak memory is bounded by
+one chunk of shard results (plus the world currently being folded) —
+an ensemble of hundreds of worlds never holds more than a window of
+records at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.incidents import Incident
+from repro.parallel.merge import MergedStudy, merge_shard_results
+from repro.parallel.pool import pmap_chunked
+from repro.parallel.shard import ShardResult, execute_shard
+from repro.plan.ir import PlanWorld, RunPlan
+
+
+class PlanExecutor:
+    """Executes a compiled :class:`RunPlan`, streaming worlds in order."""
+
+    def __init__(self, plan: RunPlan, *, workers: int = 1):
+        self.plan = plan
+        self.workers = workers
+
+    def _chunk_size(self) -> int:
+        # A chunk spans several small worlds (or part of one large one);
+        # only one chunk of shard results is ever alive at a time.
+        counts = self.plan.world_shard_counts()
+        first = counts[0][1] if counts else 0
+        return max(first, max(1, self.workers) * 4, 1)
+
+    def iter_world_results(self) -> Iterator[tuple[PlanWorld, list[ShardResult]]]:
+        """Yield (world, its shard results) in plan order.
+
+        Shards execute across the worker pool in plan order; results are
+        regrouped by each world's shard count, so a world is yielded the
+        moment its last cell returns — no barrier across worlds.
+        """
+        results = (
+            shard_result
+            for batch in pmap_chunked(
+                execute_shard,
+                self.plan.shards,
+                workers=self.workers,
+                chunk_size=self._chunk_size(),
+            )
+            for shard_result in batch
+        )
+        for world, n_shards in self.plan.world_shard_counts():
+            world_results = [next(results) for _ in range(n_shards)]
+            assert all(r.world == world.index for r in world_results)
+            yield world, world_results
+
+    def merged_worlds(
+        self,
+        *,
+        seed_incidents: dict[str, list[Incident]] | None = None,
+    ) -> Iterator[tuple[PlanWorld, MergedStudy]]:
+        """Yield (world, deterministically merged campaign) in plan order.
+
+        ``seed_incidents`` seeds every world's incident log with a fresh
+        copy (container-build incidents precede fault incidents per
+        environment, exactly as in the serial campaign).
+        """
+        for world, results in self.iter_world_results():
+            incidents = {
+                env: list(incs) for env, incs in (seed_incidents or {}).items()
+            }
+            yield world, merge_shard_results(results, incidents=incidents)
+
+    def run(
+        self,
+        *,
+        seed_incidents: dict[str, list[Incident]] | None = None,
+    ) -> list[tuple[PlanWorld, MergedStudy]]:
+        """Execute the whole plan; every world merged, in plan order."""
+        return list(self.merged_worlds(seed_incidents=seed_incidents))

@@ -1,12 +1,13 @@
 """Scenario sweeps: N counterfactual worlds × the campaign's cells.
 
-A :class:`ScenarioSweep` is the plan/execute layer of the scenario
-engine.  It reuses the study's own parallel machinery — every scenario
-is planned as the usual (environment, size) cells, all cells of all
-worlds are flattened into *one* work list, and :func:`repro.parallel.pool.pmap`
-fans that list across the worker pool.  A 4-scenario sweep over a
-14-cell campaign is simply 56 shards; worlds make progress concurrently
-instead of queueing behind each other.
+A :class:`ScenarioSweep` is a thin front-end over the shared execution
+planner (:mod:`repro.plan`): the scenario list *compiles* to one
+:class:`~repro.plan.ir.RunPlan` — one world per scenario, the usual
+(environment, size) cells world-major in one flat shard list — and the
+single :class:`~repro.plan.executor.PlanExecutor` fans it across the
+worker pool.  A 4-scenario sweep over a 14-cell campaign is simply 56
+shards; worlds make progress concurrently instead of queueing behind
+each other.
 
 Container builds are scenario-independent (no perturbation touches the
 build matrix), so the sweep builds the matrix once and seeds every
@@ -80,6 +81,30 @@ class SweepResult:
         """The delta report as fixed-width text."""
         return render_table(self.delta_table())
 
+    def to_json_dict(self) -> dict:
+        """A JSON-safe snapshot: per-world summaries plus delta rows.
+
+        Delta rows need a baseline world to diff against; a sweep run
+        with ``include_baseline=False`` exports summaries only.
+        """
+        from dataclasses import asdict
+
+        out: dict = {
+            "scenarios": list(self.outcomes),
+            "reports": {
+                sid: outcome.report.to_json_dict()["summary"]
+                for sid, outcome in self.outcomes.items()
+            },
+        }
+        if any(o.scenario.is_baseline for o in self.outcomes.values()):
+            out["deltas"] = [asdict(delta) for delta in self.deltas()]
+        return out
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
 
 class ScenarioSweep:
     """Runs a study under N scenarios and compares them to the baseline.
@@ -110,37 +135,33 @@ class ScenarioSweep:
     def _worlds(self) -> list[Scenario]:
         return scenario_grid(self.scenarios, include_baseline=self.include_baseline)
 
+    def compile(self):
+        """The whole sweep as one :class:`~repro.plan.ir.RunPlan`."""
+        # Imported lazily: repro.plan sits below this module in the
+        # import graph (its shards import repro.scenarios.spec).
+        from repro.plan import compile_scenarios
+
+        return compile_scenarios(
+            self.config,
+            self.scenarios,
+            cache_dir=self.cache_dir,
+            include_baseline=self.include_baseline,
+        )
+
     def run(self) -> SweepResult:
         """Execute every world; returns per-scenario reports."""
-        # Imported lazily: repro.parallel sits below this module in the
-        # import graph (its shards import repro.scenarios.spec).
-        from repro.parallel.merge import merge_shard_results
-        from repro.parallel.pool import pmap
-        from repro.parallel.shard import execute_shard, plan_shards
+        from repro.plan import PlanExecutor
 
         builder_runner = StudyRunner(self.config)
         builder_runner.build_containers()
         build_incidents = builder_runner.incidents
 
-        worlds = self._worlds()
-        plans = [
-            plan_shards(self.config, cache_dir=self.cache_dir, scenario=scn)
-            for scn in worlds
-        ]
-        flat = [shard for shards in plans for shard in shards]
-        results = pmap(execute_shard, flat, workers=self.workers)
-
+        executor = PlanExecutor(self.compile(), workers=self.workers)
         outcomes: dict[str, ScenarioOutcome] = {}
-        position = 0
-        for scn, shards in zip(worlds, plans):
-            chunk = results[position:position + len(shards)]
-            position += len(shards)
-            merged = merge_shard_results(
-                chunk,
-                incidents={env: list(incs) for env, incs in build_incidents.items()},
-            )
+        for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
             # Worlds keep their own ids (the injected BASELINE's id is
             # "baseline"), so no two worlds can ever share a label.
+            scn = world.scenario
             outcomes[scn.scenario_id] = ScenarioOutcome(
                 scenario=scn,
                 report=StudyReport(
@@ -152,6 +173,7 @@ class ScenarioSweep:
                     clusters_created=merged.clusters_created,
                     cache_hits=merged.cache_hits,
                     cache_misses=merged.cache_misses,
+                    cache_invalid=merged.cache_invalid,
                 ),
             )
         return SweepResult(outcomes=outcomes)

@@ -29,11 +29,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.sim.run_result import RunRecord, RunState
+
+logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every existing cache entry (schema/semantics change).
 #: v2: keys grew a scenario digest (repro.scenarios) so what-if worlds
@@ -192,6 +195,24 @@ class RunCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: entries that *existed* but could not be used (corrupt JSON,
+        #: schema mismatch, malformed payload); each one degrades the
+        #: cache to re-simulation, so each one leaves a warning trace
+        self.invalid = 0
+
+    def note_invalid(self, key: str, reason: str) -> None:
+        """Count one unusable entry and leave a one-line warning trace.
+
+        The cache is an accelerator, never a source of truth — malformed
+        entries always fall back to re-simulation — but silent
+        degradation hides real problems (truncated writes, version
+        skew), so every fallback is counted and logged.
+        """
+        self.invalid += 1
+        logger.warning(
+            "cache entry %s under %s is invalid (%s); re-simulating",
+            key, self.root, reason,
+        )
 
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -201,9 +222,14 @@ class RunCache:
         try:
             with open(self.path(key), "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (OSError, ValueError):
-            # Missing or corrupt entry: a miss.
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError) as exc:
+            # The entry exists but cannot be read or parsed: a miss,
+            # and a degradation worth a trace.
+            self.misses += 1
+            self.note_invalid(key, f"unreadable or corrupt JSON: {exc}")
             return None
         self.hits += 1
         return data
@@ -224,10 +250,11 @@ class RunCache:
             return None
         try:
             return decode_record(data)
-        except (ValueError, TypeError, KeyError):
+        except (ValueError, TypeError, KeyError) as exc:
             # Schema-mismatched entry: count the earlier hit back as a miss.
             self.hits -= 1
             self.misses += 1
+            self.note_invalid(key, f"record schema mismatch: {exc}")
             return None
 
     def put(self, key: str, record: RunRecord) -> None:
@@ -239,4 +266,9 @@ class RunCache:
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalid": self.invalid,
+            "entries": len(self),
+        }

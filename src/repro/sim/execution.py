@@ -21,7 +21,7 @@ Engines are deterministic given (seed, env, app, scale, iteration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.apps.base import AppModel, RunContext
 from repro.apps.registry import app as app_lookup
@@ -30,6 +30,7 @@ from repro.cloud.placement import apply_placement
 from repro.envs.environment import Environment, EnvironmentKind
 from repro.errors import EnvironmentUnavailableError
 from repro.machine.gpu import sample_ecc_settings
+from repro.network.collectives import CollectiveModel
 from repro.network.fabric import Fabric
 from repro.network.hookup import hookup_time
 from repro.network.quirks import AZURE_UNTUNED_UCX
@@ -47,6 +48,35 @@ from repro.units import HOUR
 CLOUD_WALLTIME_S = 1000.0
 #: on-prem queue-slot ceiling (center jobs ran under generous limits)
 ONPREM_WALLTIME_S = 4 * 3600.0
+
+
+@dataclass(frozen=True)
+class ResolvedGroup:
+    """Everything iteration-independent about one (env, app, size) group.
+
+    Placement, effective fabric, ECC-conditioned node model, walltime
+    limit, and hourly rate depend only on the group coordinates (plus
+    the engine's seed/scenario) — never on the iteration — so a batch
+    resolves them once and every iteration reuses them.  All members
+    are immutable values, safe to share across runs.
+    """
+
+    env: Environment
+    model: AppModel
+    scale: int
+    nodes: int
+    ranks: int
+    node_model: Any
+    fabric: Fabric
+    #: memoized collective model shared by every iteration's context,
+    #: so each distinct collective prices once per group
+    comm: "CollectiveModel"
+    #: group-scoped memo shared by every iteration's context
+    #: (:meth:`~repro.apps.base.RunContext.once`)
+    memo: dict
+    rate: float
+    walltime_limit: float
+    options: dict[str, Any]
 
 
 @dataclass
@@ -118,6 +148,66 @@ class ExecutionEngine:
         return effective_fabric(base, env.cloud, placement)
 
     # -- context construction --------------------------------------------------
+
+    def resolve_group(
+        self,
+        env: Environment,
+        app: AppModel | str,
+        scale: int,
+        *,
+        options: dict[str, Any] | None = None,
+    ) -> ResolvedGroup:
+        """Resolve everything iteration-independent about one group.
+
+        Placement sampling, topology-effective fabric, ECC-conditioned
+        node model, and pricing are functions of (seed, env, scale) —
+        :meth:`run_batch` resolves them once per (env, app, size) group
+        instead of once per iteration, with identical results.
+        """
+        model = app_lookup(app) if isinstance(app, str) else app
+        nodes = env.nodes_for(scale)
+        ranks = env.ranks_for(scale)
+        ecc_on = True
+        if env.is_gpu:
+            # The node's ECC state: Azure fleets are mixed (§3.3).
+            states = sample_ecc_settings(env.cloud, nodes, seed=self.seed)
+            ecc_on = bool(states.all()) if states.size else True
+        itype = env.instance()
+        rate = itype.cost_per_hour
+        scn = active(self.scenario)
+        if scn is not None:
+            rate = effective_rate(itype, scn.price_multiplier(env.cloud, nodes))
+        fabric = self._effective_fabric(env, nodes)
+        return ResolvedGroup(
+            env=env,
+            model=model,
+            scale=scale,
+            nodes=nodes,
+            ranks=ranks,
+            node_model=env.node_model(ecc_on=ecc_on),
+            fabric=fabric,
+            comm=CollectiveModel(fabric),
+            memo={},
+            rate=rate,
+            walltime_limit=ONPREM_WALLTIME_S if env.cloud == "p" else CLOUD_WALLTIME_S,
+            options=options or {},
+        )
+
+    def _group_context(self, group: ResolvedGroup, iteration: int) -> RunContext:
+        """The :class:`RunContext` for one iteration of a resolved group."""
+        return RunContext(
+            env=group.env,
+            scale=group.scale,
+            nodes=group.nodes,
+            ranks=group.ranks,
+            node_model=group.node_model,
+            fabric=group.fabric,
+            rng=stream(self.seed, "run", group.env.env_id, group.scale, iteration),
+            iteration=iteration,
+            options=group.options,
+            comm_model=group.comm,
+            group_memo=group.memo,
+        )
 
     def context(
         self,
@@ -258,18 +348,35 @@ class ExecutionEngine:
         iteration: int,
         options: dict[str, Any] | None,
     ) -> RunRecord:
-        ctx = self.context(env, scale, iteration=iteration, options=options)
+        group = self.resolve_group(env, model, scale, options=options)
+        return self._execute_in_group(group, iteration)
+
+    def _execute_in_group(
+        self,
+        group: ResolvedGroup,
+        iteration: int,
+        ctx: RunContext | None = None,
+    ) -> RunRecord:
+        """One iteration of a resolved group; all per-run randomness is
+        keyed on the iteration, so batched and one-at-a-time execution
+        produce identical records.  ``ctx`` lets a batch reuse one
+        context object (only ``rng``/``iteration`` vary within a group —
+        the caller must have set both for this iteration)."""
+        env = group.env
+        model = group.model
+        if ctx is None:
+            ctx = self._group_context(group, iteration)
         hookup = hookup_time(
             env.cloud,
             env.is_gpu,
-            ctx.nodes,
+            group.nodes,
             environment_kind=env.kind.value,
             seed=self.seed,
             iteration=iteration,
         )
         result = model.simulate(ctx)
 
-        limit = ONPREM_WALLTIME_S if env.cloud == "p" else CLOUD_WALLTIME_S
+        limit = group.walltime_limit
         if result.failed:
             state = RunState.FAILED
             fom = None
@@ -287,8 +394,6 @@ class ExecutionEngine:
             "walltime" if state is RunState.TIMEOUT else None
         )
         extra = result.extra
-        itype = env.instance()
-        rate = itype.cost_per_hour
 
         scn = active(self.scenario)
         if scn is not None:
@@ -307,7 +412,7 @@ class ExecutionEngine:
                     scn.scenario_id,
                     env.env_id,
                     model.name,
-                    scale,
+                    group.scale,
                     iteration,
                     wall + hookup,
                 )
@@ -318,14 +423,13 @@ class ExecutionEngine:
                     failure_kind = "spot-preemption"
                     extra = dict(result.extra)
                     extra["preempted_at_fraction"] = preempt.at_fraction
-            rate = effective_rate(itype, scn.price_multiplier(env.cloud, ctx.nodes))
 
-        cost = ctx.nodes * rate * (wall + hookup) / HOUR
+        cost = group.nodes * group.rate * (wall + hookup) / HOUR
         return RunRecord(
             env_id=env.env_id,
             app=model.name,
-            scale=scale,
-            nodes=ctx.nodes,
+            scale=group.scale,
+            nodes=group.nodes,
             iteration=iteration,
             state=state,
             fom=fom,
@@ -337,3 +441,67 @@ class ExecutionEngine:
             failure_kind=failure_kind,
             extra=extra,
         )
+
+    # -- batched running -------------------------------------------------------
+
+    def run_batch(
+        self,
+        env: Environment,
+        app: AppModel | str,
+        scale: int,
+        *,
+        iterations: int,
+        options: dict[str, Any] | None = None,
+        stop: Callable[[RunRecord], bool] | None = None,
+    ) -> list[RunRecord]:
+        """Run one (env, app, size) group for ``iterations`` iterations.
+
+        The batched hot path: environment placement, effective fabric,
+        ECC-conditioned node model, and pricing are resolved **once**
+        for the whole group instead of once per iteration, then every
+        iteration reuses the resolution — records are byte-identical to
+        calling :meth:`run` iteration by iteration
+        (``benchmarks/test_bench_plan.py`` keeps the speedup receipt).
+
+        ``stop`` is consulted after each record; returning ``True`` ends
+        the batch early (the §3.3 AKS-256 single-iteration policy).
+        Resolution is lazy, so a fully cache-hit batch never resolves.
+        """
+        model = app_lookup(app) if isinstance(app, str) else app
+        records: list[RunRecord] = []
+        if not env.deployable or not model.supports(env.accelerator):
+            # Skips carry no resolution; run() emits the same records
+            # (and history entries) the per-iteration path always did.
+            for iteration in range(iterations):
+                record = self.run(env, model, scale, iteration=iteration, options=options)
+                records.append(record)
+                if stop is not None and stop(record):
+                    break
+            return records
+
+        group: ResolvedGroup | None = None
+        ctx: RunContext | None = None
+        for iteration in range(iterations):
+            record = None
+            if self.cache is not None:
+                key = self._cache_key(env, model, scale, iteration, options)
+                record = self.cache.get(key)
+            if record is None:
+                if group is None:
+                    group = self.resolve_group(env, model, scale, options=options)
+                    ctx = self._group_context(group, iteration)
+                else:
+                    # Reuse the context: only the keyed rng and the
+                    # iteration number vary within a group.
+                    ctx.rng = stream(
+                        self.seed, "run", group.env.env_id, group.scale, iteration
+                    )
+                    ctx.iteration = iteration
+                record = self._execute_in_group(group, iteration, ctx=ctx)
+                if self.cache is not None:
+                    self.cache.put(key, record)
+            self.history.append(record)
+            records.append(record)
+            if stop is not None and stop(record):
+                break
+        return records

@@ -14,6 +14,21 @@ class RunState(enum.Enum):
     SKIPPED = "skipped"  # environment undeployable or app unsupported
 
 
+#: the canonical integer coding of :class:`RunState` shared by every
+#: columnar structure (:class:`~repro.core.results.ResultStore` buffers,
+#: :class:`~repro.ensemble.frame.ResultFrame` columns); index into
+#: :data:`STATE_ORDER` to decode
+STATE_ORDER: tuple[RunState, ...] = tuple(RunState)
+STATE_CODE: dict[RunState, int] = {state: code for code, state in enumerate(STATE_ORDER)}
+
+#: fixed widths of the columnar string key columns, shared by the store
+#: buffers and the frame schema (this leaf module is importable by
+#: both); ids wider than these would truncate silently and merge
+#: distinct cells, so columnar appends refuse them instead
+ENV_ID_WIDTH = 32
+APP_NAME_WIDTH = 24
+
+
 @dataclass(frozen=True)
 class RunRecord:
     """One application run in one environment at one scale."""

@@ -129,7 +129,11 @@ def test_uncached_run_reports_no_phantom_cache_traffic():
     result = EnsembleRunner(spec).run()
     assert result.world_cache_hits == 0
     assert result.world_cache_misses == 0
-    assert result.to_json_dict()["world_cache"] == {"hits": 0, "misses": 0}
+    assert result.to_json_dict()["world_cache"] == {
+        "hits": 0,
+        "misses": 0,
+        "invalid": 0,
+    }
 
 
 def test_world_cache_is_replica_aware(tmp_path):

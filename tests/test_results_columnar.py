@@ -1,0 +1,178 @@
+"""The columnar ResultStore seam: byte-identity with the row-based seed.
+
+The store now keeps typed column buffers as the truth and materializes
+:class:`RunRecord` objects lazily.  These tests pin the refactor's
+contract: every export is byte-identical to what a list-backed store
+produced, materialized records equal the originals field for field, and
+``to_frame()`` is a zero-copy view.
+"""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.study import StudyConfig, StudyRunner
+from repro.core.results import ResultStore
+from repro.sim.run_result import RunRecord, RunState
+
+
+def _reference_csv(records) -> str:
+    """The seed implementation: CSV straight off a record list."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(ResultStore.CSV_FIELDS)
+    for r in records:
+        writer.writerow(
+            [
+                r.env_id,
+                r.app,
+                r.scale,
+                r.nodes,
+                r.iteration,
+                r.state.value,
+                "" if r.fom is None else f"{r.fom:.6g}",
+                r.fom_units,
+                f"{r.wall_seconds:.3f}",
+                f"{r.hookup_seconds:.3f}",
+                f"{r.cost_usd:.4f}",
+                r.failure_kind or "",
+            ]
+        )
+    return buf.getvalue()
+
+
+# ------------------------------------------------------- seed-study identity
+
+
+@pytest.fixture(scope="module")
+def seed_report():
+    return StudyRunner(StudyConfig.smoke(seed=0)).run()
+
+
+def test_seed_study_csv_round_trips_byte_identical(seed_report):
+    store = seed_report.store
+    assert store.to_csv() == _reference_csv(store.records)
+
+
+def test_seed_study_artifact_round_trips_byte_identical(seed_report):
+    name, payload = seed_report.store.to_artifact("seed")
+    assert name == "seed.csv"
+    assert payload == _reference_csv(seed_report.store.records).encode("utf-8")
+
+
+def test_rebuilt_store_matches_the_original(seed_report):
+    rebuilt = ResultStore(records=list(seed_report.store.records))
+    assert rebuilt.to_csv() == seed_report.store.to_csv()
+    assert rebuilt.records == seed_report.store.records
+
+
+# -------------------------------------------------------- property (random)
+
+
+_states = st.sampled_from(list(RunState))
+_names = st.text(
+    alphabet=st.characters(min_codepoint=45, max_codepoint=122), min_size=1, max_size=24
+)
+_floats = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _records(draw):
+    state = draw(_states)
+    return RunRecord(
+        env_id=draw(_names),
+        app=draw(_names),
+        scale=draw(st.integers(min_value=1, max_value=4096)),
+        nodes=draw(st.integers(min_value=1, max_value=4096)),
+        iteration=draw(st.integers(min_value=0, max_value=40)),
+        state=state,
+        fom=draw(st.one_of(st.none(), _floats)),
+        fom_units="u",
+        wall_seconds=draw(_floats),
+        hookup_seconds=draw(_floats),
+        cost_usd=draw(_floats),
+        phases={"p": draw(_floats)},
+        failure_kind=draw(st.one_of(st.none(), st.just("walltime"))),
+        extra={"k": draw(st.integers())},
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=st.lists(_records(), max_size=40))
+def test_columnar_store_round_trips_any_record_list(records):
+    store = ResultStore()
+    store.extend(records)
+    # Lazily materialized rows equal the originals field for field.
+    assert store.records == records
+    # Exports are byte-identical to the list-backed implementation.
+    assert store.to_csv() == _reference_csv(records)
+    assert len(store) == len(records)
+    assert store.total_cost() == pytest.approx(sum(r.cost_usd for r in records))
+
+
+@settings(max_examples=25, deadline=None)
+@given(records=st.lists(_records(), min_size=1, max_size=30))
+def test_columnar_aggregates_match_record_list_frame(records):
+    columnar = ResultStore(records=records).to_frame().cell_aggregates()
+    from repro.ensemble.frame import ResultFrame
+
+    rowwise = ResultFrame.from_records(records).cell_aggregates()
+    assert list(columnar.env) == list(rowwise.env)
+    np.testing.assert_array_equal(columnar.records, rowwise.records)
+    np.testing.assert_array_equal(columnar.completed, rowwise.completed)
+    np.testing.assert_array_equal(columnar.fom_mean, rowwise.fom_mean)
+    np.testing.assert_array_equal(columnar.cost_total, rowwise.cost_total)
+
+
+# ----------------------------------------------------------- columnar traits
+
+
+def test_to_frame_is_zero_copy(seed_report):
+    store = seed_report.store
+    frame = store.to_frame()
+    for name in ("fom", "cost_usd", "wall_seconds", "scale", "state"):
+        assert np.shares_memory(
+            frame.column(name), store.frame_columns()[name]
+        ), name
+
+
+def test_frame_snapshot_is_stable_under_later_appends():
+    store = ResultStore()
+    store.add(_record_at(iteration=0))
+    frame = store.to_frame()
+    store.add(_record_at(iteration=1))
+    assert len(frame) == 1
+    assert len(store.to_frame()) == 2
+
+
+def _record_at(iteration: int) -> RunRecord:
+    return RunRecord(
+        env_id="e1", app="a", scale=32, nodes=32, iteration=iteration,
+        state=RunState.COMPLETED, fom=1.5, fom_units="u",
+        wall_seconds=1.0, hookup_seconds=0.5, cost_usd=0.25,
+    )
+
+
+def test_materialization_is_lazy_and_incremental():
+    store = ResultStore()
+    store.add(_record_at(0))
+    assert store._rows == []  # nothing materialized yet
+    first = store.records[0]
+    store.add(_record_at(1))
+    assert store.records[0] is first  # the cached prefix is reused
+    assert [r.iteration for r in store.records] == [0, 1]
+
+
+def test_overlong_ids_are_rejected_not_truncated():
+    import dataclasses
+
+    with pytest.raises(ValueError, match="env id"):
+        ResultStore(records=[dataclasses.replace(_record_at(0), env_id="e" * 33)])
+    with pytest.raises(ValueError, match="app name"):
+        ResultStore(records=[dataclasses.replace(_record_at(0), app="a" * 25)])
