@@ -22,6 +22,9 @@ Subcommands:
   replicates the campaign across a seed grid × scenario grid and prints
   distributions (mean ± 95% CI, percentiles, exceedance probabilities)
   instead of point estimates, with CSV/JSON export;
+* ``bench`` — run the vectorization benchmark suite locally and print
+  the speedup table (``--output`` writes the BENCH_vector.json
+  artifact, ``--quick`` runs a small smoke campaign);
 * ``report`` — render the full evaluation report.
 """
 
@@ -655,6 +658,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full distribution dataset as JSON here",
     )
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the vectorization benchmark suite and print speedups",
+        epilog=(
+            "examples:\n"
+            "  python -m repro bench\n"
+            "      the full ~10.5k-record campaign: seed vs batched vs\n"
+            "      block pipelines, plus rng/transport components\n"
+            "  python -m repro bench --output BENCH_vector.json\n"
+            "      also write the machine-readable artifact CI uploads\n"
+            "  python -m repro bench --quick\n"
+            "      a small smoke campaign (seconds, not minutes)"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_bench.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the machine-readable benchmark payload here",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the reduced smoke campaign instead of the full one",
+    )
+
     p_report = sub.add_parser(
         "report",
         help="render the full evaluation report",
@@ -667,6 +696,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import QUICK_CAMPAIGN, render_table as render_bench, run_bench, write_artifact
+
+    payload = run_bench(QUICK_CAMPAIGN if args.quick else None)
+    print(render_bench(payload))
+    if args.output:
+        write_artifact(payload, args.output)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -677,6 +717,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "scenario": _cmd_scenario,
         "ensemble": _cmd_ensemble,
+        "bench": _cmd_bench,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 
-from repro.apps.base import AppModel, AppResult, RunContext
+from repro.apps.base import AppBlockResult, AppModel, AppResult, RunContext
 from repro.machine.rates import KernelClass
 
 #: per-unit grid (256 x 256 x 128 points)
@@ -59,8 +59,8 @@ class AMG2023(AppModel):
     higher_is_better = True
     scaling = "weak"
 
-    def simulate(self, ctx: RunContext) -> AppResult:
-        def _base():
+    def _base(self, ctx: RunContext):
+        def _compute():
             units = ctx.scale if ctx.env.is_gpu else ctx.nodes
             points = POINTS_PER_UNIT * units
             nnz_ap = NNZ_PER_POINT * points
@@ -95,9 +95,12 @@ class AMG2023(AppModel):
                 comm_cycle, 3.0 * comm_cycle,
             )
 
+        return ctx.once(("amg-base",), _compute)
+
+    def simulate(self, ctx: RunContext) -> AppResult:
         (
             units, nnz_ap, t_setup_compute, t_cycle_compute, comm_cycle, t_setup_comm,
-        ) = ctx.once(("amg-base",), _base)
+        ) = self._base(ctx)
 
         t_setup = self._noisy(ctx, t_setup_compute + t_setup_comm)
         t_solve = self._noisy(ctx, N_CYCLES * (t_cycle_compute + comm_cycle))
@@ -110,6 +113,31 @@ class AMG2023(AppModel):
         return self._result(
             ctx,
             fom=fom,
+            wall=wall,
+            phases={"setup": t_setup, "solve": t_solve},
+            extra={"nnz_AP": nnz_ap, "units": units, "process_topology": topo},
+        )
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native path: both noise draws gathered as one row."""
+        (
+            units, nnz_ap, t_setup_compute, t_cycle_compute, comm_cycle, t_setup_comm,
+        ) = self._base(ctx)
+
+        cv = ctx.fabric.jitter_cv
+        factors = self._noisy_factors(ctx, block, (cv, cv))
+        t_setup = (t_setup_compute + t_setup_comm) * factors[:, 0]
+        t_solve = (N_CYCLES * (t_cycle_compute + comm_cycle)) * factors[:, 1]
+
+        topo = tuple(ctx.options.get("process_topology", (8, 4, 2)))
+        bonus = TOPOLOGY_BONUS.get(topo, 1.0)
+
+        fom = bonus * nnz_ap / (t_setup + 3.0 * t_solve)
+        wall = t_setup + t_solve
+        return AppBlockResult(
+            app=self.name,
+            fom=fom,
+            fom_units=self.fom_units,
             wall=wall,
             phases={"setup": t_setup, "solve": t_solve},
             extra={"nnz_AP": nnz_ap, "units": units, "process_topology": topo},

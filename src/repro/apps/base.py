@@ -140,6 +140,35 @@ class RunContext:
 
 
 @dataclass
+class AppBlockResult:
+    """Columnar outcome of every iteration of one batched group.
+
+    Parallel arrays over the block's iterations; scalar fields mean
+    "the same for every iteration" (the common case — ported apps fail
+    uniformly per group, never per iteration).
+
+    * ``fom`` — float column, NaN where the scalar path yields ``None``;
+    * ``wall`` — wall seconds per iteration;
+    * ``failed`` — bool column, or ``None`` when no iteration failed;
+    * ``failure_kind`` — one kind shared by every failed iteration (or
+      a per-iteration list from the fallback path);
+    * ``phases`` / ``extra`` — either one dict shared by every
+      iteration (group-constant payloads), a dict whose array leaves
+      hold per-iteration values (materialized lazily by the store), or
+      an explicit per-iteration list.
+    """
+
+    app: str
+    fom: np.ndarray
+    fom_units: str
+    wall: np.ndarray
+    failed: np.ndarray | None = None
+    failure_kind: str | list | None = None
+    phases: dict | list = field(default_factory=dict)
+    extra: dict | list = field(default_factory=dict)
+
+
+@dataclass
 class AppResult:
     """Outcome of one application run."""
 
@@ -179,12 +208,80 @@ class AppModel(abc.ABC):
     def simulate(self, ctx: RunContext) -> AppResult:
         """Produce the run outcome for one (environment, scale) point."""
 
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Columnar outcome for a whole batched group at once.
+
+        ``ctx`` is the group's shared context (its ``rng``/``iteration``
+        are ignored here — per-iteration randomness comes from
+        ``block``, a :class:`~repro.rng.StreamBlock` whose stream ``j``
+        is iteration ``block.iterations[j]``'s keyed stream).  Ported
+        apps override this with array math over the gathered draws; the
+        base implementation is the reference fallback — it replays
+        :meth:`simulate` per iteration through the block's streams, so
+        any app is block-callable and bit-identical either way.
+        """
+        n = len(block)
+        fom = np.empty(n, dtype=np.float64)
+        wall = np.empty(n, dtype=np.float64)
+        failed = np.zeros(n, dtype=bool)
+        kinds: list[str | None] = []
+        phases: list[dict] = []
+        extra: list[dict] = []
+        for j, iteration in enumerate(block.iterations):
+            ctx.rng = block.generator(j)
+            ctx.iteration = int(iteration)
+            result = self.simulate(ctx)
+            fom[j] = np.nan if result.fom is None else result.fom
+            wall[j] = result.wall_seconds
+            failed[j] = result.failed
+            kinds.append(result.failure_kind)
+            phases.append(result.phases)
+            extra.append(result.extra)
+        return AppBlockResult(
+            app=self.name,
+            fom=fom,
+            fom_units=self.fom_units,
+            wall=wall,
+            failed=failed if failed.any() else None,
+            failure_kind=kinds,
+            phases=phases,
+            extra=extra,
+        )
+
     # -- helpers ----------------------------------------------------------------
 
     def _noisy(self, ctx: RunContext, value: float, cv: float | None = None) -> float:
         """Apply run-to-run noise scaled to the fabric's jitter."""
         cv = cv if cv is not None else ctx.fabric.jitter_cv
         return value * float(max(0.1, ctx.rng.normal(1.0, cv)))
+
+    def _noisy_factors(
+        self, ctx: RunContext, block, cv: float | None = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`_noisy` noise factors, one per iteration.
+
+        ``cv`` may be a scalar (shape ``(n,)``) or a sequence of ``k``
+        per-draw coefficients (shape ``(n, k)``, matching ``k``
+        sequential :meth:`_noisy` calls per iteration).
+        """
+        if cv is None:
+            cv = ctx.fabric.jitter_cv
+        return np.maximum(0.1, block.normal(1.0, cv))
+
+    def _block_failure(self, block, *, wall: float, failure_kind: str, extra: dict) -> AppBlockResult:
+        """Every iteration fails identically (the paper's per-group
+        failure modes: unreported results, misconfigurations)."""
+        n = len(block)
+        return AppBlockResult(
+            app=self.name,
+            fom=np.full(n, np.nan),
+            fom_units=self.fom_units,
+            wall=np.full(n, wall),
+            failed=np.ones(n, dtype=bool),
+            failure_kind=failure_kind,
+            phases={},
+            extra=extra,
+        )
 
     def _result(
         self,

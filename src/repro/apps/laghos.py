@@ -36,7 +36,13 @@ constraint exchanges).  Three effects stack against cloud:
 
 from __future__ import annotations
 
-from repro.apps.base import AppModel, AppResult, RunContext, strong_scaling_efficiency
+from repro.apps.base import (
+    AppBlockResult,
+    AppModel,
+    AppResult,
+    RunContext,
+    strong_scaling_efficiency,
+)
 from repro.machine.rates import KernelClass
 
 #: global degrees of freedom of the cube_311_hex Q2-Q1 discretisation
@@ -68,32 +74,28 @@ class Laghos(AppModel):
         "requires CUDA 11.8 (paper §3.3)"
     }
 
-    def simulate(self, ctx: RunContext) -> AppResult:
-        # §3.3: on cluster A, 128- and 256-node runs segfaulted.
+    #: §3.3: on cluster A, 128- and 256-node runs segfaulted.
+    _SEGFAULT = {
+        "failure_kind": "segfault",
+        "extra": {"detail": "segmentation fault at >= 128 nodes on cluster A"},
+    }
+    #: §3.3: Laghos never completed on AWS ParallelCluster.
+    _LAUNCH_FAILURE = {
+        "failure_kind": "launch-failure",
+        "extra": {"detail": "Laghos did not complete on ParallelCluster"},
+    }
+
+    def _group_failure(self, ctx: RunContext) -> dict | None:
         if ctx.env.cloud == "p" and ctx.nodes >= 128:
-            return self._result(
-                ctx,
-                fom=None,
-                wall=0.0,
-                failed=True,
-                failure_kind="segfault",
-                extra={"detail": "segmentation fault at >= 128 nodes on cluster A"},
-            )
-        # §3.3: Laghos never completed on AWS ParallelCluster.
+            return self._SEGFAULT
         if ctx.env.env_id == "cpu-parallelcluster-aws":
-            return self._result(
-                ctx,
-                fom=None,
-                wall=0.0,
-                failed=True,
-                failure_kind="launch-failure",
-                extra={"detail": "Laghos did not complete on ParallelCluster"},
-            )
+            return self._LAUNCH_FAILURE
+        return None
 
-        dofs_per_rank = TOTAL_DOFS / ctx.ranks
-
-        def _base():
+    def _base(self, ctx: RunContext):
+        def _compute():
             # Compute: strong-scaled with n_1/2 efficiency loss.
+            dofs_per_rank = TOTAL_DOFS / ctx.ranks
             eff = strong_scaling_efficiency(dofs_per_rank, HALF_DOFS)
             work_gflops = TOTAL_DOFS * FLOPS_PER_DOF_STEP / 1e9
             t_compute = (
@@ -110,13 +112,41 @@ class Laghos(AppModel):
             t_comm = MESSAGES_PER_STEP * alpha * ctx.straggler() * cliff
             return t_compute, t_comm
 
-        t_compute, t_comm = ctx.once(("laghos-base",), _base)
+        return ctx.once(("laghos-base",), _compute)
+
+    def simulate(self, ctx: RunContext) -> AppResult:
+        failure = self._group_failure(ctx)
+        if failure is not None:
+            return self._result(ctx, fom=None, wall=0.0, failed=True, **failure)
+
+        dofs_per_rank = TOTAL_DOFS / ctx.ranks
+        t_compute, t_comm = self._base(ctx)
         step_time = self._noisy(ctx, t_compute + t_comm)
         wall = MAX_STEPS * step_time
         fom = (TOTAL_DOFS / 1e6) * MAX_STEPS / wall
         return self._result(
             ctx,
             fom=fom,
+            wall=wall,
+            phases={"compute": MAX_STEPS * t_compute, "comm": MAX_STEPS * t_comm},
+            extra={"dofs_per_rank": dofs_per_rank, "steps": MAX_STEPS},
+        )
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native path; the per-group failure modes stay uniform."""
+        failure = self._group_failure(ctx)
+        if failure is not None:
+            return self._block_failure(block, wall=0.0, **failure)
+
+        dofs_per_rank = TOTAL_DOFS / ctx.ranks
+        t_compute, t_comm = self._base(ctx)
+        step_time = (t_compute + t_comm) * self._noisy_factors(ctx, block)
+        wall = MAX_STEPS * step_time
+        fom = (TOTAL_DOFS / 1e6) * MAX_STEPS / wall
+        return AppBlockResult(
+            app=self.name,
+            fom=fom,
+            fom_units=self.fom_units,
             wall=wall,
             phases={"compute": MAX_STEPS * t_compute, "comm": MAX_STEPS * t_comm},
             extra={"dofs_per_rank": dofs_per_rank, "steps": MAX_STEPS},

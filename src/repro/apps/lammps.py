@@ -21,7 +21,13 @@ allreduces per step, plus neighbour halo exchange.
 
 from __future__ import annotations
 
-from repro.apps.base import AppModel, AppResult, RunContext, strong_scaling_efficiency
+from repro.apps.base import (
+    AppBlockResult,
+    AppModel,
+    AppResult,
+    RunContext,
+    strong_scaling_efficiency,
+)
 from repro.machine.rates import KernelClass
 
 #: atom counts for the two replications (HNS cell contents scaled)
@@ -44,8 +50,8 @@ class LAMMPS(AppModel):
     higher_is_better = True
     scaling = "strong"
 
-    def simulate(self, ctx: RunContext) -> AppResult:
-        def _base():
+    def _base(self, ctx: RunContext):
+        def _compute():
             # Everything before the noise draw is pure in the group
             # coordinates, so a batched group computes it once.
             atoms = ATOMS_GPU if ctx.env.is_gpu else ATOMS_CPU
@@ -65,15 +71,35 @@ class LAMMPS(AppModel):
             t_halo = ctx.comm.halo(halo_bytes, neighbors=6)
             return atoms, atoms_per_rank, t_compute, t_qeq, t_halo
 
-        atoms, atoms_per_rank, t_compute, t_qeq, t_halo = ctx.once(
-            ("lammps-base",), _base
-        )
+        return ctx.once(("lammps-base",), _compute)
+
+    def simulate(self, ctx: RunContext) -> AppResult:
+        atoms, atoms_per_rank, t_compute, t_qeq, t_halo = self._base(ctx)
         step_time = self._noisy(ctx, t_compute + t_qeq + t_halo)
         wall = N_STEPS * step_time
         fom = atoms * N_STEPS / wall / 1e6
         return self._result(
             ctx,
             fom=fom,
+            wall=wall,
+            phases={
+                "force": N_STEPS * t_compute,
+                "qeq": N_STEPS * t_qeq,
+                "halo": N_STEPS * t_halo,
+            },
+            extra={"atoms": atoms, "atoms_per_rank": atoms_per_rank},
+        )
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native path: one noise gather, then elementwise physics."""
+        atoms, atoms_per_rank, t_compute, t_qeq, t_halo = self._base(ctx)
+        step_time = (t_compute + t_qeq + t_halo) * self._noisy_factors(ctx, block)
+        wall = N_STEPS * step_time
+        fom = atoms * N_STEPS / wall / 1e6
+        return AppBlockResult(
+            app=self.name,
+            fom=fom,
+            fom_units=self.fom_units,
             wall=wall,
             phases={
                 "force": N_STEPS * t_compute,

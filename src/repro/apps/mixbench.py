@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.base import AppModel, AppResult, RunContext
+from repro.apps.base import AppBlockResult, AppModel, AppResult, RunContext
 
 #: operational intensities swept (flops/byte), mixbench-style
 INTENSITIES = tuple(float(x) for x in (0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128))
@@ -59,4 +59,26 @@ class Mixbench(AppModel):
             wall=60.0,
             phases={"sweep": 60.0},
             extra={"roofline": attained, "ecc_on": ecc_on},
+        )
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native path: the whole intensity sweep noised at once."""
+        roof = ctx.once(("mixbench-roof",), lambda: self.roofline(ctx))
+        n = len(block)
+        factors = self._noisy_factors(ctx, block, np.full(len(roof), 0.02))
+        attained = np.array(list(roof.values())) * factors  # (n, intensities)
+        peak = attained.max(axis=1) if n else np.empty(0)
+        ecc_on = None
+        if ctx.env.is_gpu and ctx.node_model.gpu_model is not None:
+            ecc_on = ctx.node_model.gpu_model.ecc_on
+        return AppBlockResult(
+            app=self.name,
+            fom=peak,
+            fom_units=self.fom_units,
+            wall=np.full(n, 60.0),
+            phases={"sweep": 60.0},
+            extra={
+                "roofline": {i: attained[:, k] for k, i in enumerate(roof)},
+                "ecc_on": ecc_on,
+            },
         )

@@ -20,7 +20,7 @@ Figure 7):
 
 from __future__ import annotations
 
-from repro.apps.base import AppModel, AppResult, RunContext
+from repro.apps.base import AppBlockResult, AppModel, AppResult, RunContext
 from repro.machine.rates import KernelClass
 
 #: hard-coded global sizes (square matrices)
@@ -69,6 +69,25 @@ class MTGemm(AppModel):
         return self._result(
             ctx,
             fom=fom,
+            wall=wall,
+            phases={"gemm": REPS * t_compute, "comm": REPS * t_comm},
+            extra={"n": n},
+        )
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native path: one stable-noise gather, elementwise FOM."""
+        n = N_GPU if ctx.env.is_gpu else N_CPU
+        t_compute, t_comm = ctx.once(
+            ("mtgemm-base",),
+            lambda: self._gpu_rep(ctx) if ctx.env.is_gpu else self._cpu_rep(ctx),
+        )
+        per_rep = (t_compute + t_comm) * self._noisy_factors(ctx, block, cv=0.05)
+        wall = REPS * per_rep
+        fom = (2.0 * float(n) ** 3 / 1e9) / per_rep
+        return AppBlockResult(
+            app=self.name,
+            fom=fom,
+            fom_units=self.fom_units,
             wall=wall,
             phases={"gemm": REPS * t_compute, "comm": REPS * t_comm},
             extra={"n": n},

@@ -26,7 +26,7 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.apps.base import AppModel, AppResult, RunContext
+from repro.apps.base import AppBlockResult, AppModel, AppResult, RunContext
 from repro.network.loggp import LogGP
 
 #: OSU default sweep: powers of two from 1 B to 4 MiB
@@ -128,4 +128,49 @@ class OSUBenchmarks(AppModel):
             wall=wall,
             phases={"sweep": wall},
             extra={"latency_us": lat, "bandwidth_mbps": bw, "allreduce_us": ar},
+        )
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native sweep: all 3 × 23 noise draws gathered as one row
+        per iteration (latency sizes, then bandwidth, then allreduce —
+        the scalar path's exact draw order)."""
+        sizes = MESSAGE_SIZES
+        k = len(sizes)
+        lat_base = np.array(
+            [
+                ctx.comm.cached(("osu-lat", s), lambda fab, s=s: self._base_latency(fab, s))
+                for s in sizes
+            ]
+        )
+        bw_base = np.array(
+            [
+                ctx.comm.cached(("osu-bw", s), lambda fab, s=s: self._base_bandwidth(fab, s))
+                for s in sizes
+            ]
+        )
+        strag = ctx.straggler()
+        ar_base = np.array([ctx.comm.allreduce(s, ctx.ranks) * strag for s in sizes])
+
+        cv = ctx.fabric.jitter_cv
+        ar_cv = 0.35 if "cyclecloud" in ctx.env.env_id else cv
+        cvs = np.concatenate([np.full(2 * k, cv), np.full(k, ar_cv)])
+        factors = self._noisy_factors(ctx, block, cvs)  # (n, 3k)
+
+        lat = lat_base * factors[:, :k] * 1e6
+        bw = bw_base * factors[:, k : 2 * k] / 1e6
+        ar = ar_base * factors[:, 2 * k :] * 1e6
+        wall = 0
+        for col in range(k):  # scalar path's sequential sum over sizes
+            wall = wall + lat[:, col] * 1e-6 * 1000
+        return AppBlockResult(
+            app=self.name,
+            fom=lat[:, sizes.index(8)].copy(),
+            fom_units=self.fom_units,
+            wall=wall,
+            phases={"sweep": wall},
+            extra={
+                "latency_us": {s: lat[:, i] for i, s in enumerate(sizes)},
+                "bandwidth_mbps": {s: bw[:, i] for i, s in enumerate(sizes)},
+                "allreduce_us": {s: ar[:, i] for i, s in enumerate(sizes)},
+            },
         )

@@ -16,7 +16,9 @@ The kernel itself is implemented and measured for real in
 
 from __future__ import annotations
 
-from repro.apps.base import AppModel, AppResult, RunContext
+import numpy as np
+
+from repro.apps.base import AppBlockResult, AppModel, AppResult, RunContext
 
 #: coefficient of variation of per-node CPU triad in cloud (§3.3: ~35%)
 CPU_TRIAD_CV = 0.35
@@ -56,3 +58,49 @@ class Stream(AppModel):
             }
         wall = 30.0  # fixed benchmark duration
         return self._result(ctx, fom=fom, wall=wall, phases={"triad": wall}, extra=extra)
+
+    def simulate_block(self, ctx: RunContext, block) -> AppBlockResult:
+        """Array-native path: the per-node sample matrix in one gather.
+
+        Row reductions run on 1-D row views so every aggregate is the
+        same pairwise-summation result the scalar path computes.
+        """
+        env = ctx.env
+        n = len(block)
+        if env.is_gpu:
+            gpu = ctx.node_model.gpu_model
+            assert gpu is not None
+            per_gpu = ctx.once(
+                ("stream-gpu-base",),
+                lambda: gpu.with_ecc(True).effective_mem_bw() * env.stream_efficiency,
+            )
+            fom = per_gpu * self._noisy_factors(ctx, block, cv=GPU_TRIAD_CV)
+            extra: dict | list = {
+                "per_gpu_gbs": fom,
+                "ecc_on": gpu.ecc_on,
+            }
+        else:
+            nominal = ctx.node_model.mem_bw_gbs
+            per_node = nominal * env.stream_efficiency
+            draws = block.normal(1.0, np.full(ctx.nodes, CPU_TRIAD_CV))
+            samples = (per_node * draws).clip(min=per_node * 0.1)
+            fom = np.empty(n)
+            extra = []
+            for j in range(n):
+                row = samples[j]
+                fom[j] = row.sum()
+                extra.append(
+                    {
+                        "per_node_mean_gbs": float(row.mean()),
+                        "per_node_std_gbs": float(row.std()),
+                        "aggregate_gbs": float(fom[j]),
+                    }
+                )
+        return AppBlockResult(
+            app=self.name,
+            fom=fom,
+            fom_units=self.fom_units,
+            wall=np.full(n, 30.0),
+            phases={"triad": 30.0},
+            extra=extra,
+        )

@@ -1,0 +1,227 @@
+"""The vectorization benchmark suite (``repro bench``).
+
+Measures the three generations of the execution hot path on one
+paper-scale campaign (~10.5k records across 4 environments × all apps ×
+the study's 4 sizes):
+
+* **seed** — the original per-iteration path: one :meth:`ExecutionEngine.run`
+  call per record, row-based fold (``ResultFrame.from_records``);
+* **batched** — PR 4's grouped path: :meth:`ExecutionEngine.run_batch`
+  (per-group resolution) into the columnar store, zero-copy fold;
+* **block** — the array-native path: :meth:`ExecutionEngine.run_block`
+  (batched keyed RNG, columnar app physics, ``append_block``), zero-copy
+  fold.
+
+Every pipeline produces byte-identical records and aggregates — the
+suite verifies that before it reports a single number — so the speedups
+are pure implementation wins.  Component microbenchmarks (keyed-stream
+seeding, store appends, shard transport pickling) localize where the
+time went.
+
+Used by the ``repro bench`` CLI subcommand and by
+``benchmarks/test_bench_vector.py``, which gates the block-path
+speedups against ``benchmarks/BASELINE_vector.json`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.results import ResultStore
+from repro.ensemble.frame import ResultFrame
+from repro.envs.registry import ENVIRONMENTS
+from repro.rng import stream, stream_block
+from repro.sim.execution import ExecutionEngine
+
+
+@dataclass(frozen=True)
+class BenchCampaign:
+    """The campaign a benchmark run simulates."""
+
+    envs: tuple[str, ...] = ("cpu-eks-aws", "cpu-onprem-a", "gpu-gke-g", "cpu-aks-az")
+    scales: tuple[int, ...] = (32, 64, 128, 256)
+    apps: tuple[str, ...] = ()  # empty = every registered app
+    target_records: int = 10_500
+    repeats: int = 3
+
+    def resolved_apps(self) -> tuple[str, ...]:
+        if self.apps:
+            return self.apps
+        from repro.apps.registry import APPS
+
+        return tuple(APPS)
+
+    def iterations(self) -> int:
+        cells = len(self.envs) * len(self.resolved_apps()) * len(self.scales)
+        return max(1, math.ceil(self.target_records / cells))
+
+    def cells(self):
+        for env_id in self.envs:
+            env = ENVIRONMENTS[env_id]
+            for app in self.resolved_apps():
+                for scale in self.scales:
+                    yield env, app, scale
+
+
+#: a small campaign for smoke runs (``repro bench --quick``)
+QUICK_CAMPAIGN = BenchCampaign(
+    envs=("cpu-eks-aws", "cpu-aks-az"),
+    scales=(32, 64),
+    apps=("lammps", "amg2023", "osu"),
+    target_records=240,
+    repeats=1,
+)
+
+
+def _best_of(fn: Callable, repeats: int):
+    best, result = math.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _seed_pipeline(campaign: BenchCampaign):
+    engine = ExecutionEngine(seed=0)
+    iterations = campaign.iterations()
+    records = []
+    for env, app, scale in campaign.cells():
+        for i in range(iterations):
+            records.append(engine.run(env, app, scale, iteration=i))
+    return records, ResultFrame.from_records(records).cell_aggregates()
+
+
+def _batched_pipeline(campaign: BenchCampaign):
+    engine = ExecutionEngine(seed=0)
+    iterations = campaign.iterations()
+    store = ResultStore()
+    for env, app, scale in campaign.cells():
+        store.extend(engine.run_batch(env, app, scale, iterations=iterations))
+    return store, store.to_frame().cell_aggregates()
+
+
+def _block_pipeline(campaign: BenchCampaign):
+    engine = ExecutionEngine(seed=0)
+    iterations = campaign.iterations()
+    store = ResultStore()
+    for env, app, scale in campaign.cells():
+        engine.run_block(env, app, scale, iterations=iterations, store=store)
+    return store, store.to_frame().cell_aggregates()
+
+
+def _rng_bench(n: int = 5_000) -> dict:
+    """Keyed-stream draws: per-iteration construction vs one block."""
+
+    def _scalar():
+        return np.array(
+            [stream(0, "bench", "rng", i).normal(1.0, 0.1) for i in range(n)]
+        )
+
+    def _block():
+        return stream_block(0, "bench", "rng", iterations=n).normal(1.0, 0.1)
+
+    t_scalar, a = _best_of(_scalar, 2)
+    t_block, b = _best_of(_block, 2)
+    assert np.array_equal(a, b), "stream_block diverged from stream()"
+    return {
+        "streams": n,
+        "scalar_seconds": t_scalar,
+        "block_seconds": t_block,
+        "speedup": t_scalar / t_block,
+    }
+
+
+def _transport_bench(store: ResultStore) -> dict:
+    """Shard transport: columnar store pickle vs per-record pickle."""
+    records = store.records
+    t_records, payload_records = _best_of(lambda: pickle.dumps(records), 2)
+    t_store, payload_store = _best_of(lambda: pickle.dumps(store), 2)
+    assert pickle.loads(payload_store).records == records
+    return {
+        "records": len(records),
+        "record_list_bytes": len(payload_records),
+        "store_bytes": len(payload_store),
+        "record_list_seconds": t_records,
+        "store_seconds": t_store,
+        "bytes_ratio": len(payload_records) / len(payload_store),
+    }
+
+
+def run_bench(campaign: BenchCampaign | None = None) -> dict:
+    """Run the suite; returns the JSON-safe payload the table renders.
+
+    Verifies byte-identical records and aggregates across all three
+    pipelines before reporting speedups.
+    """
+    campaign = campaign or BenchCampaign()
+    t_seed, (records, agg_seed) = _best_of(lambda: _seed_pipeline(campaign), campaign.repeats)
+    t_batched, (store_b, agg_b) = _best_of(lambda: _batched_pipeline(campaign), campaign.repeats)
+    t_block, (store_v, agg_v) = _best_of(lambda: _block_pipeline(campaign), campaign.repeats)
+
+    # Faster, not different.
+    assert store_b.records == records, "batched pipeline diverged from seed"
+    assert store_v.records == records, "block pipeline diverged from seed"
+    assert agg_b.rows() == agg_seed.rows()
+    assert agg_v.rows() == agg_seed.rows()
+
+    return {
+        "schema": 1,
+        "campaign": {
+            "records": len(records),
+            "environments": list(campaign.envs),
+            "apps": list(campaign.resolved_apps()),
+            "scales": list(campaign.scales),
+            "iterations": campaign.iterations(),
+            "repeats": campaign.repeats,
+        },
+        "pipeline": {
+            "seed_seconds": t_seed,
+            "batched_seconds": t_batched,
+            "block_seconds": t_block,
+            "batched_speedup": t_seed / t_batched,
+            "block_speedup": t_seed / t_block,
+            "block_vs_batched": t_batched / t_block,
+        },
+        "rng": _rng_bench(),
+        "transport": _transport_bench(store_v),
+        "byte_identical": True,
+    }
+
+
+def render_table(payload: dict) -> str:
+    """The human-readable speedup table ``repro bench`` prints."""
+    c = payload["campaign"]
+    p = payload["pipeline"]
+    r = payload["rng"]
+    t = payload["transport"]
+    lines = [
+        f"campaign: {c['records']} records "
+        f"({len(c['environments'])} envs x {len(c['apps'])} apps x "
+        f"{len(c['scales'])} sizes x {c['iterations']} iterations)",
+        "",
+        f"{'pipeline':<28}{'seconds':>10}{'speedup':>10}",
+        f"{'seed (per-iteration)':<28}{p['seed_seconds']:>10.3f}{1.0:>9.2f}x",
+        f"{'batched (run_batch)':<28}{p['batched_seconds']:>10.3f}{p['batched_speedup']:>9.2f}x",
+        f"{'block (run_block)':<28}{p['block_seconds']:>10.3f}{p['block_speedup']:>9.2f}x",
+        "",
+        f"{'component':<28}{'':>10}{'speedup':>10}",
+        f"{'keyed rng (stream_block)':<28}{'':>10}{r['speedup']:>9.2f}x",
+        f"{'transport bytes (columnar)':<28}{'':>10}{t['bytes_ratio']:>9.2f}x",
+        "",
+        "records and aggregates byte-identical across all pipelines",
+    ]
+    return "\n".join(lines)
+
+
+def write_artifact(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import csv
 import io
+from bisect import bisect_right
 from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
@@ -78,6 +79,167 @@ class _ColumnBuffer:
         self._arr[self._n : self._n + len(chunk)] = chunk
         self._n += len(chunk)
 
+    def fill(self, n: int, value) -> None:
+        """Append ``n`` copies of one value (a broadcast store, no chunk
+        allocation — block appends use this for the group-constant
+        columns)."""
+        if n <= 0:
+            return
+        self._reserve(n)
+        self._arr[self._n : self._n + n] = value
+        self._n += n
+
+    # -- pickling (shard transport) -----------------------------------------
+
+    def __getstate__(self):
+        # Ship exactly the live prefix; a view's pickle already copies
+        # only its own elements, and the receiver needs no spare
+        # capacity.  (Wrapped in a tuple: pickle skips __setstate__ for
+        # falsy states, and a bare ndarray has no stable truthiness.)
+        return (self.view(),)
+
+    def __setstate__(self, state):
+        (self._arr,) = state
+        self._n = len(self._arr)
+
+
+def _has_array_leaf(template: dict) -> bool:
+    """Does this payload template carry per-record array leaves?"""
+    return any(
+        isinstance(v, np.ndarray) or (isinstance(v, dict) and _has_array_leaf(v))
+        for v in template.values()
+    )
+
+
+def _materialize_slot(template, i: int):
+    """One record's payload out of a column-block template.
+
+    Array leaves hold per-record values (``leaf[i]``); nested dicts
+    recurse; anything else is a group-constant shared verbatim.
+    """
+    return {
+        key: (
+            value[i].item()
+            if isinstance(value, np.ndarray)
+            else _materialize_slot(value, i) if isinstance(value, dict) else value
+        )
+        for key, value in template.items()
+    }
+
+
+def payload_slot(payload, i: int):
+    """Record ``i``'s value out of any block payload shape.
+
+    Accepts the three shapes block producers hand around — a
+    per-record list, a group-constant value, or a dict template whose
+    array leaves hold per-record values — and returns what record ``i``
+    of the block carries.
+    """
+    if isinstance(payload, (list, tuple)):
+        return payload[i]
+    if isinstance(payload, dict) and _has_array_leaf(payload):
+        return _materialize_slot(payload, i)
+    return payload
+
+
+class _PayloadColumn:
+    """Per-record Python payloads, stored as lazy segments.
+
+    The typed columns cover everything aggregations touch; what remains
+    (fom units, failure kinds, phase and extra dicts) is Python data.
+    Row-by-row appends keep a plain list, but block appends store one
+    *segment* — a shared constant or a dict template whose array leaves
+    carry per-record values — so a 10k-iteration block costs O(1)
+    Python objects until someone actually asks for row dicts, and shard
+    transport pickles arrays instead of 10k dicts.
+    """
+
+    __slots__ = ("_segments", "_starts", "_n")
+
+    #: segment kinds
+    _ITEMS, _CONST, _COLS = 0, 1, 2
+
+    def __init__(self):
+        self._segments: list[tuple] = []  # (kind, n, payload)
+        self._starts: list[int] = []  # cumulative start offset per segment
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _push(self, kind: int, n: int, payload) -> None:
+        if n <= 0:
+            return
+        self._segments.append((kind, n, payload))
+        self._starts.append(self._n)
+        self._n += n
+
+    def append(self, value) -> None:
+        if self._segments and self._segments[-1][0] == self._ITEMS:
+            kind, n, items = self._segments[-1]
+            items.append(value)
+            self._segments[-1] = (kind, n + 1, items)
+            self._n += 1
+        else:
+            self._push(self._ITEMS, 1, [value])
+
+    def extend(self, values) -> None:
+        values = list(values)
+        if not values:
+            return
+        if self._segments and self._segments[-1][0] == self._ITEMS:
+            kind, n, items = self._segments[-1]
+            items.extend(values)
+            self._segments[-1] = (kind, n + len(values), items)
+            self._n += len(values)
+        else:
+            self._push(self._ITEMS, len(values), values)
+
+    def append_const(self, n: int, value) -> None:
+        """``n`` records sharing one payload (group-constant dicts)."""
+        self._push(self._CONST, n, value)
+
+    def append_cols(self, n: int, template: dict) -> None:
+        """``n`` records materialized lazily from array-leaf ``template``."""
+        self._push(self._COLS, n, template)
+
+    def extend_from(self, other: "_PayloadColumn") -> None:
+        """Concatenate another column's segments (store merge)."""
+        for kind, n, payload in other._segments:
+            # Copy item lists so the source stays independent.
+            self._push(kind, n, list(payload) if kind == self._ITEMS else payload)
+
+    def __getitem__(self, i: int):
+        if not -self._n <= i < self._n:
+            raise IndexError(i)
+        if i < 0:
+            i += self._n
+        seg = bisect_right(self._starts, i) - 1
+        kind, _, payload = self._segments[seg]
+        offset = i - self._starts[seg]
+        if kind == self._ITEMS:
+            return payload[offset]
+        if kind == self._CONST:
+            return payload
+        return _materialize_slot(payload, offset)
+
+    def __iter__(self):
+        for kind, n, payload in self._segments:
+            if kind == self._ITEMS:
+                yield from payload
+            elif kind == self._CONST:
+                for _ in range(n):
+                    yield payload
+            else:
+                for i in range(n):
+                    yield _materialize_slot(payload, i)
+
+    def __getstate__(self):
+        return (self._segments, self._starts, self._n)
+
+    def __setstate__(self, state):
+        self._segments, self._starts, self._n = state
+
 
 #: (column name, dtype, value extractor) for every typed buffer
 _TYPED_COLUMNS: tuple[tuple[str, str, Callable[[RunRecord], Any]], ...] = (
@@ -108,11 +270,12 @@ class ResultStore:
         #: re-derives the group-by keys from the string columns
         self._cell_codes: dict[tuple[str, str, int], int] = {}
         self._labels = _ColumnBuffer("i8")
-        #: per-record Python payloads the columns don't carry
-        self._fom_units: list[str] = []
-        self._failure_kind: list[str | None] = []
-        self._phases: list[dict] = []
-        self._extra: list[dict] = []
+        #: per-record Python payloads the columns don't carry (segmented
+        #: so block appends stay O(1) in Python objects)
+        self._fom_units = _PayloadColumn()
+        self._failure_kind = _PayloadColumn()
+        self._phases = _PayloadColumn()
+        self._extra = _PayloadColumn()
         #: lazily materialized row objects (a prefix cache; appends
         #: extend it on the next access, not eagerly)
         self._rows: list[RunRecord] = []
@@ -168,6 +331,90 @@ class ResultStore:
         self._phases.extend(r.phases for r in records)
         self._extra.extend(r.extra for r in records)
 
+    def append_block(
+        self,
+        *,
+        env_id: str,
+        app: str,
+        scale: int,
+        nodes: int,
+        iteration: np.ndarray,
+        state: np.ndarray,
+        fom: np.ndarray,
+        fom_none: np.ndarray,
+        wall_seconds: np.ndarray,
+        hookup_seconds: np.ndarray,
+        cost_usd: np.ndarray,
+        fom_units: str,
+        failure_kind,
+        phases,
+        extra,
+    ) -> None:
+        """Append one (env, app, size) group's iterations straight into
+        the typed buffers — the block path's sink, no per-run
+        :class:`RunRecord` objects.
+
+        The group coordinates are scalars; ``iteration``/``state``/the
+        float columns are parallel arrays.  ``failure_kind`` is ``None``
+        or one string shared by the whole block, or a per-record
+        sequence; ``phases``/``extra`` are either one group-constant
+        dict, a dict whose :class:`~numpy.ndarray` leaves hold
+        per-record values (materialized lazily), or a per-record list.
+        Appending a block of N is equivalent to N :meth:`add` calls with
+        the records the block describes (``tests/test_results_block.py``
+        pins this, empty and single-iteration blocks included).
+        """
+        n = len(iteration)
+        if n == 0:
+            return
+        self._check_widths(env_id, app)
+        cols = self._cols
+        cols["env"].fill(n, env_id)
+        cols["app"].fill(n, app)
+        cols["scale"].fill(n, scale)
+        cols["nodes"].fill(n, nodes)
+        cols["iteration"].extend(np.asarray(iteration, dtype=np.int64))
+        cols["state"].extend(np.asarray(state, dtype=np.int8))
+        cols["fom"].extend(np.asarray(fom, dtype=np.float64))
+        cols["wall_seconds"].extend(np.asarray(wall_seconds, dtype=np.float64))
+        cols["hookup_seconds"].extend(np.asarray(hookup_seconds, dtype=np.float64))
+        cols["cost_usd"].extend(np.asarray(cost_usd, dtype=np.float64))
+        self._fom_none.extend(np.asarray(fom_none, dtype=bool))
+        self._labels.fill(n, self._label_for(env_id, app, scale))
+        self._fom_units.append_const(n, fom_units)
+        for column, payload in (
+            (self._failure_kind, failure_kind),
+            (self._phases, phases),
+            (self._extra, extra),
+        ):
+            if isinstance(payload, (list, tuple)):
+                column.extend(payload)
+            elif isinstance(payload, dict) and _has_array_leaf(payload):
+                column.append_cols(n, payload)
+            else:
+                column.append_const(n, payload)
+
+    def absorb(self, store: "ResultStore") -> None:
+        """Concatenate another store's records onto this one, in order.
+
+        Columns concatenate vectorized, payload segments are carried
+        over intact, and the source's first-seen cell codes are remapped
+        into this store's factorization.
+        """
+        for name in self._cols:
+            self._cols[name].extend(store._cols[name].view())
+        self._fom_none.extend(store._fom_none.view())
+        if len(store):
+            # Remap the source's first-seen cell codes into ours.
+            remap = np.empty(len(store._cell_codes), dtype=np.int64)
+            for key, code in store._cell_codes.items():
+                remap[code] = self._label_for(*key)
+            self._labels.extend(remap[store._labels.view()])
+        self._fom_units.extend_from(store._fom_units)
+        self._failure_kind.extend_from(store._failure_kind)
+        self._phases.extend_from(store._phases)
+        self._extra.extend_from(store._extra)
+
     @classmethod
     def merge(cls, stores: "Iterable[ResultStore]") -> "ResultStore":
         """Concatenate several stores (shard-then-merge) in given order.
@@ -178,20 +425,64 @@ class ResultStore:
         """
         merged = cls()
         for store in stores:
-            for name in merged._cols:
-                merged._cols[name].extend(store._cols[name].view())
-            merged._fom_none.extend(store._fom_none.view())
-            if len(store):
-                # Remap the source's first-seen cell codes into ours.
-                remap = np.empty(len(store._cell_codes), dtype=np.int64)
-                for key, code in store._cell_codes.items():
-                    remap[code] = merged._label_for(*key)
-                merged._labels.extend(remap[store._labels.view()])
-            merged._fom_units.extend(store._fom_units)
-            merged._failure_kind.extend(store._failure_kind)
-            merged._phases.extend(store._phases)
-            merged._extra.extend(store._extra)
+            merged.absorb(store)
         return merged
+
+    # -- pickling (shard transport) -----------------------------------------
+
+    #: columns reconstructed from (cells, labels) on unpickle — the
+    #: fixed-width string columns dominate naive transport size and are
+    #: fully derivable from the cell factorization
+    _DERIVED_COLUMNS = ("env", "app", "scale")
+
+    def __getstate__(self):
+        """Columnar transport: compacted buffers and payload segments.
+
+        Shard results cross the process boundary as this state — a
+        handful of arrays plus payload segments — never as a pickled
+        list of per-record objects.  The lazily materialized row cache
+        never ships, and neither do the env/app/scale columns (rebuilt
+        from the cell labels with three vectorized gathers).
+        """
+        return {
+            "cols": {
+                name: buf
+                for name, buf in self._cols.items()
+                if name not in self._DERIVED_COLUMNS
+            },
+            "fom_none": self._fom_none,
+            "cells": sorted(self._cell_codes, key=self._cell_codes.get),
+            "labels": self._labels,
+            "fom_units": self._fom_units,
+            "failure_kind": self._failure_kind,
+            "phases": self._phases,
+            "extra": self._extra,
+        }
+
+    def __setstate__(self, state):
+        self._cols = state["cols"]
+        self._fom_none = state["fom_none"]
+        cells = state["cells"]
+        self._cell_codes = {key: code for code, key in enumerate(cells)}
+        self._labels = state["labels"]
+        labels = self._labels.view()
+        by_code = {
+            "env": np.array([c[0] for c in cells] or [""], dtype=f"U{_ENV_WIDTH}"),
+            "app": np.array([c[1] for c in cells] or [""], dtype=f"U{_APP_WIDTH}"),
+            "scale": np.array([c[2] for c in cells] or [0], dtype=np.int64),
+        }
+        for name, _, _ in _TYPED_COLUMNS:
+            if name in self._DERIVED_COLUMNS:
+                buf = _ColumnBuffer(by_code[name].dtype)
+                buf.extend(by_code[name][labels])
+                self._cols[name] = buf
+        # Restore the schema's column order.
+        self._cols = {name: self._cols[name] for name, _, _ in _TYPED_COLUMNS}
+        self._fom_units = state["fom_units"]
+        self._failure_kind = state["failure_kind"]
+        self._phases = state["phases"]
+        self._extra = state["extra"]
+        self._rows = []
 
     def __len__(self) -> int:
         return len(self._fom_units)

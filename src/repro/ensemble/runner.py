@@ -37,6 +37,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core.results import ResultStore
 from repro.ensemble.frame import ResultFrame
 from repro.ensemble.spec import EnsembleSpec
 from repro.ensemble.stats import CellStats, StreamAccumulator
@@ -312,8 +313,11 @@ class EnsembleRunner:
         same bytes for any worker count, and JSON floats round-trip
         exactly, so a cache replay folds identically to a fresh fold.
         """
-        records = [r for shard in shard_results for r in shard.records]
-        frame = ResultFrame.from_records(records)
+        # Shard stores concatenate columnar (plan order) and the frame
+        # borrows the merged buffers zero-copy — no row objects here.
+        frame = ResultStore.merge(
+            shard.store for shard in shard_results
+        ).to_frame()
         spend = sum(
             usd for shard in shard_results for usd in shard.spend_by_cloud.values()
         )

@@ -19,7 +19,9 @@ observed functional forms rather than a mechanism.
 
 from __future__ import annotations
 
-from repro.rng import lognormal_jitter, stream
+import numpy as np
+
+from repro.rng import lognormal_jitter, lognormal_jitter_block, stream, stream_block
 
 #: Azure CPU hookup slope: ~50s at 32 nodes -> 1.5625 s/node.
 _AZURE_CPU_SLOPE_S_PER_NODE = 1.5625
@@ -47,15 +49,67 @@ def hookup_time(
     if nodes < 1:
         raise ValueError("nodes must be >= 1")
     rng = stream(seed, "hookup", cloud, is_gpu, nodes, environment_kind, iteration)
+    base, sigma = _hookup_base(cloud, is_gpu, nodes)
+    return base * lognormal_jitter(rng, sigma)
+
+
+def _hookup_base(cloud: str, is_gpu: bool, nodes: int) -> tuple[float, float]:
+    """(expected seconds, jitter sigma) — iteration-independent."""
     if cloud == "az":
         if is_gpu:
-            base = _AZURE_GPU_ANCHOR_S * (4.0 / nodes) ** _AZURE_GPU_EXPONENT
-        else:
-            base = _AZURE_CPU_SLOPE_S_PER_NODE * nodes
-        return base * lognormal_jitter(rng, 0.10)
+            return _AZURE_GPU_ANCHOR_S * (4.0 / nodes) ** _AZURE_GPU_EXPONENT, 0.10
+        return _AZURE_CPU_SLOPE_S_PER_NODE * nodes, 0.10
     if cloud == "p":
-        base = 3.0
-        return base * lognormal_jitter(rng, 0.15)
+        return 3.0, 0.15
     # AWS and Google: flat across sizes.
-    base = 3.5 if is_gpu else 12.0
-    return base * lognormal_jitter(rng, 0.12)
+    return (3.5 if is_gpu else 12.0), 0.12
+
+
+def hookup_stream_block(
+    cloud: str,
+    is_gpu: bool,
+    nodes: int,
+    *,
+    environment_kind: str = "k8s",
+    seed: int = 0,
+    iterations=None,
+):
+    """The keyed per-iteration jitter streams behind :func:`hookup_block`.
+
+    Exposed so a caller can co-seed them with its other blocks
+    (:func:`repro.rng.co_seed`) before gathering.
+    """
+    return stream_block(
+        seed, "hookup", cloud, is_gpu, nodes, environment_kind, iterations=iterations
+    )
+
+
+def hookup_block(
+    cloud: str,
+    is_gpu: bool,
+    nodes: int,
+    *,
+    environment_kind: str = "k8s",
+    seed: int = 0,
+    iterations=None,
+    rng_block=None,
+) -> np.ndarray:
+    """Hookup times for a whole batched group's iterations at once.
+
+    ``iterations`` is a count or a sequence of iteration numbers; entry
+    ``j`` is bit-identical to ``hookup_time(..., iteration=iterations[j])``
+    (the jitter comes from the same keyed per-iteration streams, gathered
+    through one :func:`~repro.rng.stream_block`).  ``rng_block`` passes a
+    pre-built (possibly co-seeded) :func:`hookup_stream_block` instead of
+    constructing one here.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    block = rng_block
+    if block is None:
+        block = hookup_stream_block(
+            cloud, is_gpu, nodes,
+            environment_kind=environment_kind, seed=seed, iterations=iterations,
+        )
+    base, sigma = _hookup_base(cloud, is_gpu, nodes)
+    return base * lognormal_jitter_block(block, sigma)

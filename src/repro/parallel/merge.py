@@ -45,7 +45,9 @@ def merge_shard_results(
     """
     merged = MergedStudy(incidents=incidents if incidents is not None else {})
     for shard in sorted(results, key=lambda r: r.index):
-        merged.store.extend(shard.records)
+        # Columnar concatenation: buffers append to buffers in plan
+        # order; no row objects materialize on the merge path.
+        merged.store.absorb(shard.store)
         merge_incident_logs(merged.incidents, shard.env_id, shard.incidents)
         for cloud, spend in shard.spend_by_cloud.items():
             merged.spend_by_cloud[cloud] = merged.spend_by_cloud.get(cloud, 0.0) + spend

@@ -39,11 +39,12 @@ from repro.k8s.daemonsets import (
 )
 from repro.k8s.flux_operator import FluxOperator, MiniClusterSpec
 from repro.errors import ConfigurationError
+from repro.core.results import ResultStore
 from repro.scenarios.apply import overlay_provider
 from repro.scenarios.spec import Scenario, active
 from repro.scheduler.queueing import OnPremQueueModel
 from repro.sim.cache import RunCache, decode_record, encode_record, shard_key
-from repro.sim.execution import ExecutionEngine
+from repro.sim.execution import ExecutionEngine, HookupCutoff
 from repro.sim.run_result import RunRecord
 
 
@@ -70,13 +71,20 @@ class StudyShard:
 
 @dataclass
 class ShardResult:
-    """Everything one cell produced, ready to merge."""
+    """Everything one cell produced, ready to merge.
+
+    Run results live in a columnar :class:`ResultStore`: the worker
+    fills typed buffers directly (:meth:`ExecutionEngine.run_block`)
+    and the store pickles as raw column arrays — shard transport never
+    serializes per-record objects.  :attr:`records` materializes rows
+    for callers that still want them.
+    """
 
     index: int
     env_id: str
     scale: int
     world: int = 0
-    records: list[RunRecord] = field(default_factory=list)
+    store: ResultStore = field(default_factory=ResultStore)
     incidents: list[Incident] = field(default_factory=list)
     spend_by_cloud: dict[str, float] = field(default_factory=dict)
     clusters_created: int = 0
@@ -84,6 +92,11 @@ class ShardResult:
     cache_misses: int = 0
     #: malformed cache entries encountered (and re-simulated around)
     cache_invalid: int = 0
+
+    @property
+    def records(self) -> list[RunRecord]:
+        """Row objects, materialized lazily from the columnar store."""
+        return self.store.records
 
 
 def plan_shards(
@@ -200,7 +213,7 @@ def _encode_shard(result: ShardResult) -> dict:
 
 
 def _decode_shard(shard: StudyShard, data: dict) -> ShardResult:
-    records = [decode_record(r) for r in data["records"]]
+    store = ResultStore(decode_record(r) for r in data["records"])
     incidents = [
         Incident(
             env_ids=tuple(i["env_ids"]),
@@ -216,11 +229,11 @@ def _decode_shard(shard: StudyShard, data: dict) -> ShardResult:
         env_id=shard.env_id,
         scale=shard.scale,
         world=shard.world,
-        records=records,
+        store=store,
         incidents=incidents,
         spend_by_cloud=dict(data["spend_by_cloud"]),
         clusters_created=int(data["clusters_created"]),
-        cache_hits=len(records),
+        cache_hits=len(store),
     )
 
 
@@ -256,7 +269,7 @@ def execute_shard(shard: StudyShard) -> ShardResult:
     if not env.deployable:
         # Record skips so the dataset shows the missing environment.
         for app_name in shard.apps:
-            result.records.append(engine.run(env, app_name, shard.scale, iteration=0))
+            result.store.add(engine.run(env, app_name, shard.scale, iteration=0))
         _finish_shard(shard, result, cache, engine)
         return result
 
@@ -334,27 +347,24 @@ def execute_shard(shard: StudyShard) -> ShardResult:
         if env.kind is EnvironmentKind.K8S:
             now += _deploy_kubernetes(env, cluster)
 
-    def _aks_single_iteration(record: RunRecord) -> bool:
-        # §3.3: AKS CPU 256 ran a single iteration because hookup took
-        # 8.82 minutes.
-        return (
-            env.env_id == "cpu-aks-az"
-            and shard.scale == 256
-            and record.hookup_seconds > 300.0
-        )
+    # §3.3: AKS CPU 256 ran a single iteration because hookup took
+    # 8.82 minutes.
+    aks_single_iteration = HookupCutoff(env_id="cpu-aks-az", scale=256, threshold_s=300.0)
 
     for app_name in shard.apps:
-        # One batch per (env, app, size) group: the engine resolves
-        # placement/fabric/pricing once and reuses it every iteration.
-        records = engine.run_batch(
+        # One block per (env, app, size) group: the engine resolves
+        # placement/fabric/pricing once, gathers every iteration's keyed
+        # draws up front, and computes the group as array math straight
+        # into the shard's columnar store.
+        outcome = engine.run_block(
             env,
             app_name,
             shard.scale,
             iterations=shard.iterations,
-            stop=_aks_single_iteration,
+            store=result.store,
+            stop=aks_single_iteration,
         )
-        result.records.extend(records)
-        now += sum(record.total_seconds for record in records)
+        now += outcome.total_seconds
 
     if scn is not None and scn.spot is not None:
         # Every reclaim cost somebody a resubmission: charge the effort.
@@ -427,7 +437,7 @@ def _abandon_cell_for_quota(
         )
     )
     for app_name in shard.apps:
-        result.records.append(
+        result.store.add(
             engine.skipped(env, app_name, shard.scale, reason="quota denied")
         )
 

@@ -26,8 +26,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.rng import stream
+from repro.rng import stream, stream_block
 from repro.units import HOUR
 
 
@@ -95,3 +97,38 @@ def draw_preemption(
     if rng.random() >= hit:
         return None
     return Preemption(at_fraction=float(rng.uniform(0.05, 0.95)))
+
+
+def preemption_block(
+    spot: SpotMarket,
+    seed: int,
+    scenario_id: str,
+    env_id: str,
+    app: str,
+    scale: int,
+    iterations,
+    durations: np.ndarray,
+) -> np.ndarray:
+    """Keyed preemption draws for a whole batched group at once.
+
+    Returns one ``at_fraction`` per iteration, NaN for survivors —
+    entry ``j`` matches :func:`draw_preemption` for
+    ``(iterations[j], durations[j])`` bit for bit.  The hit probability
+    and the conditional reclaim-instant draw are evaluated per stream
+    (the second draw only happens on a reclaim, exactly like the scalar
+    path), but all streams are seeded in one vectorized pass.
+    """
+    iterations = np.asarray(iterations, dtype=np.int64)
+    out = np.full(len(iterations), np.nan)
+    if spot.preemptions_per_hour <= 0:
+        return out
+    block = stream_block(
+        seed, "scenario", scenario_id, "preempt", env_id, app, scale,
+        iterations=iterations,
+    )
+    for j in range(len(iterations)):
+        rng = block.generator(j)
+        hit = 1.0 - math.exp(-spot.preemptions_per_hour * float(durations[j]) / HOUR)
+        if rng.random() < hit:
+            out[j] = float(rng.uniform(0.05, 0.95))
+    return out

@@ -93,6 +93,60 @@ def run_key(
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def run_key_block(
+    *,
+    seed: int,
+    env_id: str,
+    app: str,
+    scale: int,
+    iterations,
+    engine_options: Mapping[str, Any] | None = None,
+    scenario: str | None = None,
+) -> list[str]:
+    """:func:`run_key` for a whole (env, app, size) group at once.
+
+    Only the iteration number varies inside a group, so the canonical
+    JSON payload is serialized **once** and the per-iteration digests
+    splice each iteration into the payload template — the key for
+    iteration ``i`` is byte-identical to ``run_key(..., iteration=i)``.
+    The split points come from diffing two rendered payloads (iteration
+    0 vs 1), so the template never mis-splits even if some option value
+    happens to contain ``"iteration"``.
+    """
+    fixed = dict(
+        seed=seed, env_id=env_id, app=app, scale=scale,
+        engine_options=engine_options, scenario=scenario,
+    )
+
+    def _payload(iteration: int) -> bytes:
+        return json.dumps(
+            {
+                "v": CACHE_VERSION,
+                "seed": fixed["seed"],
+                "env": fixed["env_id"],
+                "app": fixed["app"],
+                "scale": fixed["scale"],
+                "iteration": iteration,
+                "engine": _jsonable(dict(fixed["engine_options"] or {})),
+                "scenario": fixed["scenario"],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    a, b = _payload(0), _payload(1)
+    lo = next(i for i, (x, y) in enumerate(zip(a, b)) if x != y)
+    hi = next(i for i, (x, y) in enumerate(zip(a[::-1], b[::-1])) if x != y)
+    prefix, suffix = a[:lo], a[len(a) - hi :]
+    blake2b = hashlib.blake2b
+    return [
+        blake2b(
+            prefix + str(int(i)).encode("ascii") + suffix, digest_size=16
+        ).hexdigest()
+        for i in iterations
+    ]
+
+
 def shard_key(
     *,
     seed: int,

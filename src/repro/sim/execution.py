@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.apps.base import AppModel, RunContext
 from repro.apps.registry import app as app_lookup
 from repro.cloud.catalog import effective_rate
@@ -32,15 +34,15 @@ from repro.errors import EnvironmentUnavailableError
 from repro.machine.gpu import sample_ecc_settings
 from repro.network.collectives import CollectiveModel
 from repro.network.fabric import Fabric
-from repro.network.hookup import hookup_time
+from repro.network.hookup import hookup_block, hookup_stream_block, hookup_time
 from repro.network.quirks import AZURE_UNTUNED_UCX
 from repro.network.topology import effective_fabric
-from repro.rng import stream
+from repro.rng import co_seed, stream, stream_block
 from repro.scenarios.apply import overlay_fabric
-from repro.scenarios.market import draw_preemption
+from repro.scenarios.market import draw_preemption, preemption_block
 from repro.scenarios.spec import Scenario, active
-from repro.sim.cache import RunCache, run_key
-from repro.sim.run_result import RunRecord, RunState
+from repro.sim.cache import RunCache, run_key, run_key_block
+from repro.sim.run_result import STATE_CODE, STATE_ORDER, RunRecord, RunState
 from repro.units import HOUR
 
 #: walltime ceiling for cloud runs (15–20 min; we use the upper bound
@@ -48,6 +50,97 @@ from repro.units import HOUR
 CLOUD_WALLTIME_S = 1000.0
 #: on-prem queue-slot ceiling (center jobs ran under generous limits)
 ONPREM_WALLTIME_S = 4 * 3600.0
+
+_FAILED = STATE_CODE[RunState.FAILED]
+_TIMEOUT = STATE_CODE[RunState.TIMEOUT]
+_COMPLETED = STATE_CODE[RunState.COMPLETED]
+
+
+@dataclass(frozen=True)
+class HookupCutoff:
+    """Stop policy: end a group's batch with the first record whose
+    hookup exceeded a threshold.
+
+    §3.3's single-iteration rule — AKS CPU at size 256 ran once because
+    hookup took 8.82 minutes — as a *value* rather than a closure, so
+    the block path can apply it vectorized (:meth:`stop_index`) while
+    the scalar path keeps calling it per record.
+    """
+
+    env_id: str
+    scale: int
+    threshold_s: float
+
+    def __call__(self, record: RunRecord) -> bool:
+        return (
+            record.env_id == self.env_id
+            and record.scale == self.scale
+            and record.hookup_seconds > self.threshold_s
+        )
+
+    def stop_index(self, env_id: str, scale: int, hookup: np.ndarray) -> int | None:
+        """Index of the first triggering record, or ``None``."""
+        if env_id != self.env_id or scale != self.scale:
+            return None
+        idx = np.flatnonzero(hookup > self.threshold_s)
+        return int(idx[0]) if idx.size else None
+
+
+@dataclass
+class BlockOutcome:
+    """What one :meth:`ExecutionEngine.run_block` call produced."""
+
+    #: records appended to the caller's store
+    count: int
+    #: wall + hookup seconds accumulated in record order (the shard
+    #: clock advances by exactly this, as in the per-record path)
+    total_seconds: float
+
+
+@dataclass
+class _BlockColumns:
+    """One group's simulated iterations as parallel columns."""
+
+    iteration: np.ndarray  # i8
+    state: np.ndarray  # i1 codes
+    fom: np.ndarray  # f8, NaN where the record has no FOM
+    fom_none: np.ndarray  # bool
+    wall: np.ndarray  # f8
+    hookup: np.ndarray  # f8
+    cost: np.ndarray  # f8
+    failure_kind: Any  # None | str | list[str | None]
+    phases: Any  # dict | list
+    extra: Any  # dict | list
+
+    def truncate(self, n: int) -> "_BlockColumns":
+        """The first ``n`` iterations (an early-stop prefix)."""
+
+        def _cut(payload):
+            if isinstance(payload, list):
+                return payload[:n]
+            if isinstance(payload, dict):
+                return {
+                    k: (v[:n] if isinstance(v, np.ndarray) else _cut(v) if isinstance(v, dict) else v)
+                    for k, v in payload.items()
+                }
+            return payload
+
+        return _BlockColumns(
+            iteration=self.iteration[:n],
+            state=self.state[:n],
+            fom=self.fom[:n],
+            fom_none=self.fom_none[:n],
+            wall=self.wall[:n],
+            hookup=self.hookup[:n],
+            cost=self.cost[:n],
+            failure_kind=(
+                self.failure_kind[:n]
+                if isinstance(self.failure_kind, list)
+                else self.failure_kind
+            ),
+            phases=_cut(self.phases),
+            extra=_cut(self.extra),
+        )
 
 
 @dataclass(frozen=True)
@@ -95,6 +188,10 @@ class ExecutionEngine:
     #: and preemptions, price shocks, fabric degradation.  ``None`` or
     #: an empty scenario reproduces the baseline byte for byte.
     scenario: Scenario | None = None
+    #: per-cell block memo: the run/hookup stream keys name no app, so
+    #: every app of one (env, size) cell re-derives identical seeded
+    #: streams (and identical hookup draws) — seed once, reuse per cell
+    _block_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- fabric resolution ----------------------------------------------------
 
@@ -505,3 +602,326 @@ class ExecutionEngine:
             if stop is not None and stop(record):
                 break
         return records
+
+    # -- the array-native block path -------------------------------------------
+
+    def _simulate_columns(self, group: ResolvedGroup, iters: np.ndarray) -> _BlockColumns:
+        """Simulate the given iterations of a resolved group as columns.
+
+        The whole post-physics pipeline — hookup, walltime policy, spot
+        preemption, pricing — runs as array operations with the same
+        per-element arithmetic (and the same keyed draws) as
+        :meth:`_execute_in_group`, so every column value is bit-identical
+        to the scalar record it replaces.
+        """
+        env = group.env
+        model = group.model
+        n = len(iters)
+        ctx = self._group_context(group, int(iters[0]) if n else 0)
+        block = stream_block(self.seed, "run", env.env_id, group.scale, iterations=iters)
+        sig = iters.tobytes()
+        run_key_memo = ("run", env.env_id, group.scale, sig)
+        hookup_memo = (
+            "hookup", env.cloud, env.is_gpu, group.nodes, env.kind.value, sig,
+        )
+        seeded = self._block_memo.get(run_key_memo)
+        if seeded is not None:
+            # A sibling app of this cell already seeded these streams.
+            block.install_states(seeded)
+            hookup = self._block_memo.get(hookup_memo)
+        else:
+            hookup = None
+        if hookup is None:
+            hookup_streams = hookup_stream_block(
+                env.cloud,
+                env.is_gpu,
+                group.nodes,
+                environment_kind=env.kind.value,
+                seed=self.seed,
+                iterations=iters,
+            )
+            if seeded is None:
+                # One vectorized seeding pass covers both stream families.
+                co_seed(block, hookup_streams)
+                self._block_memo[run_key_memo] = block.seeded_states()
+            hookup = hookup_block(
+                env.cloud,
+                env.is_gpu,
+                group.nodes,
+                environment_kind=env.kind.value,
+                seed=self.seed,
+                iterations=iters,
+                rng_block=hookup_streams,
+            )
+            self._block_memo[hookup_memo] = hookup
+        result = model.simulate_block(ctx, block)
+
+        failed = result.failed if result.failed is not None else np.zeros(n, dtype=bool)
+        wall = np.array(result.wall, dtype=np.float64, copy=True)
+        fom = np.array(result.fom, dtype=np.float64, copy=True)
+        limit = group.walltime_limit
+        timeout = ~failed & (wall > limit)
+        wall[timeout] = limit
+        state = np.full(n, _COMPLETED, dtype=np.int8)
+        state[timeout] = _TIMEOUT
+        state[failed] = _FAILED
+        fom_none = failed | timeout | np.isnan(fom)
+        fom[fom_none] = np.nan
+
+        app_kind = result.failure_kind
+        mixed = isinstance(app_kind, list) or bool(timeout.any()) or (
+            bool(failed.any()) and not bool(failed.all())
+        )
+        if mixed:
+            base = app_kind if isinstance(app_kind, list) else [app_kind] * n
+            kinds: Any = [
+                base[j] if failed[j] else ("walltime" if timeout[j] else None)
+                for j in range(n)
+            ]
+        else:
+            kinds = app_kind if bool(failed.any()) else None
+        phases = result.phases
+        extra = result.extra
+
+        scn = active(self.scenario)
+        if (
+            scn is not None
+            and scn.spot is not None
+            and env.is_cloud
+            and env.cloud in scn.spot.clouds
+        ):
+            # Spot preemption: a reclaimed run dies partway through its
+            # window; the consumed node-time still bills.  Runs that
+            # already failed on their own keep their original cause.
+            eligible = np.flatnonzero(state != _FAILED)
+            fracs = np.full(n, np.nan)
+            if eligible.size:
+                fracs[eligible] = preemption_block(
+                    scn.spot,
+                    self.seed,
+                    scn.scenario_id,
+                    env.env_id,
+                    model.name,
+                    group.scale,
+                    iters[eligible],
+                    (wall + hookup)[eligible],
+                )
+            hit = np.flatnonzero(~np.isnan(fracs))
+            if hit.size:
+                from repro.core.results import payload_slot
+
+                extra = [payload_slot(result.extra, j) for j in range(n)]
+                if not isinstance(kinds, list):
+                    kinds = [
+                        kinds if failed[j] else ("walltime" if timeout[j] else None)
+                        for j in range(n)
+                    ]
+                for j in hit:
+                    slot = dict(extra[j])
+                    slot["preempted_at_fraction"] = float(fracs[j])
+                    extra[j] = slot
+                    kinds[j] = "spot-preemption"
+                wall[hit] = wall[hit] * fracs[hit]
+                state[hit] = _FAILED
+                fom[hit] = np.nan
+                fom_none[hit] = True
+
+        cost = (group.nodes * group.rate) * (wall + hookup) / HOUR
+        return _BlockColumns(
+            iteration=np.asarray(iters, dtype=np.int64),
+            state=state,
+            fom=fom,
+            fom_none=fom_none,
+            wall=wall,
+            hookup=hookup,
+            cost=cost,
+            failure_kind=kinds,
+            phases=phases,
+            extra=extra,
+        )
+
+    def _column_records(self, group: ResolvedGroup, cols: _BlockColumns) -> list[RunRecord]:
+        """Materialize a column block into per-run records (the cache
+        and generic-stop paths need row objects; the fast path never
+        calls this)."""
+        from repro.core.results import payload_slot
+
+        env_id = group.env.env_id
+        app = group.model.name
+        units = group.model.fom_units
+        records = []
+        for j in range(len(cols.iteration)):
+            records.append(
+                RunRecord(
+                    env_id=env_id,
+                    app=app,
+                    scale=group.scale,
+                    nodes=group.nodes,
+                    iteration=int(cols.iteration[j]),
+                    state=STATE_ORDER[cols.state[j]],
+                    fom=None if cols.fom_none[j] else float(cols.fom[j]),
+                    fom_units=units,
+                    wall_seconds=float(cols.wall[j]),
+                    hookup_seconds=float(cols.hookup[j]),
+                    cost_usd=float(cols.cost[j]),
+                    phases=payload_slot(cols.phases, j),
+                    failure_kind=payload_slot(cols.failure_kind, j),
+                    extra=payload_slot(cols.extra, j),
+                )
+            )
+        return records
+
+    def run_block(
+        self,
+        env: Environment,
+        app: AppModel | str,
+        scale: int,
+        *,
+        iterations: int,
+        store: "ResultStore",
+        options: dict[str, Any] | None = None,
+        stop: Callable[[RunRecord], bool] | None = None,
+    ) -> BlockOutcome:
+        """Run one (env, app, size) group entirely as array math.
+
+        The fully vectorized hot path: per-iteration draws are gathered
+        through :func:`~repro.rng.stream_block`, the app computes its
+        physics as columns (:meth:`~repro.apps.base.AppModel.simulate_block`),
+        pricing/walltime/preemption apply as array operations, and the
+        results land in ``store`` via
+        :meth:`~repro.core.results.ResultStore.append_block` — no
+        per-run :class:`RunRecord` on the fast path.  Records are
+        byte-identical to :meth:`run_batch` (and therefore to
+        per-iteration :meth:`run` calls).
+
+        Differences from :meth:`run_batch`: results go to ``store``
+        (the caller's dataset) instead of a returned list, and
+        :attr:`history` is not populated — the store *is* the record.
+        With a cache configured, rows materialize for the per-record
+        cache protocol (probe order, puts, and hit/miss stats match the
+        scalar path exactly); a :class:`HookupCutoff` ``stop`` applies
+        vectorized, any other callable sees materialized rows in order.
+        """
+        model = app_lookup(app) if isinstance(app, str) else app
+
+        if not env.deployable or not model.supports(env.accelerator):
+            if not env.deployable:
+                reason = "environment undeployable"
+            else:
+                reason = model.unsupported_reason.get(env.accelerator, "unsupported")
+            count = 0
+            for iteration in range(iterations):
+                record = self._skip(env, model, scale, iteration, reason)
+                store.add(record)
+                count += 1
+                if stop is not None and stop(record):
+                    break
+            return BlockOutcome(count=count, total_seconds=0.0)
+
+        if self.cache is not None:
+            return self._run_block_cached(env, model, scale, iterations, options, stop, store)
+
+        group = self.resolve_group(env, model, scale, options=options)
+        cols = self._simulate_columns(group, np.arange(iterations, dtype=np.int64))
+        if stop is not None:
+            stop_index = getattr(stop, "stop_index", None)
+            if stop_index is not None:
+                k = stop_index(env.env_id, scale, cols.hookup)
+            else:
+                k = next(
+                    (j for j, r in enumerate(self._column_records(group, cols)) if stop(r)),
+                    None,
+                )
+            if k is not None:
+                cols = cols.truncate(k + 1)
+        store.append_block(
+            env_id=env.env_id,
+            app=model.name,
+            scale=group.scale,
+            nodes=group.nodes,
+            iteration=cols.iteration,
+            state=cols.state,
+            fom=cols.fom,
+            fom_none=cols.fom_none,
+            wall_seconds=cols.wall,
+            hookup_seconds=cols.hookup,
+            cost_usd=cols.cost,
+            fom_units=model.fom_units,
+            failure_kind=cols.failure_kind,
+            phases=cols.phases,
+            extra=cols.extra,
+        )
+        total = 0.0
+        for j in range(len(cols.iteration)):
+            # Accumulate in record order, like the per-record shard clock.
+            total = total + (cols.wall[j] + cols.hookup[j])
+        return BlockOutcome(count=len(cols.iteration), total_seconds=float(total))
+
+    def _run_block_cached(
+        self,
+        env: Environment,
+        model: AppModel,
+        scale: int,
+        iterations: int,
+        options: dict[str, Any] | None,
+        stop: Callable[[RunRecord], bool] | None,
+        store: "ResultStore",
+    ) -> BlockOutcome:
+        """The block path against the per-record cache protocol.
+
+        Keys are digested once per group (:func:`run_key_block`), all
+        iterations probe up front, only the missing ones simulate (as
+        one sub-block), and — when a ``stop`` truncates the batch — the
+        cache's hit/miss counters are re-aligned to the executed prefix
+        so the stats match the scalar path probe for probe.
+        """
+        scn = active(self.scenario)
+        keys = run_key_block(
+            seed=self.seed,
+            env_id=env.env_id,
+            app=model.name,
+            scale=scale,
+            iterations=range(iterations),
+            engine_options={
+                "azure_ucx_tuned": self.azure_ucx_tuned,
+                "options": options or {},
+            },
+            scenario=scn.digest() if scn is not None else None,
+        )
+        probes: list[RunRecord | None] = []
+        probe_invalid: list[int] = []
+        for key in keys:
+            before = self.cache.invalid
+            probes.append(self.cache.get(key))
+            probe_invalid.append(self.cache.invalid - before)
+        records: list[RunRecord | None] = list(probes)
+        missing = [i for i, record in enumerate(probes) if record is None]
+        simulated: list[RunRecord] = []
+        if missing:
+            group = self.resolve_group(env, model, scale, options=options)
+            cols = self._simulate_columns(group, np.asarray(missing, dtype=np.int64))
+            simulated = self._column_records(group, cols)
+            for i, record in zip(missing, simulated):
+                records[i] = record
+        prefix = len(records)
+        if stop is not None:
+            prefix = next(
+                (j + 1 for j, r in enumerate(records) if stop(r)), len(records)
+            )
+        for i, record in zip(missing, simulated):
+            if i < prefix:
+                self.cache.put(keys[i], record)
+        if prefix < len(records):
+            # The scalar path never probes past the stop; re-align all
+            # three counters (a corrupt entry past the stop must not
+            # surface as an invalid-entry degradation it never caused).
+            over_hits = sum(1 for r in probes[prefix:] if r is not None)
+            self.cache.hits -= over_hits
+            self.cache.misses -= (len(records) - prefix) - over_hits
+            self.cache.invalid -= sum(probe_invalid[prefix:])
+        kept = records[:prefix]
+        store.extend(kept)
+        total = 0.0
+        for record in kept:
+            total = total + record.total_seconds
+        return BlockOutcome(count=len(kept), total_seconds=total)

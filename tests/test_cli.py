@@ -270,11 +270,24 @@ def test_ensemble_help_documents_examples(capsys):
 def test_help_documents_every_subcommand_with_examples():
     help_text = build_parser().format_help()
     for subcommand in ("list", "experiment", "run", "study", "scenario",
-                       "ensemble", "report"):
+                       "ensemble", "bench", "report"):
         assert subcommand in help_text
     assert "examples:" in help_text
     assert "--workers 4" in help_text
     assert "--cache" in help_text
+
+
+def test_bench_quick_command(capsys, tmp_path):
+    artifact = tmp_path / "BENCH_vector.json"
+    assert main(["bench", "--quick", "--output", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "block (run_block)" in out
+    assert "byte-identical" in out
+    import json
+
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["byte_identical"] is True
+    assert payload["pipeline"]["block_speedup"] > 0
 
 
 def test_scenario_help_documents_examples(capsys):

@@ -1,0 +1,142 @@
+"""stream_block / jitter_block: bit-identical to sequential stream().
+
+The whole vectorized-physics edifice rests on one claim — a
+:class:`~repro.rng.StreamBlock` replays exactly the per-iteration
+generators :func:`~repro.rng.stream` would construct — so these tests
+pin it property-style across seeds, key paths, draw shapes, and
+iteration subsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    co_seed,
+    jitter,
+    jitter_block,
+    lognormal_jitter,
+    lognormal_jitter_block,
+    stream,
+    stream_block,
+)
+
+KEYS = st.lists(
+    st.one_of(
+        st.text(min_size=0, max_size=8),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=4,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1), key=KEYS, n=st.integers(0, 12))
+def test_normal_matches_sequential_streams(seed, key, n):
+    block = stream_block(seed, *key, iterations=n)
+    got = block.normal(1.0, 0.17)
+    want = np.array([stream(seed, *key, i).normal(1.0, 0.17) for i in range(n)])
+    assert got.shape == (n,)
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    scales=st.lists(st.floats(min_value=1e-3, max_value=0.9), min_size=1, max_size=6),
+    n=st.integers(1, 8),
+)
+def test_vector_scales_match_sequential_draws(seed, scales, n):
+    """A (k,) scale row gathers k sequential draws per iteration."""
+    block = stream_block(seed, "grp", 64, iterations=n)
+    got = block.normal(1.0, scales)
+    assert got.shape == (n, len(scales))
+    for i in range(n):
+        rng = stream(seed, "grp", 64, i)
+        want = [rng.normal(1.0, s) for s in scales]
+        assert np.array_equal(got[i], want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1), n=st.integers(0, 10))
+def test_jitter_blocks_match_scalar_helpers(seed, n):
+    assert np.array_equal(
+        jitter_block(stream_block(seed, "j", iterations=n), 0.4),
+        [jitter(stream(seed, "j", i), 0.4) for i in range(n)],
+    )
+    assert np.array_equal(
+        lognormal_jitter_block(stream_block(seed, "lj", iterations=n), 0.12),
+        [lognormal_jitter(stream(seed, "lj", i), 0.12) for i in range(n)],
+    )
+
+
+def test_iteration_subsets_cover_exact_streams():
+    """A block over [3, 9, 17] is those iterations' streams, no others."""
+    block = stream_block(7, "run", "env", 64, iterations=[3, 9, 17])
+    got = block.normal(1.0, 0.2)
+    want = [stream(7, "run", "env", 64, i).normal(1.0, 0.2) for i in (3, 9, 17)]
+    assert np.array_equal(got, want)
+
+
+def test_random_gathers_match_sequential_draws():
+    block = stream_block(3, "r", iterations=9)
+    got = block.random(5)
+    for i in range(9):
+        assert np.array_equal(got[i], stream(3, "r", i).random(size=5))
+    singles = stream_block(3, "r1", iterations=9).random()
+    assert np.array_equal(singles, [stream(3, "r1", i).random() for i in range(9)])
+
+
+def test_generator_escape_hatch_replays_streams():
+    """generator(j) serves arbitrary scalar draw sequences (fallback path)."""
+    block = stream_block(1, "fb", 32, iterations=4)
+    for j in range(4):
+        got = block.generator(j)
+        want = stream(1, "fb", 32, j)
+        assert got.normal(1.0, 0.3) == want.normal(1.0, 0.3)
+        assert np.array_equal(got.random(size=3), want.random(size=3))
+
+
+def test_whole_block_gathers_are_single_pass():
+    block = stream_block(1, "once", iterations=3)
+    block.normal(1.0, 0.1)
+    with pytest.raises(RuntimeError):
+        block.lognormal(0.0, 0.1)
+
+
+def test_empty_block_draws_empty_columns():
+    block = stream_block(1, "empty", iterations=0)
+    assert block.normal(1.0, 0.1).shape == (0,)
+    assert len(stream_block(1, "e2", iterations=0)) == 0
+
+
+def test_co_seed_preserves_stream_identity():
+    """Jointly seeded blocks draw exactly their own streams."""
+    a = stream_block(5, "run", "env", 32, iterations=6)
+    b = stream_block(5, "hookup", "aws", False, 32, "k8s", iterations=6)
+    co_seed(a, b)
+    assert np.array_equal(
+        a.normal(1.0, 0.1),
+        [stream(5, "run", "env", 32, i).normal(1.0, 0.1) for i in range(6)],
+    )
+    assert np.array_equal(
+        b.lognormal(0.0, 0.12),
+        [stream(5, "hookup", "aws", False, 32, "k8s", i).lognormal(0.0, 0.12) for i in range(6)],
+    )
+
+
+def test_seeded_state_reuse_between_identical_blocks():
+    """seeded_states()/install_states() round-trips (the per-cell memo)."""
+    a = stream_block(5, "run", "env", 32, iterations=6)
+    states = a.seeded_states()
+    b = stream_block(5, "run", "env", 32, iterations=6)
+    b.install_states(states)
+    assert np.array_equal(
+        b.normal(1.0, 0.25),
+        [stream(5, "run", "env", 32, i).normal(1.0, 0.25) for i in range(6)],
+    )
