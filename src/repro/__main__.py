@@ -13,7 +13,10 @@ Subcommands:
 * ``plan`` — the execution planner: ``plan show`` compiles the study /
   scenario sweep / ensemble you describe into its
   :class:`~repro.plan.ir.RunPlan` and prints worlds, shards, run
-  counts, and the plan digest — without executing anything;
+  counts, and the plan digest — without executing anything; ``plan
+  diff`` classifies every compiled cell as *reusable* or *dirty*
+  against the baseline plan (the decision ``--incremental`` execution
+  acts on);
 * ``scenario`` — the what-if engine: ``scenario list`` shows the
   registered counterfactuals, ``scenario run`` executes selected
   scenarios (preset names or JSON spec files) against the baseline and
@@ -154,6 +157,17 @@ def _fmt_cache_line(hits: int, misses: int, invalid: int) -> str:
     return line
 
 
+def _fmt_reuse_line(reuse) -> str:
+    """One summary line for incremental cell reuse (``--incremental``)."""
+    line = (
+        f"{reuse.attached} cells reused, {reuse.executed} executed "
+        f"(diff: {reuse.planned_reusable} reusable / {reuse.planned_dirty} dirty)"
+    )
+    if reuse.invalid:
+        line += f", {reuse.invalid} invalid (re-executed; see warnings)"
+    return line
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     error = _cache_dir_error(args.cache)
     if error:
@@ -232,6 +246,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             scenarios,
             workers=args.workers,
             cache_dir=args.cache,
+            incremental=args.incremental,
         )
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -246,6 +261,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         if report.cache_invalid:
             line += f"  cache-invalid={report.cache_invalid}"
         print(line)
+    if result.reuse is not None:
+        print()
+        print(f"cell reuse        : {_fmt_reuse_line(result.reuse)}")
     if args.output or args.json_output:
         print()
     _write_exports(
@@ -289,7 +307,16 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    runner = EnsembleRunner(spec, workers=args.workers, cache_dir=args.cache)
+    try:
+        runner = EnsembleRunner(
+            spec,
+            workers=args.workers,
+            cache_dir=args.cache,
+            incremental=args.incremental,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = runner.run()
     print(result.render())
     print()
@@ -299,6 +326,8 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     if args.cache:
         print(f"world cache       : "
               f"{_fmt_cache_line(result.world_cache_hits, result.world_cache_misses, result.world_cache_invalid)}")
+    if result.reuse is not None:
+        print(f"cell reuse        : {_fmt_reuse_line(result.reuse)}")
     _write_exports(
         args,
         csv_text=lambda: result.distribution_table().to_csv(),
@@ -309,29 +338,61 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_plan(args: argparse.Namespace) -> int:
-    from repro.errors import ConfigurationError
+def _compile_plan_from_args(args: argparse.Namespace):
+    """(compiled plan, kind label) from the shared ``plan`` flags."""
     from repro.plan import compile_ensemble, compile_scenarios, compile_study
+
+    if args.spec or args.replicas is not None:
+        spec = _ensemble_spec_from_args(args, replicas=args.replicas or 1)
+        return compile_ensemble(spec, cache_dir=args.cache), "ensemble"
+    if args.scenario:
+        plan = compile_scenarios(
+            _config_from_args(args),
+            [_resolve_scenario(name) for name in args.scenario],
+            cache_dir=args.cache,
+        )
+        return plan, "scenario sweep"
+    return compile_study(_config_from_args(args), cache_dir=args.cache), "study"
+
+
+def _cmd_plan_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.plan import compile_study, diff_plans
 
     error = _cache_dir_error(args.cache)
     if error:
         print(error, file=sys.stderr)
         return 2
     try:
-        if args.spec or args.replicas is not None:
-            spec = _ensemble_spec_from_args(args, replicas=args.replicas or 1)
-            plan = compile_ensemble(spec, cache_dir=args.cache)
-            kind = "ensemble"
-        elif args.scenario:
-            plan = compile_scenarios(
-                _config_from_args(args),
-                [_resolve_scenario(name) for name in args.scenario],
-                cache_dir=args.cache,
-            )
-            kind = "scenario sweep"
-        else:
-            plan = compile_study(_config_from_args(args), cache_dir=args.cache)
-            kind = "study"
+        plan, _kind = _compile_plan_from_args(args)
+        baseline, _rest = plan.split_baseline()
+        if baseline.n_shards == 0:
+            # No baseline world in the variant plan: diff against the
+            # plain campaign the flags describe.
+            baseline = compile_study(_config_from_args(args), cache_dir=args.cache)
+        diff = diff_plans(baseline, plan)
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_dump:
+        print(json.dumps(diff.describe(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    if args.plan_command == "diff":
+        return _cmd_plan_diff(args)
+
+    error = _cache_dir_error(args.cache)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        plan, kind = _compile_plan_from_args(args)
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -431,6 +492,12 @@ examples:
       list every compiled shard of a focused campaign
   python -m repro plan show --json
       the full compiled plan as JSON (worlds, shards, totals)
+  python -m repro plan diff --scenario azure-price-spike
+      classify every cell of the sweep plan: cells the scenario cannot
+      touch are reusable (attachable from the baseline's cache), cells
+      it perturbs are dirty, with the responsible overlay hooks named
+  python -m repro plan diff --scenario spot-everything --json
+      the same classification as JSON
 """
 
 
@@ -447,6 +514,11 @@ examples:
       a focused sweep, delta table exported as CSV
   python -m repro scenario run --scenario my-scenario.json
       a scenario loaded from a JSON spec file instead of a preset
+  python -m repro scenario run --scenario azure-price-spike \\
+      --cache .repro-cache --incremental
+      diff-aware sweep: the baseline runs first, then each scenario
+      world re-simulates only the cells its overlays touch and attaches
+      the rest from the cache — byte-identical, a fraction of the cost
 """
 
 
@@ -584,6 +656,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the compiled plan as JSON instead of tables",
     )
+    p_plan_diff = plan_sub.add_parser(
+        "diff",
+        help="classify every cell of a compiled plan as reusable or dirty "
+        "against its baseline (what incremental execution would attach)",
+        epilog=_PLAN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[campaign_options],
+    )
+    p_plan_diff.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME|FILE",
+        help="what-if world to include (repeatable): a preset name or a "
+        "Scenario JSON spec file; diffs a scenario-sweep plan",
+    )
+    p_plan_diff.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="diff an ensemble plan with N replicas per scenario",
+    )
+    p_plan_diff.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="diff an ensemble plan from an EnsembleSpec JSON file",
+    )
+    p_plan_diff.add_argument(
+        "--json",
+        dest="json_dump",
+        action="store_true",
+        help="print the classification as JSON instead of text",
+    )
 
     p_scenario = sub.add_parser(
         "scenario",
@@ -607,6 +712,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME|FILE",
         help="scenario to run (repeatable): a preset name "
         "(see `repro scenario list`) or a path to a Scenario JSON spec file",
+    )
+    p_scn_run.add_argument(
+        "--incremental",
+        action="store_true",
+        help="diff-aware execution (requires --cache): run the baseline "
+        "first, then attach every cell a scenario cannot touch from the "
+        "cell cache and simulate only the touched cells — byte-identical "
+        "results, a fraction of the cost",
     )
     p_scn_run.add_argument("--output", help="write the delta table CSV here")
     p_scn_run.add_argument(
@@ -649,6 +762,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="load the whole plan from an EnsembleSpec JSON file "
         "(overrides --replicas/--scenario and the campaign selection)",
+    )
+    p_ens_run.add_argument(
+        "--incremental",
+        action="store_true",
+        help="diff-aware execution (requires --cache): run the baseline "
+        "replicas first, then attach untouched cells from the cell cache",
     )
     p_ens_run.add_argument("--output", help="write the distribution table CSV here")
     p_ens_run.add_argument(

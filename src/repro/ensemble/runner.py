@@ -42,7 +42,8 @@ from repro.ensemble.frame import ResultFrame
 from repro.ensemble.spec import EnsembleSpec
 from repro.ensemble.stats import CellStats, StreamAccumulator
 from repro.parallel.shard import ShardResult
-from repro.plan import PlanExecutor, PlanWorld, RunPlan, compile_ensemble
+from repro.plan import PlanExecutor, PlanWorld, ReuseStats, RunPlan, compile_ensemble
+from repro.errors import ConfigurationError
 from repro.scenarios.spec import active
 from repro.sim.cache import RunCache, world_key
 from repro.sim.execution import ExecutionEngine
@@ -89,6 +90,11 @@ class EnsembleResult:
     #: malformed world-summary entries encountered (each re-executed,
     #: each leaving a one-line warning — see :mod:`repro.sim.cache`)
     world_cache_invalid: int = 0
+    #: cell-granular reuse accounting for incremental runs
+    #: (:class:`~repro.plan.executor.ReuseStats`, including the count of
+    #: malformed cell-summary entries met on the reuse path); ``None``
+    #: for from-scratch runs
+    reuse: ReuseStats | None = None
 
     def scenario_ids(self) -> list[str]:
         """Scenario ids in fold order (baseline first)."""
@@ -137,7 +143,7 @@ class EnsembleResult:
             if threshold is not None and stats.fom.count:
                 entry["fom_exceedance"] = stats.fom.exceedance(threshold)
             cells.append(entry)
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "digest": self.spec.digest(),
             "worlds": self.worlds,
@@ -150,6 +156,9 @@ class EnsembleResult:
             "incidents": {sid: acc.summary() for sid, acc in self.incidents.items()},
             "cells": cells,
         }
+        if self.reuse is not None:
+            out["cell_reuse"] = self.reuse.to_dict()
+        return out
 
     def to_json(self, *, indent: int | None = 2) -> str:
         return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
@@ -170,10 +179,18 @@ class EnsembleRunner:
         *,
         workers: int = 1,
         cache_dir: str | None = None,
+        incremental: bool = False,
     ):
+        if incremental and cache_dir is None:
+            raise ConfigurationError(
+                "an incremental ensemble needs a cache directory: "
+                "untouched cells attach from the cell-level cache the "
+                "baseline replicas write (pass cache_dir=...)"
+            )
         self.spec = spec
         self.workers = workers
         self.cache_dir = cache_dir
+        self.incremental = incremental
 
     # -- planning -----------------------------------------------------------
 
@@ -201,10 +218,32 @@ class EnsembleRunner:
     # -- execution ----------------------------------------------------------
 
     def run(self) -> EnsembleResult:
-        """Execute every world and fold the streaming distributions."""
+        """Execute every world and fold the streaming distributions.
+
+        An incremental run schedules two phases: the baseline replicas
+        execute first (writing their cell- and world-level summaries),
+        then the full grid streams in fold order — the baseline worlds
+        replay from the world cache they just populated, and every
+        scenario world executes diff-aware, attaching cells its scenario
+        cannot touch.  Fold order (and therefore every folded statistic)
+        is byte-identical to a from-scratch run.
+        """
         result = EnsembleResult(spec=self.spec)
         cache = RunCache(self.cache_dir) if self.cache_dir else None
-        for world, summary, cached in self._summaries(self.compile(), cache):
+        plan = self.compile()
+        baseline: RunPlan | None = None
+        if self.incremental:
+            result.reuse = ReuseStats()
+            baseline, _ = plan.split_baseline()
+            # Phase 1: run (and summary-cache) the baseline replicas.
+            # Their summaries are discarded here — the main pass below
+            # replays them from the world cache *in fold order*, so the
+            # streamed folds see the exact from-scratch ordering.
+            for _ in self._summaries(baseline, cache):
+                pass
+        for world, summary, cached in self._summaries(
+            plan, cache, baseline=baseline, reuse=result.reuse
+        ):
             if cache is not None:  # no phantom misses when uncached
                 if cached:
                     result.world_cache_hits += 1
@@ -219,7 +258,12 @@ class EnsembleRunner:
         return result
 
     def _summaries(
-        self, plan: RunPlan, cache: RunCache | None
+        self,
+        plan: RunPlan,
+        cache: RunCache | None,
+        *,
+        baseline: RunPlan | None = None,
+        reuse: ReuseStats | None = None,
     ) -> Iterator[tuple[PlanWorld, dict, bool]]:
         """Yield (world, folded summary, was-cached) in fold order.
 
@@ -227,13 +271,16 @@ class EnsembleRunner:
         missing worlds execute through the shared plan executor as one
         sub-plan.  The pending list is flushed before any cached world
         is yielded, so the output order is exactly the plan order.
+        ``baseline`` switches the executed sub-plans to the incremental
+        mode, diffing against it; ``reuse`` accumulates their cell
+        accounting.
         """
         pending: list[tuple[PlanWorld, str | None]] = []
         for world in plan.worlds:
             key = self._world_key(world) if cache is not None else None
             data = cache.get_json(key) if cache is not None else None
             if self._valid_summary(data):
-                yield from self._execute(plan, pending, cache)
+                yield from self._execute(plan, pending, cache, baseline=baseline, reuse=reuse)
                 pending = []
                 yield world, data, True
             else:
@@ -242,7 +289,7 @@ class EnsembleRunner:
                     # (non-JSON corruption is traced inside get_json).
                     cache.note_invalid(key, "world summary malformed")
                 pending.append((world, key))
-        yield from self._execute(plan, pending, cache)
+        yield from self._execute(plan, pending, cache, baseline=baseline, reuse=reuse)
 
     @staticmethod
     def _is_number(value) -> bool:
@@ -288,13 +335,23 @@ class EnsembleRunner:
         plan: RunPlan,
         pending: list[tuple[PlanWorld, str | None]],
         cache: RunCache | None,
+        *,
+        baseline: RunPlan | None = None,
+        reuse: ReuseStats | None = None,
     ) -> Iterator[tuple[PlanWorld, dict, bool]]:
-        """Execute missing worlds through the shared executor, in order."""
+        """Execute missing worlds through the shared executor, in order.
+
+        With a ``baseline`` plan the sub-plan runs incrementally: cells
+        the diff proves untouched attach their folded summaries from the
+        cell cache instead of simulating.
+        """
         if not pending:
             return
         executor = PlanExecutor(
             plan.subset(world.index for world, _ in pending),
             workers=self.workers,
+            incremental=baseline is not None,
+            baseline=baseline,
         )
         world_results = executor.iter_world_results()
         for (world, key), (executed, shard_results) in zip(pending, world_results):
@@ -303,6 +360,8 @@ class EnsembleRunner:
             if cache is not None and key is not None:
                 cache.put_json(key, summary)
             yield world, summary, False
+        if reuse is not None:
+            reuse.add(executor.reuse)
 
     @staticmethod
     def _world_summary(shard_results: list[ShardResult]) -> dict:

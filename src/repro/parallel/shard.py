@@ -41,7 +41,7 @@ from repro.k8s.flux_operator import FluxOperator, MiniClusterSpec
 from repro.errors import ConfigurationError
 from repro.core.results import ResultStore
 from repro.scenarios.apply import overlay_provider
-from repro.scenarios.spec import Scenario, active
+from repro.scenarios.spec import Scenario, active, footprint_digest
 from repro.scheduler.queueing import OnPremQueueModel
 from repro.sim.cache import RunCache, decode_record, encode_record, shard_key
 from repro.sim.execution import ExecutionEngine, HookupCutoff
@@ -179,19 +179,56 @@ def _deploy_kubernetes(env: Environment, cluster) -> float:
     return kube.setup_seconds + mc.bringup_seconds
 
 
-def _shard_cache_key(shard: StudyShard, engine: ExecutionEngine) -> str:
-    # Derive the engine options from the engine actually executing the
-    # cell so the cell-level key invalidates exactly when run-level keys do.
-    scn = active(engine.scenario)
+def shard_summary_key(shard: StudyShard, *, azure_ucx_tuned: bool = True) -> str:
+    """The cell-level cache key for one shard's folded summary.
+
+    The scenario contribution is the shard's per-cell overlay
+    *footprint* (:meth:`~repro.scenarios.spec.Scenario.footprint` for
+    the cell's cloud), so a cell a scenario cannot touch keys exactly
+    like the baseline cell — the incremental planner
+    (:mod:`repro.plan.diff`) attaches such cells straight from the
+    cache without dispatching them to a worker.
+    """
+    cloud = ENVIRONMENTS[shard.env_id].cloud
     return shard_key(
         seed=shard.seed,
         env_id=shard.env_id,
         scale=shard.scale,
         apps=shard.apps,
         iterations=shard.iterations,
-        engine_options={"azure_ucx_tuned": engine.azure_ucx_tuned},
-        scenario=scn.digest() if scn is not None else None,
+        engine_options={"azure_ucx_tuned": azure_ucx_tuned},
+        scenario=footprint_digest(shard.scenario, cloud),
     )
+
+
+def _shard_cache_key(shard: StudyShard, engine: ExecutionEngine) -> str:
+    # Derive the engine options from the engine actually executing the
+    # cell so the cell-level key invalidates exactly when run-level keys
+    # do.  The engine's scenario is the shard's own (execute_shard built
+    # it that way), so the summary key *is* the cell key.
+    return shard_summary_key(shard, azure_ucx_tuned=engine.azure_ucx_tuned)
+
+
+def attach_shard(shard: StudyShard, cache: RunCache) -> ShardResult | None:
+    """A shard's cached result, or ``None`` when it must execute.
+
+    The incremental reuse path: probe the cell-level summary under
+    :func:`shard_summary_key` and rebuild the :class:`ShardResult`
+    without provisioning, simulation, or a worker round-trip.  A
+    malformed entry flows through :meth:`RunCache.note_invalid` (the
+    caller surfaces the counter) and returns ``None`` — reuse degrades
+    to re-execution, never to silence.
+    """
+    cell_key = shard_summary_key(shard)
+    cached = cache.get_json(cell_key)
+    if cached is None:
+        return None
+    try:
+        result = _decode_shard(shard, cached)
+    except (KeyError, TypeError, ValueError) as exc:
+        cache.note_invalid(cell_key, f"study-cell entry malformed: {exc}")
+        return None
+    return result
 
 
 def _encode_shard(result: ShardResult) -> dict:

@@ -13,25 +13,92 @@ Shard batches stream through
 one chunk of shard results (plus the world currently being folded) —
 an ensemble of hundreds of worlds never holds more than a window of
 records at a time.
+
+**Incremental mode** (``incremental=True``) adds diff-aware reuse: the
+plan is diffed against a baseline plan (:func:`repro.plan.diff.diff_plans`)
+and every cell the diff proves untouched is *attached* — its folded
+summary loaded straight from the cell-level cache the baseline run
+wrote — while only the dirty cells (and any reusable cells whose cache
+entries are cold or malformed) dispatch to shards.  Results are still
+yielded in plan order and are byte-identical to a from-scratch run:
+attachment only ever substitutes a cached result stored under the same
+content-addressed key the cell would recompute.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.incidents import Incident
+from repro.errors import ConfigurationError
 from repro.parallel.merge import MergedStudy, merge_shard_results
 from repro.parallel.pool import pmap_chunked
-from repro.parallel.shard import ShardResult, execute_shard
+from repro.parallel.shard import ShardResult, attach_shard, execute_shard
 from repro.plan.ir import PlanWorld, RunPlan
+from repro.sim.cache import RunCache
+
+
+@dataclass
+class ReuseStats:
+    """What incremental execution reused, executed, and rejected."""
+
+    #: cells the diff classified reusable / dirty
+    planned_reusable: int = 0
+    planned_dirty: int = 0
+    #: cells actually attached from the cell-level cache
+    attached: int = 0
+    #: cells dispatched to shard execution (dirty + cold/invalid reuse)
+    executed: int = 0
+    #: malformed cell-summary entries met on the reuse path — each one
+    #: flowed through :meth:`~repro.sim.cache.RunCache.note_invalid`
+    #: and re-executed; surfaced so degradation is never silent
+    invalid: int = 0
+
+    def add(self, other: "ReuseStats") -> None:
+        self.planned_reusable += other.planned_reusable
+        self.planned_dirty += other.planned_dirty
+        self.attached += other.attached
+        self.executed += other.executed
+        self.invalid += other.invalid
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "planned_reusable": self.planned_reusable,
+            "planned_dirty": self.planned_dirty,
+            "attached": self.attached,
+            "executed": self.executed,
+            "invalid": self.invalid,
+        }
 
 
 class PlanExecutor:
     """Executes a compiled :class:`RunPlan`, streaming worlds in order."""
 
-    def __init__(self, plan: RunPlan, *, workers: int = 1):
+    def __init__(
+        self,
+        plan: RunPlan,
+        *,
+        workers: int = 1,
+        incremental: bool = False,
+        baseline: RunPlan | None = None,
+    ):
+        if incremental and plan.cache_dir is None:
+            raise ConfigurationError(
+                "incremental execution needs a cache directory: reusable "
+                "cells attach from the cell-level cache the baseline run "
+                "wrote (compile the plan with cache_dir=...)"
+            )
         self.plan = plan
         self.workers = workers
+        self.incremental = incremental
+        #: the plan reusable cells are diffed against; defaults to the
+        #: plan's own baseline worlds (:meth:`RunPlan.split_baseline`)
+        self.baseline = baseline
+        #: the computed diff (populated when incremental iteration starts)
+        self.diff = None
+        #: reuse accounting (all zeros for non-incremental runs)
+        self.reuse = ReuseStats()
 
     def _chunk_size(self) -> int:
         # A chunk spans several small worlds (or part of one large one);
@@ -45,8 +112,13 @@ class PlanExecutor:
 
         Shards execute across the worker pool in plan order; results are
         regrouped by each world's shard count, so a world is yielded the
-        moment its last cell returns — no barrier across worlds.
+        moment its last cell returns — no barrier across worlds.  In
+        incremental mode reusable cells attach from the cache instead of
+        executing; the yielded groups are indistinguishable.
         """
+        if self.incremental:
+            yield from self._iter_incremental()
+            return
         results = (
             shard_result
             for batch in pmap_chunked(
@@ -59,6 +131,61 @@ class PlanExecutor:
         )
         for world, n_shards in self.plan.world_shard_counts():
             world_results = [next(results) for _ in range(n_shards)]
+            assert all(r.world == world.index for r in world_results)
+            yield world, world_results
+
+    def _iter_incremental(self) -> Iterator[tuple[PlanWorld, list[ShardResult]]]:
+        """The diff-aware path: attach reusable cells, dispatch the rest.
+
+        Attachment probes happen up front (the pool needs its work list
+        before submission), so the attached-result map peaks at the
+        whole reusable set; each entry is a *folded* cell summary — tiny
+        next to the simulation it replaces — and is popped as its world
+        yields.  A reusable cell whose cache entry is cold or malformed
+        silently joins the dispatch list; malformed entries additionally
+        flow through :meth:`RunCache.note_invalid` and count in
+        :attr:`reuse.invalid <ReuseStats.invalid>`.
+        """
+        from repro.plan.diff import diff_plans
+
+        baseline = self.baseline
+        if baseline is None:
+            baseline, _ = self.plan.split_baseline()
+        self.diff = diff_plans(baseline, self.plan)
+        reusable = self.diff.reusable_indices()
+        cache = RunCache(self.plan.cache_dir)
+        attached: dict[int, ShardResult] = {}
+        to_run = []
+        for shard in self.plan.shards:
+            if shard.index in reusable:
+                before = cache.invalid
+                result = attach_shard(shard, cache)
+                self.reuse.invalid += cache.invalid - before
+                if result is not None:
+                    attached[shard.index] = result
+                    continue
+            to_run.append(shard)
+        self.reuse.planned_reusable = self.diff.n_reusable
+        self.reuse.planned_dirty = self.diff.n_dirty
+        self.reuse.attached = len(attached)
+        self.reuse.executed = len(to_run)
+        results = (
+            shard_result
+            for batch in pmap_chunked(
+                execute_shard,
+                tuple(to_run),
+                workers=self.workers,
+                chunk_size=self._chunk_size(),
+            )
+            for shard_result in batch
+        )
+        shards = iter(self.plan.shards)
+        for world, n_shards in self.plan.world_shard_counts():
+            world_results = []
+            for _ in range(n_shards):
+                shard = next(shards)
+                result = attached.pop(shard.index, None)
+                world_results.append(result if result is not None else next(results))
             assert all(r.world == world.index for r in world_results)
             yield world, world_results
 

@@ -58,11 +58,20 @@ def overlay_provider(provider, scenario: Scenario | None):
 
     A no-op for the baseline (``None`` or an empty scenario), so the
     overlaid path is byte-identical to the pre-scenario code path.
+
+    The overlay applies the scenario's *footprint* for the provider's
+    cloud (:meth:`~repro.scenarios.spec.Scenario.footprint`): a
+    scenario whose perturbations cannot touch this cloud configures
+    nothing at all, so an untouched cell is baseline by construction —
+    the invariant the incremental planner's cache reuse stands on.
     """
     scn = active(scenario)
     if scn is None:
         return provider
     cloud = provider.short_name
+    scn = scn.footprint(cloud)
+    if scn is None:
+        return provider
     if scn.reporting is not None:
         provider.meter.lag_overrides.update(dict(scn.reporting.lag_hours))
     if scn.quota is not None:

@@ -37,6 +37,9 @@ from repro.units import HOUR
 class SpotMarket:
     """A spot market replacing on-demand capacity on selected clouds."""
 
+    #: the overlay hooks this perturbation activates (incremental diffing)
+    hook = "price_overlay + keyed preemptions"
+
     #: cloud short names bought on the spot market ("p" is meaningless
     #: here: on-prem capacity has no market)
     clouds: tuple[str, ...] = ("aws", "az", "g")
@@ -54,6 +57,10 @@ class SpotMarket:
             raise ConfigurationError("spot discount_halving_nodes must be positive")
         if self.preemptions_per_hour < 0:
             raise ConfigurationError("spot preemptions_per_hour must be non-negative")
+
+    def touches(self, cloud: str) -> bool:
+        """Whether the market can change a cell on ``cloud`` at all."""
+        return cloud != "p" and cloud in self.clouds
 
     def discount_for(self, nodes: int) -> float:
         """Spot discount for a pool of ``nodes`` (shrinks with size)."""

@@ -16,6 +16,7 @@ in its keys so two worlds never share an entry.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
@@ -28,6 +29,9 @@ from repro.scenarios.market import SpotMarket
 class PriceShock:
     """A per-cloud multiplier on every hourly rate (demand spike, sale)."""
 
+    #: the overlay hook this perturbation activates (incremental diffing)
+    hook = "effective_rate"
+
     cloud: str
     multiplier: float
 
@@ -35,10 +39,16 @@ class PriceShock:
         if self.multiplier < 0:
             raise ConfigurationError("price shock multiplier must be non-negative")
 
+    def touches(self, cloud: str) -> bool:
+        """Whether this shock can change a cell on ``cloud`` at all."""
+        return self.cloud == cloud
+
 
 @dataclass(frozen=True)
 class QuotaSqueeze:
     """Tighter quota friction: scaled grant odds, stretched delays."""
+
+    hook = "friction_overrides/probability_scale"
 
     #: multiplies each cloud's grant probability (values < 1 tighten)
     grant_probability_scale: float = 1.0
@@ -51,10 +61,17 @@ class QuotaSqueeze:
         if self.grant_probability_scale < 0 or self.delay_scale < 0:
             raise ConfigurationError("quota squeeze scales must be non-negative")
 
+    def touches(self, cloud: str) -> bool:
+        # On-prem has no quota workflow (quota_friction_overrides skips
+        # "p"), so a squeeze can never reach an on-prem cell.
+        return cloud != "p" and (self.clouds is None or cloud in self.clouds)
+
 
 @dataclass(frozen=True)
 class FabricDegradation:
     """Multipliers on the LogGP parameters of affected fabrics."""
+
+    hook = "Fabric.overlaid"
 
     latency_multiplier: float = 1.0
     bandwidth_multiplier: float = 1.0
@@ -76,10 +93,17 @@ class FabricDegradation:
         if self.jitter_multiplier < 0:
             raise ConfigurationError("fabric jitter multiplier must be non-negative")
 
+    def touches(self, cloud: str) -> bool:
+        # ``None`` really is everywhere — degraded fabrics include the
+        # on-prem interconnect (overlay_fabric has no "p" carve-out).
+        return self.clouds is None or cloud in self.clouds
+
 
 @dataclass(frozen=True)
 class ReportingShift:
     """Different cost-reporting lags per cloud, in hours."""
+
+    hook = "lag_overrides"
 
     lag_hours: tuple[tuple[str, float], ...] = ()
 
@@ -87,10 +111,16 @@ class ReportingShift:
         if any(hours < 0 for _, hours in self.lag_hours):
             raise ConfigurationError("reporting lag hours must be non-negative")
 
+    def touches(self, cloud: str) -> bool:
+        # Lags shift the billing meter, and only clouds have one.
+        return cloud != "p" and any(c == cloud for c, _ in self.lag_hours)
+
 
 @dataclass(frozen=True)
 class FaultScaling:
     """Scales every registered fault's firing probability."""
+
+    hook = "fault_scale"
 
     scale: float = 1.0
     #: clouds affected; ``None`` means all
@@ -99,6 +129,10 @@ class FaultScaling:
     def __post_init__(self) -> None:
         if self.scale < 0:
             raise ConfigurationError("fault scale must be non-negative")
+
+    def touches(self, cloud: str) -> bool:
+        # Faults fire in the provisioner; on-prem cells never provision.
+        return cloud != "p" and (self.clouds is None or cloud in self.clouds)
 
 
 @dataclass(frozen=True)
@@ -127,6 +161,97 @@ class Scenario:
             and self.reporting is None
             and self.faults is None
         )
+
+    # -- per-cell overlay footprint ------------------------------------------
+
+    def footprint(self, cloud: str) -> "Scenario | None":
+        """The scenario restricted to what can touch a cell on ``cloud``.
+
+        Every perturbation type declares, via its ``touches``/``hook``
+        members, which cell coordinates its overlay hook can reach — a
+        fabric degradation touches the clouds it names (``None`` means
+        everywhere, on-prem included), quota/fault/reporting/spot
+        overlays never reach on-prem, price shocks name one cloud.  The
+        footprint keeps exactly the perturbations that touch ``cloud``
+        (cloud lists canonicalized to just ``cloud``) and drops the
+        rest, returning ``None`` when *nothing* touches the cell — so a
+        cell with an empty footprint simulates, and caches, exactly
+        like the baseline.
+
+        The incremental planner (:mod:`repro.plan.diff`) and every
+        run/cell cache key (:mod:`repro.sim.cache` v3) are built on
+        this: two worlds share a cell entry iff their footprints for
+        that cell digest identically.
+        """
+        only_here = (cloud,)
+        price = tuple(s for s in self.price_shocks if s.touches(cloud))
+        spot = self.spot
+        if spot is not None:
+            spot = (
+                dataclasses.replace(spot, clouds=only_here)
+                if spot.touches(cloud)
+                else None
+            )
+        quota = self.quota
+        if quota is not None:
+            quota = (
+                dataclasses.replace(quota, clouds=only_here)
+                if quota.touches(cloud)
+                else None
+            )
+        fabric = self.fabric
+        if fabric is not None:
+            fabric = (
+                dataclasses.replace(fabric, clouds=only_here)
+                if fabric.touches(cloud)
+                else None
+            )
+        reporting = self.reporting
+        if reporting is not None:
+            reporting = (
+                ReportingShift(
+                    lag_hours=tuple(
+                        (c, h) for c, h in reporting.lag_hours if c == cloud
+                    )
+                )
+                if reporting.touches(cloud)
+                else None
+            )
+        faults = self.faults
+        if faults is not None:
+            faults = (
+                dataclasses.replace(faults, clouds=only_here)
+                if faults.touches(cloud)
+                else None
+            )
+        restricted = Scenario(
+            # The id stays: spot preemption draws are keyed on it, and
+            # every incident a touched cell records carries it.
+            scenario_id=self.scenario_id,
+            price_shocks=price,
+            spot=spot,
+            quota=quota,
+            fabric=fabric,
+            reporting=reporting,
+            faults=faults,
+        )
+        return active(restricted)
+
+    def footprint_digest(self, cloud: str) -> str | None:
+        """The cache-key digest of :meth:`footprint`; ``None`` = baseline."""
+        fp = self.footprint(cloud)
+        return fp.digest() if fp is not None else None
+
+    def touched_hooks(self, cloud: str) -> tuple[str, ...]:
+        """The overlay hooks this scenario activates for cells on ``cloud``."""
+        hooks: list[str] = []
+        for shock in self.price_shocks:
+            if shock.touches(cloud) and shock.hook not in hooks:
+                hooks.append(shock.hook)
+        for pert in (self.spot, self.quota, self.fabric, self.reporting, self.faults):
+            if pert is not None and pert.touches(cloud):
+                hooks.append(pert.hook)
+        return tuple(hooks)
 
     # -- derived parameters --------------------------------------------------
 
@@ -303,3 +428,15 @@ def active(scenario: Scenario | None) -> Scenario | None:
     if scenario is None or scenario.is_baseline:
         return None
     return scenario
+
+
+def footprint_digest(scenario: Scenario | None, cloud: str) -> str | None:
+    """The per-cell overlay-footprint digest every cache key embeds.
+
+    ``None`` both for the baseline world and for a scenario that cannot
+    touch cells on ``cloud`` — which is exactly what lets an untouched
+    cell of a what-if world share its run/cell cache entries with the
+    baseline (:mod:`repro.plan.diff` proves the reuse sound).
+    """
+    scn = active(scenario)
+    return scn.footprint_digest(cloud) if scn is not None else None

@@ -18,14 +18,28 @@ Determinism carries over unchanged: each shard is pure, each scenario's
 randomness is keyed (never drawn from call order), so any worker count
 produces byte-identical per-scenario datasets, and the baseline world of
 a sweep is byte-identical to a plain :class:`StudyRunner` campaign.
+
+**Incremental sweeps** (``incremental=True``, requires ``cache_dir``)
+exploit cell-granular reuse: the baseline campaign executes first, then
+every scenario world runs through the executor's incremental mode
+(:mod:`repro.plan.diff`) — cells a scenario cannot touch attach their
+folded summaries from the cache the baseline just wrote, and only the
+touched cells simulate.  A 50-scenario sweep where each scenario
+perturbs one environment re-simulates ~one cell per world instead of
+all of them, with byte-identical per-scenario datasets
+(``benchmarks/test_bench_incremental.py`` keeps the receipt).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.study import StudyConfig, StudyReport, StudyRunner
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # repro.plan sits below this module in the import graph
+    from repro.plan.executor import ReuseStats
 from repro.reporting.deltas import delta_table, scenario_deltas
 from repro.reporting.tables import render_table
 from repro.scenarios.presets import scenario_grid
@@ -42,9 +56,19 @@ class ScenarioOutcome:
 
 @dataclass
 class SweepResult:
-    """Every world of a sweep, baseline first (insertion order)."""
+    """Every world of a sweep, baseline first (insertion order).
+
+    ``reuse`` carries the incremental run's cell accounting
+    (:class:`~repro.plan.executor.ReuseStats`): how many cells the diff
+    classified reusable/dirty, how many actually attached from cache,
+    how many executed, and how many cache entries were malformed on the
+    reuse path (each of those re-executed and left a warning trace —
+    degradation is surfaced, never silent).  ``None`` for from-scratch
+    sweeps.
+    """
 
     outcomes: dict[str, ScenarioOutcome]
+    reuse: "ReuseStats | None" = None
 
     @property
     def baseline(self) -> StudyReport:
@@ -98,6 +122,8 @@ class SweepResult:
         }
         if any(o.scenario.is_baseline for o in self.outcomes.values()):
             out["deltas"] = [asdict(delta) for delta in self.deltas()]
+        if self.reuse is not None:
+            out["cell_reuse"] = self.reuse.to_dict()
         return out
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -123,12 +149,20 @@ class ScenarioSweep:
         workers: int = 1,
         cache_dir: str | None = None,
         include_baseline: bool = True,
+        incremental: bool = False,
     ):
+        if incremental and cache_dir is None:
+            raise ConfigurationError(
+                "an incremental sweep needs a cache directory: untouched "
+                "cells attach from the cell-level cache the baseline "
+                "campaign writes (pass cache_dir=...)"
+            )
         self.config = config
         self.scenarios = list(scenarios)
         self.workers = workers
         self.cache_dir = cache_dir
         self.include_baseline = include_baseline
+        self.incremental = incremental
         # Fail fast on duplicate/reserved ids — before any world runs.
         scenario_grid(self.scenarios, include_baseline=include_baseline)
 
@@ -149,16 +183,24 @@ class ScenarioSweep:
         )
 
     def run(self) -> SweepResult:
-        """Execute every world; returns per-scenario reports."""
-        from repro.plan import PlanExecutor
+        """Execute every world; returns per-scenario reports.
+
+        An incremental sweep runs in two phases: the baseline campaign
+        first (warming the cell-level cache), then every scenario world
+        through the executor's diff-aware mode, which attaches untouched
+        cells from that cache.  Per-scenario datasets are byte-identical
+        to a from-scratch sweep either way; only the cache/reuse
+        counters differ.
+        """
+        from repro.plan import PlanExecutor, compile_study
 
         builder_runner = StudyRunner(self.config)
         builder_runner.build_containers()
         build_incidents = builder_runner.incidents
 
-        executor = PlanExecutor(self.compile(), workers=self.workers)
         outcomes: dict[str, ScenarioOutcome] = {}
-        for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
+
+        def fold(world, merged) -> None:
             # Worlds keep their own ids (the injected BASELINE's id is
             # "baseline"), so no two worlds can ever share a label.
             scn = world.scenario
@@ -176,4 +218,33 @@ class ScenarioSweep:
                     cache_invalid=merged.cache_invalid,
                 ),
             )
-        return SweepResult(outcomes=outcomes)
+
+        if not self.incremental:
+            executor = PlanExecutor(self.compile(), workers=self.workers)
+            for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
+                fold(world, merged)
+            return SweepResult(outcomes=outcomes)
+
+        # Phase 1: the baseline campaign (the reference every scenario
+        # world diffs against).  With include_baseline=False the sweep
+        # still executes it — its cells are what the variants reuse —
+        # but keeps it out of the reported outcomes.
+        plan = self.compile()
+        base_plan, rest_plan = plan.split_baseline()
+        emit_baseline = base_plan.n_shards > 0
+        if not emit_baseline:
+            base_plan = compile_study(self.config, cache_dir=self.cache_dir)
+        base_executor = PlanExecutor(base_plan, workers=self.workers)
+        for world, merged in base_executor.merged_worlds(seed_incidents=build_incidents):
+            if emit_baseline:
+                fold(world, merged)
+
+        # Phase 2: every scenario world, diff-aware.  Untouched cells
+        # attach from the cell cache phase 1 just wrote; only touched
+        # cells dispatch to shards.
+        inc_executor = PlanExecutor(
+            rest_plan, workers=self.workers, incremental=True, baseline=base_plan
+        )
+        for world, merged in inc_executor.merged_worlds(seed_incidents=build_incidents):
+            fold(world, merged)
+        return SweepResult(outcomes=outcomes, reuse=inc_executor.reuse)

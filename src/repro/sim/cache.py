@@ -41,7 +41,13 @@ logger = logging.getLogger(__name__)
 #: Bump to invalidate every existing cache entry (schema/semantics change).
 #: v2: keys grew a scenario digest (repro.scenarios) so what-if worlds
 #: never collide with the baseline or each other.
-CACHE_VERSION = 2
+#: v3: run- and cell-level keys embed the *per-cell overlay footprint*
+#: digest (:meth:`repro.scenarios.Scenario.footprint`) instead of the
+#: whole-scenario digest — a cell a scenario cannot touch keys exactly
+#: like the baseline cell, which is what incremental plan execution
+#: (:mod:`repro.plan.diff`) reuses.  World-level keys keep the full
+#: scenario digest (a world aggregates every cell).
+CACHE_VERSION = 3
 
 
 def _jsonable(value: Any) -> Any:

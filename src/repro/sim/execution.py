@@ -40,7 +40,7 @@ from repro.network.topology import effective_fabric
 from repro.rng import co_seed, stream, stream_block
 from repro.scenarios.apply import overlay_fabric
 from repro.scenarios.market import draw_preemption, preemption_block
-from repro.scenarios.spec import Scenario, active
+from repro.scenarios.spec import Scenario, active, footprint_digest
 from repro.sim.cache import RunCache, run_key, run_key_block
 from repro.sim.run_result import STATE_CODE, STATE_ORDER, RunRecord, RunState
 from repro.units import HOUR
@@ -367,7 +367,9 @@ class ExecutionEngine:
         iteration: int,
         options: dict[str, Any] | None,
     ) -> str:
-        scn = active(self.scenario)
+        # Keys embed the scenario's per-cell *footprint* for this cloud,
+        # not the whole-scenario digest: a cell the scenario cannot touch
+        # keys exactly like the baseline cell (cross-world cache reuse).
         return run_key(
             seed=self.seed,
             env_id=env.env_id,
@@ -378,7 +380,7 @@ class ExecutionEngine:
                 "azure_ucx_tuned": self.azure_ucx_tuned,
                 "options": options or {},
             },
-            scenario=scn.digest() if scn is not None else None,
+            scenario=footprint_digest(self.scenario, env.cloud),
         )
 
     def _cached_execute(
@@ -875,7 +877,6 @@ class ExecutionEngine:
         cache's hit/miss counters are re-aligned to the executed prefix
         so the stats match the scalar path probe for probe.
         """
-        scn = active(self.scenario)
         keys = run_key_block(
             seed=self.seed,
             env_id=env.env_id,
@@ -886,7 +887,7 @@ class ExecutionEngine:
                 "azure_ucx_tuned": self.azure_ucx_tuned,
                 "options": options or {},
             },
-            scenario=scn.digest() if scn is not None else None,
+            scenario=footprint_digest(self.scenario, env.cloud),
         )
         probes: list[RunRecord | None] = []
         probe_invalid: list[int] = []

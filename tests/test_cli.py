@@ -315,3 +315,103 @@ def test_parser_rejects_unknown_experiment():
 def test_parser_rejects_unknown_env():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "cpu-oracle", "amg2023", "32"])
+
+
+# ------------------------------------------- plan diff / incremental runs
+
+
+def test_plan_diff_command(capsys):
+    assert main([
+        "plan", "diff", "--scenario", "azure-price-spike",
+        "--envs", "cpu-eks-aws,cpu-aks-az", "--apps", "amg2023", "--sizes", "32",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "plan diff:" in out
+    assert "cells: 4  reusable: 3  dirty: 1" in out
+    # The one dirty cell is the Azure cell, with its overlay hook named.
+    assert "[dirty   ] world   1 (azure-price-spike) cpu-aks-az @ 32" in out
+    assert "effective_rate" in out
+    assert "[reusable] world   1 (azure-price-spike) cpu-eks-aws @ 32" in out
+
+
+def test_plan_diff_json_output(capsys):
+    import json
+
+    assert main([
+        "plan", "diff", "--scenario", "azure-price-spike",
+        "--envs", "cpu-eks-aws,cpu-aks-az", "--apps", "amg2023", "--sizes", "32",
+        "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["totals"] == {"cells": 4, "reusable": 3, "dirty": 1}
+    (dirty,) = [c for c in payload["cells"] if c["dirty"]]
+    assert dirty["env"] == "cpu-aks-az"
+    assert dirty["scenario"] == "azure-price-spike"
+    assert dirty["hooks"] == ["effective_rate"]
+    assert all(
+        c["baseline_index"] is not None for c in payload["cells"] if not c["dirty"]
+    )
+
+
+def test_plan_diff_of_an_unperturbed_plan_is_fully_reusable(capsys):
+    assert main([
+        "plan", "diff", "--envs", "cpu-eks-aws", "--apps", "amg2023",
+        "--sizes", "32",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cells: 1  reusable: 1  dirty: 0" in out
+
+
+def test_plan_diff_unknown_scenario_is_a_clean_error(capsys):
+    assert main(["plan", "diff", "--scenario", "no-such-world"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_scenario_run_incremental_prints_reuse_summary(tmp_path, capsys):
+    assert main([
+        "scenario", "run", "--scenario", "azure-price-spike",
+        "--envs", "cpu-eks-aws,cpu-aks-az", "--apps", "amg2023", "--sizes", "32",
+        "--cache", str(tmp_path / "cache"), "--incremental",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cell reuse        : 1 cells reused, 1 executed " \
+           "(diff: 1 reusable / 1 dirty)" in out
+
+
+def test_scenario_run_incremental_without_cache_is_a_clean_error(capsys):
+    assert main([
+        "scenario", "run", "--scenario", "azure-price-spike", "--incremental",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "needs a cache directory" in err
+
+
+def test_ensemble_run_incremental_prints_reuse_summary(tmp_path, capsys):
+    assert main([
+        "ensemble", "run", "--replicas", "2", "--scenario", "azure-price-spike",
+        "--envs", "cpu-eks-aws,cpu-aks-az", "--apps", "amg2023", "--sizes", "32",
+        "--cache", str(tmp_path / "cache"), "--incremental",
+    ]) == 0
+    out = capsys.readouterr().out
+    # Both spike replicas attach their untouched AWS cell.
+    assert "cell reuse        : 2 cells reused, 2 executed " \
+           "(diff: 2 reusable / 2 dirty)" in out
+
+
+def test_ensemble_run_incremental_without_cache_is_a_clean_error(capsys):
+    assert main([
+        "ensemble", "run", "--scenario", "azure-price-spike", "--incremental",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "needs a cache directory" in err
+
+
+def test_plan_help_documents_diff(capsys):
+    with pytest.raises(SystemExit):
+        main(["plan", "--help"])
+    out = capsys.readouterr().out
+    assert "plan diff" in out
+    assert "--incremental" in out or "incremental" in out

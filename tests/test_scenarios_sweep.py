@@ -237,23 +237,40 @@ def test_quota_wait_respects_the_cloud_filter():
 # ------------------------------------------------------------- cache safety
 
 
-def test_scenario_and_baseline_never_share_cache_entries(tmp_path):
+def test_touched_cells_never_share_cache_entries_with_the_baseline(tmp_path):
     cache_dir = str(tmp_path / "cache")
     config = StudyConfig(
         env_ids=("cpu-eks-aws",), apps=("amg2023",), sizes=(32,),
         iterations=2, seed=0,
     )
-    scn = scenario("azure-price-spike")
+    scn = scenario("spot-aws")  # touches the cell's own cloud
 
     base_cold = StudyRunner(config, cache_dir=cache_dir).run()
     assert base_cold.cache_misses > 0 and base_cold.cache_hits == 0
     scn_cold = StudyRunner(config, cache_dir=cache_dir, scenario=scn).run()
-    assert scn_cold.cache_hits == 0  # different world, different keys
+    assert scn_cold.cache_hits == 0  # touched cell: different keys
 
     base_warm = StudyRunner(config, cache_dir=cache_dir).run()
     scn_warm = StudyRunner(config, cache_dir=cache_dir, scenario=scn).run()
     assert base_warm.store.to_csv() == base_cold.store.to_csv()
     assert scn_warm.store.to_csv() == scn_cold.store.to_csv()
+
+
+def test_untouched_cells_reuse_baseline_cache_entries_byte_identically(tmp_path):
+    # Cache keys embed the scenario's per-cell *footprint*, so a cell a
+    # scenario cannot touch keys exactly like the baseline cell — the
+    # cross-world reuse incremental plan execution is built on.
+    cache_dir = str(tmp_path / "cache")
+    config = StudyConfig(
+        env_ids=("cpu-eks-aws",), apps=("amg2023",), sizes=(32,),
+        iterations=2, seed=0,
+    )
+    scn = scenario("azure-price-spike")  # cannot touch an aws cell
+
+    base_cold = StudyRunner(config, cache_dir=cache_dir).run()
+    scn_warm = StudyRunner(config, cache_dir=cache_dir, scenario=scn).run()
+    assert scn_warm.cache_misses == 0  # every probe hits baseline entries
+    assert scn_warm.store.to_csv() == base_cold.store.to_csv()
 
 
 def test_sweep_replays_from_cache(tmp_path):
