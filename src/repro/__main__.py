@@ -28,6 +28,10 @@ Subcommands:
 * ``bench`` — run the vectorization benchmark suite locally and print
   the speedup table (``--output`` writes the BENCH_vector.json
   artifact, ``--quick`` runs a small smoke campaign);
+* ``trace`` — inspect trace documents recorded with ``--trace``
+  (available on ``study``, ``scenario run``, ``ensemble run``, and
+  ``bench``): ``trace summarize`` prints self-time by phase and
+  counters, ``trace chrome`` converts to Chrome trace_event JSON;
 * ``report`` — render the full evaluation report.
 """
 
@@ -150,11 +154,74 @@ def _write_exports(
         print(f"{json_label:18s}: {args.json_output}")
 
 
-def _fmt_cache_line(hits: int, misses: int, invalid: int) -> str:
+def _fmt_cache_line(
+    hits: int,
+    misses: int,
+    invalid: int,
+    reasons: dict[str, int] | None = None,
+) -> str:
     line = f"{hits} hits, {misses} misses"
     if invalid:
         line += f", {invalid} invalid (re-simulated; see warnings)"
+        if reasons:
+            detail = ", ".join(
+                f"{label} x{count}" for label, count in sorted(reasons.items())
+            )
+            line += f" [{detail}]"
     return line
+
+
+class _TraceSession:
+    """Materializes ``--trace FILE`` for a runner command.
+
+    Used as a context manager around the execution call: when the flag
+    was given, a :class:`~repro.telemetry.Tracer` is installed for the
+    block; :meth:`report` (called after the command's own output) writes
+    the merged trace document and prints the self-time summary.  With no
+    ``--trace`` both are no-ops, so commands wrap unconditionally.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        self.path = getattr(args, "trace", None)
+        self.tracer = None
+        self._installed = None
+        self._doc = None
+
+    def __enter__(self) -> "_TraceSession":
+        if self.path:
+            from repro.telemetry import Tracer, use_tracer
+
+            self.tracer = Tracer()
+            self._installed = use_tracer(self.tracer)
+            self._installed.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._installed is not None:
+            self._installed.__exit__(*exc)
+        return False
+
+    def doc(self) -> dict | None:
+        """The merged trace document (built once), or ``None`` untraced."""
+        if self.tracer is None:
+            return None
+        if self._doc is None:
+            from repro.telemetry import merge_trace
+
+            self._doc = merge_trace(self.tracer)
+        return self._doc
+
+    def report(self) -> None:
+        doc = self.doc()
+        if doc is None:
+            return
+        from repro.telemetry import render_summary, write_trace
+
+        write_trace(doc, self.path)
+        print()
+        print(render_summary(doc))
+        print(f"\ntrace             : {self.path} "
+              f"(inspect: python -m repro trace summarize {self.path})")
 
 
 def _fmt_reuse_line(reuse) -> str:
@@ -174,7 +241,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     config = _config_from_args(args)
-    report = StudyRunner(config, workers=args.workers, cache_dir=args.cache).run()
+    with _TraceSession(args) as session:
+        report = StudyRunner(config, workers=args.workers, cache_dir=args.cache).run()
     print(f"datasets          : {report.datasets}")
     print(f"clusters created  : {report.clusters_created}")
     print(f"containers built  : {report.containers_built} "
@@ -183,7 +251,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(f"spend on {cloud:3s}      : {fmt_usd(spend)}")
     if args.cache:
         print(f"run cache         : "
-              f"{_fmt_cache_line(report.cache_hits, report.cache_misses, report.cache_invalid)}")
+              f"{_fmt_cache_line(report.cache_hits, report.cache_misses, report.cache_invalid, report.cache_invalid_reasons)}")
     _write_exports(
         args,
         csv_text=report.store.to_csv,
@@ -191,6 +259,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         csv_label="dataset CSV",
         json_label="dataset JSON",
     )
+    session.report()
     return 0
 
 
@@ -251,7 +320,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = sweep.run()
+    with _TraceSession(args) as session:
+        result = sweep.run()
     print(result.render_deltas())
     print()
     for sid, report in result.reports.items():
@@ -260,6 +330,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 f"clusters={report.clusters_created}")
         if report.cache_invalid:
             line += f"  cache-invalid={report.cache_invalid}"
+            if report.cache_invalid_reasons:
+                detail = ",".join(
+                    f"{label}x{count}"
+                    for label, count in sorted(report.cache_invalid_reasons.items())
+                )
+                line += f" [{detail}]"
         print(line)
     if result.reuse is not None:
         print()
@@ -273,6 +349,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         csv_label="delta CSV",
         json_label="sweep JSON",
     )
+    session.report()
     return 0
 
 
@@ -317,7 +394,8 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = runner.run()
+    with _TraceSession(args) as session:
+        result = runner.run()
     print(result.render())
     print()
     print(f"worlds folded     : {result.worlds} "
@@ -325,7 +403,7 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     print(f"spec digest       : {spec.digest()}")
     if args.cache:
         print(f"world cache       : "
-              f"{_fmt_cache_line(result.world_cache_hits, result.world_cache_misses, result.world_cache_invalid)}")
+              f"{_fmt_cache_line(result.world_cache_hits, result.world_cache_misses, result.world_cache_invalid, result.world_cache_invalid_reasons)}")
     if result.reuse is not None:
         print(f"cell reuse        : {_fmt_reuse_line(result.reuse)}")
     _write_exports(
@@ -335,6 +413,7 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         csv_label="distribution CSV",
         json_label="distribution JSON",
     )
+    session.report()
     return 0
 
 
@@ -459,6 +538,9 @@ examples:
       the campaign under a what-if overlay, vs the baseline
   python -m repro ensemble run --replicas 8 --workers 4
       replicate the campaign over 8 seeds; distributions, not points
+  python -m repro study --workers 4 --trace study-trace.json
+      record spans across every worker; then
+      `python -m repro trace summarize study-trace.json`
   python -m repro report -o report.md
       render the full evaluation report to markdown
 """
@@ -540,6 +622,18 @@ examples:
 """
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """The ``--trace FILE`` flag shared by every executing subcommand."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record spans and counters for this run (including every "
+        "worker process) and write the merged trace document here; "
+        "inspect it with `repro trace summarize` / `repro trace chrome`. "
+        "Results are byte-identical with or without tracing.",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -610,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a JSON snapshot (summary + every record) here",
     )
+    _add_trace_flag(p_study)
 
     p_plan = sub.add_parser(
         "plan",
@@ -728,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the sweep as JSON (per-world summaries + delta rows) here",
     )
+    _add_trace_flag(p_scn_run)
 
     p_ensemble = sub.add_parser(
         "ensemble",
@@ -776,6 +872,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the full distribution dataset as JSON here",
     )
+    _add_trace_flag(p_ens_run)
 
     p_bench = sub.add_parser(
         "bench",
@@ -802,6 +899,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the reduced smoke campaign instead of the full one",
     )
+    _add_trace_flag(p_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect trace documents written by --trace",
+        epilog=(
+            "examples:\n"
+            "  python -m repro study --workers 4 --trace study-trace.json\n"
+            "      record a trace while the campaign runs\n"
+            "  python -m repro trace summarize study-trace.json\n"
+            "      self-time by phase, counters, and per-worker coverage\n"
+            "  python -m repro trace chrome study-trace.json -o study.chrome.json\n"
+            "      convert to Chrome trace_event JSON for chrome://tracing\n"
+            "      or https://ui.perfetto.dev"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize",
+        help="print self-time by phase plus counters for a trace file",
+    )
+    p_trace_sum.add_argument("file", help="trace document written by --trace")
+    p_trace_chrome = trace_sub.add_parser(
+        "chrome",
+        help="convert a trace file to Chrome trace_event JSON",
+    )
+    p_trace_chrome.add_argument("file", help="trace document written by --trace")
+    p_trace_chrome.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="output path (default: <file>.chrome.json)",
+    )
 
     p_report = sub.add_parser(
         "report",
@@ -818,12 +949,37 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import QUICK_CAMPAIGN, render_table as render_bench, run_bench, write_artifact
 
-    payload = run_bench(QUICK_CAMPAIGN if args.quick else None)
+    with _TraceSession(args) as session:
+        payload = run_bench(QUICK_CAMPAIGN if args.quick else None)
+    if session.tracer is not None:
+        from repro.telemetry import phase_rows
+
+        payload["phases"] = phase_rows(session.doc())
     print(render_bench(payload))
     if args.output:
         write_artifact(payload, args.output)
         print(f"\nwrote {args.output}")
+    session.report()
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.telemetry import load_trace, render_summary, write_chrome_trace
+
+    try:
+        doc = load_trace(args.file)
+        if args.trace_command == "summarize":
+            print(render_summary(doc))
+            return 0
+        # trace chrome
+        out = args.output or f"{args.file}.chrome.json"
+        write_chrome_trace(doc, out)
+        print(f"wrote {out} (load in chrome://tracing or https://ui.perfetto.dev)")
+        return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -837,6 +993,7 @@ def main(argv: list[str] | None = None) -> int:
         "scenario": _cmd_scenario,
         "ensemble": _cmd_ensemble,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -39,6 +39,7 @@ from repro.ensemble.frame import ResultFrame
 from repro.envs.registry import ENVIRONMENTS
 from repro.rng import stream, stream_block
 from repro.sim.execution import ExecutionEngine
+from repro.telemetry import span
 
 
 @dataclass(frozen=True)
@@ -162,15 +163,34 @@ def run_bench(campaign: BenchCampaign | None = None) -> dict:
     pipelines before reporting speedups.
     """
     campaign = campaign or BenchCampaign()
-    t_seed, (records, agg_seed) = _best_of(lambda: _seed_pipeline(campaign), campaign.repeats)
-    t_batched, (store_b, agg_b) = _best_of(lambda: _batched_pipeline(campaign), campaign.repeats)
-    t_block, (store_v, agg_v) = _best_of(lambda: _block_pipeline(campaign), campaign.repeats)
+    with span("bench.run", records=campaign.target_records, repeats=campaign.repeats):
+        with span("bench.seed", repeats=campaign.repeats):
+            t_seed, (records, agg_seed) = _best_of(lambda: _seed_pipeline(campaign), campaign.repeats)
+        with span("bench.batched", repeats=campaign.repeats):
+            t_batched, (store_b, agg_b) = _best_of(lambda: _batched_pipeline(campaign), campaign.repeats)
+        with span("bench.block", repeats=campaign.repeats):
+            t_block, (store_v, agg_v) = _best_of(lambda: _block_pipeline(campaign), campaign.repeats)
+        return _fold_bench(
+            campaign, t_seed, t_batched, t_block,
+            records, store_b, store_v, agg_seed, agg_b, agg_v,
+        )
+
+
+def _fold_bench(
+    campaign, t_seed, t_batched, t_block,
+    records, store_b, store_v, agg_seed, agg_b, agg_v,
+) -> dict:
 
     # Faster, not different.
     assert store_b.records == records, "batched pipeline diverged from seed"
     assert store_v.records == records, "block pipeline diverged from seed"
     assert agg_b.rows() == agg_seed.rows()
     assert agg_v.rows() == agg_seed.rows()
+
+    with span("bench.rng"):
+        rng = _rng_bench()
+    with span("bench.transport", records=len(records)):
+        transport = _transport_bench(store_v)
 
     return {
         "schema": 1,
@@ -190,8 +210,8 @@ def run_bench(campaign: BenchCampaign | None = None) -> dict:
             "block_speedup": t_seed / t_block,
             "block_vs_batched": t_batched / t_block,
         },
-        "rng": _rng_bench(),
-        "transport": _transport_bench(store_v),
+        "rng": rng,
+        "transport": transport,
         "byte_identical": True,
     }
 
@@ -218,6 +238,16 @@ def render_table(payload: dict) -> str:
         "",
         "records and aggregates byte-identical across all pipelines",
     ]
+    # Present only when the run was traced (`repro bench --trace FILE`).
+    phases = payload.get("phases")
+    if phases:
+        lines.append("")
+        lines.append(f"{'phase (self-time)':<28}{'seconds':>10}{'share':>10}")
+        for row in phases:
+            lines.append(
+                f"{row['phase']:<28}{row['self_s']:>10.3f}"
+                f"{row['self_pct']:>9.1f}%"
+            )
     return "\n".join(lines)
 
 

@@ -45,6 +45,7 @@ from repro.core.results import ResultStore
 from repro.envs.environment import EnvironmentKind
 from repro.envs.registry import ENVIRONMENTS
 from repro.errors import ConfigurationError
+from repro.telemetry import span
 
 
 @dataclass
@@ -95,6 +96,9 @@ class StudyReport:
     #: malformed cache entries encountered (each re-simulated, each
     #: leaving a one-line warning — see :mod:`repro.sim.cache`)
     cache_invalid: int = 0
+    #: why those entries were invalid: reason label → count (capped per
+    #: shard at :data:`~repro.sim.cache.INVALID_REASON_CAP` labels)
+    cache_invalid_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def datasets(self) -> int:
@@ -160,6 +164,10 @@ class StudyRunner:
 
     def build_containers(self) -> None:
         """Build the container matrix for configured apps/environments."""
+        with span("study.build_containers", envs=len(self.config.env_ids)):
+            self._build_containers()
+
+    def _build_containers(self) -> None:
         built_tags: set[str] = set()
         for env_id in self.config.env_ids:
             env = ENVIRONMENTS[env_id]
@@ -211,31 +219,33 @@ class StudyRunner:
         from repro.plan import PlanExecutor
         from repro.scenarios.spec import active
 
-        self.build_containers()
+        with span("study.run", seed=self.config.seed, workers=self.workers):
+            self.build_containers()
 
-        scn = active(self.scenario)
-        executor = PlanExecutor(self.compile(), workers=self.workers)
-        ((_, merged),) = executor.run(seed_incidents=self.incidents)
+            scn = active(self.scenario)
+            executor = PlanExecutor(self.compile(), workers=self.workers)
+            ((_, merged),) = executor.run(seed_incidents=self.incidents)
 
-        self.store = merged.store
-        self.incidents = merged.incidents
-        self.clusters_created = merged.clusters_created
+            self.store = merged.store
+            self.incidents = merged.incidents
+            self.clusters_created = merged.clusters_created
 
-        # §2.9: job output is pushed to the registry (ORAS-style).
-        artifact = f"study-seed{self.config.seed}"
-        if scn is not None:
-            artifact += f"-{scn.scenario_id}"
-        name, payload = self.store.to_artifact(artifact)
-        self.registry.push_artifact(name, payload)
+            # §2.9: job output is pushed to the registry (ORAS-style).
+            artifact = f"study-seed{self.config.seed}"
+            if scn is not None:
+                artifact += f"-{scn.scenario_id}"
+            name, payload = self.store.to_artifact(artifact)
+            self.registry.push_artifact(name, payload)
 
-        return StudyReport(
-            store=self.store,
-            incidents=self.incidents,
-            spend_by_cloud=merged.spend_by_cloud,
-            containers_built=self.builder.built,
-            containers_failed=self.builder.failed,
-            clusters_created=self.clusters_created,
-            cache_hits=merged.cache_hits,
-            cache_misses=merged.cache_misses,
-            cache_invalid=merged.cache_invalid,
-        )
+            return StudyReport(
+                store=self.store,
+                incidents=self.incidents,
+                spend_by_cloud=merged.spend_by_cloud,
+                containers_built=self.builder.built,
+                containers_failed=self.builder.failed,
+                clusters_created=self.clusters_created,
+                cache_hits=merged.cache_hits,
+                cache_misses=merged.cache_misses,
+                cache_invalid=merged.cache_invalid,
+                cache_invalid_reasons=merged.cache_invalid_reasons,
+            )

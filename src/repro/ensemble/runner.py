@@ -47,6 +47,7 @@ from repro.errors import ConfigurationError
 from repro.scenarios.spec import active
 from repro.sim.cache import RunCache, world_key
 from repro.sim.execution import ExecutionEngine
+from repro.telemetry import span
 
 #: world-summary payload schema; bump on shape changes so stale
 #: summaries miss instead of resurfacing
@@ -90,6 +91,9 @@ class EnsembleResult:
     #: malformed world-summary entries encountered (each re-executed,
     #: each leaving a one-line warning — see :mod:`repro.sim.cache`)
     world_cache_invalid: int = 0
+    #: why those entries were invalid: reason label → count (capped at
+    #: :data:`~repro.sim.cache.INVALID_REASON_CAP` labels)
+    world_cache_invalid_reasons: dict[str, int] = field(default_factory=dict)
     #: cell-granular reuse accounting for incremental runs
     #: (:class:`~repro.plan.executor.ReuseStats`, including the count of
     #: malformed cell-summary entries met on the reuse path); ``None``
@@ -231,31 +235,39 @@ class EnsembleRunner:
         result = EnsembleResult(spec=self.spec)
         cache = RunCache(self.cache_dir) if self.cache_dir else None
         plan = self.compile()
-        baseline: RunPlan | None = None
-        if self.incremental:
-            result.reuse = ReuseStats()
-            baseline, _ = plan.split_baseline()
-            # Phase 1: run (and summary-cache) the baseline replicas.
-            # Their summaries are discarded here — the main pass below
-            # replays them from the world cache *in fold order*, so the
-            # streamed folds see the exact from-scratch ordering.
-            for _ in self._summaries(baseline, cache):
-                pass
-        for world, summary, cached in self._summaries(
-            plan, cache, baseline=baseline, reuse=result.reuse
+        with span(
+            "ensemble.run",
+            worlds=plan.n_worlds,
+            workers=self.workers,
+            incremental=self.incremental,
         ):
-            if cache is not None:  # no phantom misses when uncached
-                if cached:
-                    result.world_cache_hits += 1
-                else:
-                    result.world_cache_misses += 1
-            self._fold(result, world, summary)
-            result.worlds += 1
-        if cache is not None:
-            # This cache object only ever touches world-summary entries,
-            # so its invalid counter *is* the world-level degradation.
-            result.world_cache_invalid = cache.invalid
-        return result
+            baseline: RunPlan | None = None
+            if self.incremental:
+                result.reuse = ReuseStats()
+                baseline, _ = plan.split_baseline()
+                # Phase 1: run (and summary-cache) the baseline replicas.
+                # Their summaries are discarded here — the main pass below
+                # replays them from the world cache *in fold order*, so the
+                # streamed folds see the exact from-scratch ordering.
+                for _ in self._summaries(baseline, cache):
+                    pass
+            for world, summary, cached in self._summaries(
+                plan, cache, baseline=baseline, reuse=result.reuse
+            ):
+                if cache is not None:  # no phantom misses when uncached
+                    if cached:
+                        result.world_cache_hits += 1
+                    else:
+                        result.world_cache_misses += 1
+                with span("ensemble.fold", world=world.index):
+                    self._fold(result, world, summary)
+                result.worlds += 1
+            if cache is not None:
+                # This cache object only ever touches world-summary entries,
+                # so its invalid counter *is* the world-level degradation.
+                result.world_cache_invalid = cache.invalid
+                result.world_cache_invalid_reasons = dict(cache.invalid_reasons)
+            return result
 
     def _summaries(
         self,
@@ -278,7 +290,11 @@ class EnsembleRunner:
         pending: list[tuple[PlanWorld, str | None]] = []
         for world in plan.worlds:
             key = self._world_key(world) if cache is not None else None
-            data = cache.get_json(key) if cache is not None else None
+            if cache is not None:
+                with span("ensemble.world_probe", world=world.index):
+                    data = cache.get_json(key, level="world")
+            else:
+                data = None
             if self._valid_summary(data):
                 yield from self._execute(plan, pending, cache, baseline=baseline, reuse=reuse)
                 pending = []
@@ -358,7 +374,7 @@ class EnsembleRunner:
             assert executed.index == world.index
             summary = self._world_summary(shard_results)
             if cache is not None and key is not None:
-                cache.put_json(key, summary)
+                cache.put_json(key, summary, level="world")
             yield world, summary, False
         if reuse is not None:
             reuse.add(executor.reuse)

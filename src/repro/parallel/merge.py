@@ -29,6 +29,9 @@ class MergedStudy:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalid: int = 0
+    #: why invalid entries were invalid: reason label → count, summed
+    #: across shards (each shard caps its own histogram)
+    cache_invalid_reasons: dict[str, int] = field(default_factory=dict)
 
 
 def merge_shard_results(
@@ -55,4 +58,8 @@ def merge_shard_results(
         merged.cache_hits += shard.cache_hits
         merged.cache_misses += shard.cache_misses
         merged.cache_invalid += shard.cache_invalid
+        for label, count in shard.cache_invalid_reasons.items():
+            merged.cache_invalid_reasons[label] = (
+                merged.cache_invalid_reasons.get(label, 0) + count
+            )
     return merged

@@ -14,11 +14,35 @@ than failing the campaign.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterator, Sequence, TypeVar
 
+from repro.telemetry import span
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _call_tagged(fn: Callable[[T], R], item: T, ordinal: int) -> R:
+    """Call ``fn`` and tag shard-shaped results with worker identity.
+
+    Runs in whichever process executes the item (a pool worker on the
+    parallel path, this process on the serial ones) and stamps the
+    executing pid, the pool's dispatch ordinal, and the measured wall
+    seconds onto any result that carries those attributes.  Duck-typed
+    because the pool also maps plain values in tests — non-shard
+    results pass through untouched.
+    """
+    t0 = time.perf_counter()
+    result = fn(item)
+    if hasattr(result, "worker_pid") and hasattr(result, "dispatch_ordinal"):
+        result.worker_pid = os.getpid()
+        result.dispatch_ordinal = ordinal
+        if not result.worker_seconds:
+            result.worker_seconds = time.perf_counter() - t0
+    return result
 
 
 def pmap(
@@ -35,13 +59,15 @@ def pmap(
     picklable for the multi-process path.
     """
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return [_call_tagged(fn, item, i) for i, item in enumerate(items)]
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+            return list(
+                pool.map(_call_tagged, [fn] * len(items), items, range(len(items)))
+            )
     except (OSError, PermissionError):
         # No process support on this host: fall back to serial execution.
-        return [fn(item) for item in items]
+        return [_call_tagged(fn, item, i) for i, item in enumerate(items)]
 
 
 def pmap_chunked(
@@ -68,9 +94,25 @@ def pmap_chunked(
         raise ValueError("chunk_size must be >= 1")
     chunks = [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
     if workers <= 1 or len(items) <= 1:
+        ordinal = 0
         for chunk in chunks:
-            yield [fn(item) for item in chunk]
+            done = []
+            for item in chunk:
+                done.append(_call_tagged(fn, item, ordinal))
+                ordinal += 1
+            yield done
         return
+
+    def _submit(pool: ProcessPoolExecutor, index: int) -> list:
+        # Dispatch ordinals number items in submission order across the
+        # whole sequence, so a trace can reconstruct the pool schedule.
+        base = index * chunk_size
+        with span("pool.dispatch", chunk=index, items=len(chunks[index])):
+            return [
+                pool.submit(_call_tagged, fn, item, base + offset)
+                for offset, item in enumerate(chunks[index])
+            ]
+
     pool = None
     try:
         # Everything the sandboxed-host failure can touch (executor
@@ -81,21 +123,27 @@ def pmap_chunked(
         in_flight: list[list] = []
         index = 0
         while index < len(chunks) and len(in_flight) < 2:
-            in_flight.append([pool.submit(fn, item) for item in chunks[index]])
+            in_flight.append(_submit(pool, index))
             index += 1
     except (OSError, PermissionError):
         if pool is not None:
             # Spawn failed partway: cancel what never started and drop
             # the half-broken pool before re-running everything serially.
             pool.shutdown(wait=False, cancel_futures=True)
+        ordinal = 0
         for chunk in chunks:
-            yield [fn(item) for item in chunk]
+            done = []
+            for item in chunk:
+                done.append(_call_tagged(fn, item, ordinal))
+                ordinal += 1
+            yield done
         return
     with pool:
         while in_flight:
-            done = [future.result() for future in in_flight.pop(0)]
+            with span("pool.drain", in_flight=len(in_flight)):
+                done = [future.result() for future in in_flight.pop(0)]
             if index < len(chunks):
-                in_flight.append([pool.submit(fn, item) for item in chunks[index]])
+                in_flight.append(_submit(pool, index))
                 index += 1
             yield done
 

@@ -23,6 +23,8 @@ serial run.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.cloud.providers import get_provider
@@ -46,6 +48,7 @@ from repro.scheduler.queueing import OnPremQueueModel
 from repro.sim.cache import RunCache, decode_record, encode_record, shard_key
 from repro.sim.execution import ExecutionEngine, HookupCutoff
 from repro.sim.run_result import RunRecord
+from repro.telemetry import Tracer, current_tracer, span, use_tracer
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,10 @@ class StudyShard:
     #: share one flattened work list (:mod:`repro.ensemble`); a plain
     #: label — it never participates in cache keys or simulation.
     world: int = 0
+    #: record spans while executing and ship them back on the result
+    #: (:mod:`repro.telemetry`); a transport flag only — it never
+    #: participates in cache keys or simulation.
+    trace: bool = False
 
 
 @dataclass
@@ -92,6 +99,18 @@ class ShardResult:
     cache_misses: int = 0
     #: malformed cache entries encountered (and re-simulated around)
     cache_invalid: int = 0
+    #: why those entries were invalid: reason label → count
+    cache_invalid_reasons: dict[str, int] = field(default_factory=dict)
+    #: which process executed the cell and in what dispatch order the
+    #: pool handed it out (-1 = never went through the pool); pure
+    #: observability — merges ignore them
+    worker_pid: int = -1
+    dispatch_ordinal: int = -1
+    #: wall seconds the executing process spent on this cell
+    worker_seconds: float = 0.0
+    #: columnar span snapshot recorded while executing (``None`` unless
+    #: the shard was dispatched with ``trace=True`` to another process)
+    trace: dict | None = None
 
     @property
     def records(self) -> list[RunRecord]:
@@ -281,7 +300,36 @@ def execute_shard(shard: StudyShard) -> ShardResult:
     the engine consults the run-level cache per record, and the whole
     cell is stored under a :func:`~repro.sim.cache.shard_key` so a
     repeat campaign skips provisioning and Kubernetes bring-up too.
+
+    When the shard is dispatched with ``trace=True`` and no tracer is
+    active (i.e. in a worker process), a local
+    :class:`~repro.telemetry.Tracer` records the cell and its snapshot
+    rides back on the result; under an already-active tracer (inline
+    execution in the parent) spans record directly into it instead.
+    Timing never feeds the result — traced and untraced runs produce
+    byte-identical stores.
     """
+    active = current_tracer()
+    if shard.trace and (active is None or active.pid != os.getpid()):
+        # No tracer here, or a stale one inherited across fork: this is
+        # a worker process, so record locally and ship the snapshot back
+        # on the result.  (Inline execution — same pid — records
+        # straight into the parent's tracer instead.)
+        tracer = Tracer(label=f"worker-{os.getpid()}")
+        t0 = time.perf_counter()
+        with use_tracer(tracer):
+            with span("shard.execute", env=shard.env_id, scale=shard.scale,
+                      world=shard.world):
+                result = _execute_shard_body(shard)
+        result.trace = tracer.snapshot()
+        result.worker_seconds = time.perf_counter() - t0
+        return result
+    with span("shard.execute", env=shard.env_id, scale=shard.scale,
+              world=shard.world):
+        return _execute_shard_body(shard)
+
+
+def _execute_shard_body(shard: StudyShard) -> ShardResult:
     env = ENVIRONMENTS[shard.env_id]
     scn = active(shard.scenario)
     cache = RunCache(shard.cache_dir) if shard.cache_dir else None
@@ -316,73 +364,74 @@ def execute_shard(shard: StudyShard) -> ShardResult:
     provider = None
     cluster = None
 
-    if cloud == "p":
-        # On-prem: no provisioning; jobs wait in the shared queue.
-        queue = OnPremQueueModel(
-            cluster_nodes=1544 if not env.is_gpu else 795,
-            seed=shard.seed,
-        )
-        now += queue.sample_wait(nodes)
-    else:
-        provider = overlay_provider(get_provider(cloud, seed=shard.seed), scn)
-        itype = env.instance()
-        # Quota requests are retried until granted — the paper's AWS
-        # GPU saga: the reservation was denied repeatedly and finally
-        # granted as a 48-hour block at month's end.
-        try:
-            for attempt in range(10):
-                try:
-                    grant = provider.request_quota(itype.name, nodes + 1, attempt=attempt)
-                    break
-                except QuotaError:
-                    if attempt == 9:
-                        raise
-        except QuotaError:
-            if scn is None:
-                raise
-            # Under a quota-squeeze scenario a cell can be denied
-            # outright; the counterfactual outcome is an abandoned cell
-            # (skip records + an effort incident), not a crashed study.
-            _abandon_cell_for_quota(shard, result, engine, env, itype.name, scn)
-            _finish_shard(shard, result, cache, engine)
-            return result
-        if (
-            scn is not None
-            and scn.quota is not None
-            and (scn.quota.clouds is None or cloud in scn.quota.clouds)
-            and grant.delay_days > 0
-        ):
-            # A squeezed world charges the wait: daily status checks
-            # while the grant sits in the cloud's queue (the paper's AWS
-            # GPU request took weeks and landed as a 48-hour block).
-            result.incidents.append(
-                Incident(
-                    env_ids=(env.env_id,),
-                    category="setup",
-                    effort_minutes=15.0 * grant.delay_days,
-                    description=(
-                        f"waited {grant.delay_days:.1f} days for "
-                        f"{itype.name} quota (checked in daily)"
-                    ),
-                    source=f"scenario:{scn.scenario_id}:quota-wait",
+    with span("shard.provision", env=env.env_id, scale=shard.scale):
+        if cloud == "p":
+            # On-prem: no provisioning; jobs wait in the shared queue.
+            queue = OnPremQueueModel(
+                cluster_nodes=1544 if not env.is_gpu else 795,
+                seed=shard.seed,
+            )
+            now += queue.sample_wait(nodes)
+        else:
+            provider = overlay_provider(get_provider(cloud, seed=shard.seed), scn)
+            itype = env.instance()
+            # Quota requests are retried until granted — the paper's AWS
+            # GPU saga: the reservation was denied repeatedly and finally
+            # granted as a 48-hour block at month's end.
+            try:
+                for attempt in range(10):
+                    try:
+                        grant = provider.request_quota(itype.name, nodes + 1, attempt=attempt)
+                        break
+                    except QuotaError:
+                        if attempt == 9:
+                            raise
+            except QuotaError:
+                if scn is None:
+                    raise
+                # Under a quota-squeeze scenario a cell can be denied
+                # outright; the counterfactual outcome is an abandoned cell
+                # (skip records + an effort incident), not a crashed study.
+                _abandon_cell_for_quota(shard, result, engine, env, itype.name, scn)
+                _finish_shard(shard, result, cache, engine)
+                return result
+            if (
+                scn is not None
+                and scn.quota is not None
+                and (scn.quota.clouds is None or cloud in scn.quota.clouds)
+                and grant.delay_days > 0
+            ):
+                # A squeezed world charges the wait: daily status checks
+                # while the grant sits in the cloud's queue (the paper's AWS
+                # GPU request took weeks and landed as a 48-hour block).
+                result.incidents.append(
+                    Incident(
+                        env_ids=(env.env_id,),
+                        category="setup",
+                        effort_minutes=15.0 * grant.delay_days,
+                        description=(
+                            f"waited {grant.delay_days:.1f} days for "
+                            f"{itype.name} quota (checked in daily)"
+                        ),
+                        source=f"scenario:{scn.scenario_id}:quota-wait",
+                    )
                 )
-            )
-        kind = "k8s" if env.kind is EnvironmentKind.K8S else "vm"
-        try:
-            cluster = provider.provision_cluster(
-                itype.name, nodes, environment_kind=kind, now=now
-            )
-        except ProvisioningError:
-            # Retry once; the stall already charged the meter.
-            cluster = provider.provision_cluster(
-                itype.name, nodes, environment_kind=kind, now=now, attempt=1
-            )
-        result.clusters_created += 1
-        for event in cluster.fault_events:
-            result.incidents.append(incident_from_fault(env.env_id, event))
-        now += cluster.ready_time
-        if env.kind is EnvironmentKind.K8S:
-            now += _deploy_kubernetes(env, cluster)
+            kind = "k8s" if env.kind is EnvironmentKind.K8S else "vm"
+            try:
+                cluster = provider.provision_cluster(
+                    itype.name, nodes, environment_kind=kind, now=now
+                )
+            except ProvisioningError:
+                # Retry once; the stall already charged the meter.
+                cluster = provider.provision_cluster(
+                    itype.name, nodes, environment_kind=kind, now=now, attempt=1
+                )
+            result.clusters_created += 1
+            for event in cluster.fault_events:
+                result.incidents.append(incident_from_fault(env.env_id, event))
+            now += cluster.ready_time
+            if env.kind is EnvironmentKind.K8S:
+                now += _deploy_kubernetes(env, cluster)
 
     # §3.3: AKS CPU 256 ran a single iteration because hookup took
     # 8.82 minutes.
@@ -490,4 +539,5 @@ def _finish_shard(
     result.cache_hits = cache.hits
     result.cache_misses = cache.misses
     result.cache_invalid = cache.invalid
+    result.cache_invalid_reasons = dict(cache.invalid_reasons)
     cache.put_json(_shard_cache_key(shard, engine), _encode_shard(result))

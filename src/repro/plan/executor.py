@@ -27,16 +27,19 @@ content-addressed key the cell would recompute.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.incidents import Incident
 from repro.errors import ConfigurationError
 from repro.parallel.merge import MergedStudy, merge_shard_results
 from repro.parallel.pool import pmap_chunked
-from repro.parallel.shard import ShardResult, attach_shard, execute_shard
+from repro.parallel.shard import ShardResult, StudyShard, attach_shard, execute_shard
 from repro.plan.ir import PlanWorld, RunPlan
 from repro.sim.cache import RunCache
+from repro.telemetry import count as telemetry_count
+from repro.telemetry import current_tracer, enabled, span
 
 
 @dataclass
@@ -107,6 +110,38 @@ class PlanExecutor:
         first = counts[0][1] if counts else 0
         return max(first, max(1, self.workers) * 4, 1)
 
+    def _dispatchable(self, shards: Sequence[StudyShard]) -> tuple[StudyShard, ...]:
+        """Shards as dispatched: trace-marked when a tracer is active.
+
+        The flag only tells :func:`~repro.parallel.shard.execute_shard`
+        to record spans and ship them back on the result — cache keys
+        hash explicit shard fields, so traced and untraced dispatches
+        key (and compute) identically.
+        """
+        if not enabled():
+            return tuple(shards)
+        return tuple(dataclasses.replace(s, trace=True) for s in shards)
+
+    def _absorb_traces(self, results: list[ShardResult]) -> None:
+        """Move worker span snapshots off the results into the tracer.
+
+        The snapshot is enriched with the pool's tags (dispatch ordinal,
+        measured worker wall seconds) and then dropped from the result,
+        so downstream merging sees exactly what an untraced run carries.
+        """
+        tracer = current_tracer()
+        for r in results:
+            if r.trace is None:
+                continue
+            if tracer is not None:
+                snapshot = r.trace
+                if r.dispatch_ordinal >= 0:
+                    snapshot["dispatch_ordinal"] = r.dispatch_ordinal
+                if r.worker_seconds:
+                    snapshot["worker_seconds"] = r.worker_seconds
+                tracer.absorb(snapshot)
+            r.trace = None
+
     def iter_world_results(self) -> Iterator[tuple[PlanWorld, list[ShardResult]]]:
         """Yield (world, its shard results) in plan order.
 
@@ -119,20 +154,27 @@ class PlanExecutor:
         if self.incremental:
             yield from self._iter_incremental()
             return
-        results = (
-            shard_result
-            for batch in pmap_chunked(
-                execute_shard,
-                self.plan.shards,
-                workers=self.workers,
-                chunk_size=self._chunk_size(),
+        with span(
+            "plan.run", shards=len(self.plan.shards), workers=self.workers
+        ):
+            results = (
+                shard_result
+                for batch in pmap_chunked(
+                    execute_shard,
+                    self._dispatchable(self.plan.shards),
+                    workers=self.workers,
+                    chunk_size=self._chunk_size(),
+                )
+                for shard_result in batch
             )
-            for shard_result in batch
-        )
-        for world, n_shards in self.plan.world_shard_counts():
-            world_results = [next(results) for _ in range(n_shards)]
-            assert all(r.world == world.index for r in world_results)
-            yield world, world_results
+            for world, n_shards in self.plan.world_shard_counts():
+                # The world span stays open across the yield, so the
+                # caller's fold of this world is attributed to it.
+                with span("plan.world", world=world.index, shards=n_shards):
+                    world_results = [next(results) for _ in range(n_shards)]
+                    assert all(r.world == world.index for r in world_results)
+                    self._absorb_traces(world_results)
+                    yield world, world_results
 
     def _iter_incremental(self) -> Iterator[tuple[PlanWorld, list[ShardResult]]]:
         """The diff-aware path: attach reusable cells, dispatch the rest.
@@ -148,46 +190,60 @@ class PlanExecutor:
         """
         from repro.plan.diff import diff_plans
 
-        baseline = self.baseline
-        if baseline is None:
-            baseline, _ = self.plan.split_baseline()
-        self.diff = diff_plans(baseline, self.plan)
-        reusable = self.diff.reusable_indices()
-        cache = RunCache(self.plan.cache_dir)
-        attached: dict[int, ShardResult] = {}
-        to_run = []
-        for shard in self.plan.shards:
-            if shard.index in reusable:
-                before = cache.invalid
-                result = attach_shard(shard, cache)
-                self.reuse.invalid += cache.invalid - before
-                if result is not None:
-                    attached[shard.index] = result
-                    continue
-            to_run.append(shard)
-        self.reuse.planned_reusable = self.diff.n_reusable
-        self.reuse.planned_dirty = self.diff.n_dirty
-        self.reuse.attached = len(attached)
-        self.reuse.executed = len(to_run)
-        results = (
-            shard_result
-            for batch in pmap_chunked(
-                execute_shard,
-                tuple(to_run),
-                workers=self.workers,
-                chunk_size=self._chunk_size(),
+        with span(
+            "plan.run",
+            shards=len(self.plan.shards),
+            workers=self.workers,
+            incremental=True,
+        ):
+            baseline = self.baseline
+            if baseline is None:
+                baseline, _ = self.plan.split_baseline()
+            with span("plan.diff"):
+                self.diff = diff_plans(baseline, self.plan)
+            reusable = self.diff.reusable_indices()
+            cache = RunCache(self.plan.cache_dir)
+            attached: dict[int, ShardResult] = {}
+            to_run = []
+            with span("plan.attach", reusable=len(reusable)):
+                for shard in self.plan.shards:
+                    if shard.index in reusable:
+                        before = cache.invalid
+                        result = attach_shard(shard, cache)
+                        self.reuse.invalid += cache.invalid - before
+                        if result is not None:
+                            attached[shard.index] = result
+                            continue
+                    to_run.append(shard)
+            self.reuse.planned_reusable = self.diff.n_reusable
+            self.reuse.planned_dirty = self.diff.n_dirty
+            self.reuse.attached = len(attached)
+            self.reuse.executed = len(to_run)
+            for name, value in self.reuse.to_dict().items():
+                telemetry_count(f"plan.reuse.{name}", value)
+            results = (
+                shard_result
+                for batch in pmap_chunked(
+                    execute_shard,
+                    self._dispatchable(to_run),
+                    workers=self.workers,
+                    chunk_size=self._chunk_size(),
+                )
+                for shard_result in batch
             )
-            for shard_result in batch
-        )
-        shards = iter(self.plan.shards)
-        for world, n_shards in self.plan.world_shard_counts():
-            world_results = []
-            for _ in range(n_shards):
-                shard = next(shards)
-                result = attached.pop(shard.index, None)
-                world_results.append(result if result is not None else next(results))
-            assert all(r.world == world.index for r in world_results)
-            yield world, world_results
+            shards = iter(self.plan.shards)
+            for world, n_shards in self.plan.world_shard_counts():
+                with span("plan.world", world=world.index, shards=n_shards):
+                    world_results = []
+                    for _ in range(n_shards):
+                        shard = next(shards)
+                        result = attached.pop(shard.index, None)
+                        world_results.append(
+                            result if result is not None else next(results)
+                        )
+                    assert all(r.world == world.index for r in world_results)
+                    self._absorb_traces(world_results)
+                    yield world, world_results
 
     def merged_worlds(
         self,
@@ -204,7 +260,9 @@ class PlanExecutor:
             incidents = {
                 env: list(incs) for env, incs in (seed_incidents or {}).items()
             }
-            yield world, merge_shard_results(results, incidents=incidents)
+            with span("plan.merge", world=world.index, shards=len(results)):
+                merged = merge_shard_results(results, incidents=incidents)
+            yield world, merged
 
     def run(
         self,

@@ -44,6 +44,7 @@ from repro.reporting.deltas import delta_table, scenario_deltas
 from repro.reporting.tables import render_table
 from repro.scenarios.presets import scenario_grid
 from repro.scenarios.spec import Scenario
+from repro.telemetry import span
 
 
 @dataclass(frozen=True)
@@ -216,35 +217,42 @@ class ScenarioSweep:
                     cache_hits=merged.cache_hits,
                     cache_misses=merged.cache_misses,
                     cache_invalid=merged.cache_invalid,
+                    cache_invalid_reasons=merged.cache_invalid_reasons,
                 ),
             )
 
-        if not self.incremental:
-            executor = PlanExecutor(self.compile(), workers=self.workers)
-            for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
-                fold(world, merged)
-            return SweepResult(outcomes=outcomes)
+        with span(
+            "sweep.run",
+            worlds=len(self._worlds()),
+            workers=self.workers,
+            incremental=self.incremental,
+        ):
+            if not self.incremental:
+                executor = PlanExecutor(self.compile(), workers=self.workers)
+                for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
+                    fold(world, merged)
+                return SweepResult(outcomes=outcomes)
 
-        # Phase 1: the baseline campaign (the reference every scenario
-        # world diffs against).  With include_baseline=False the sweep
-        # still executes it — its cells are what the variants reuse —
-        # but keeps it out of the reported outcomes.
-        plan = self.compile()
-        base_plan, rest_plan = plan.split_baseline()
-        emit_baseline = base_plan.n_shards > 0
-        if not emit_baseline:
-            base_plan = compile_study(self.config, cache_dir=self.cache_dir)
-        base_executor = PlanExecutor(base_plan, workers=self.workers)
-        for world, merged in base_executor.merged_worlds(seed_incidents=build_incidents):
-            if emit_baseline:
-                fold(world, merged)
+            # Phase 1: the baseline campaign (the reference every scenario
+            # world diffs against).  With include_baseline=False the sweep
+            # still executes it — its cells are what the variants reuse —
+            # but keeps it out of the reported outcomes.
+            plan = self.compile()
+            base_plan, rest_plan = plan.split_baseline()
+            emit_baseline = base_plan.n_shards > 0
+            if not emit_baseline:
+                base_plan = compile_study(self.config, cache_dir=self.cache_dir)
+            base_executor = PlanExecutor(base_plan, workers=self.workers)
+            for world, merged in base_executor.merged_worlds(seed_incidents=build_incidents):
+                if emit_baseline:
+                    fold(world, merged)
 
-        # Phase 2: every scenario world, diff-aware.  Untouched cells
-        # attach from the cell cache phase 1 just wrote; only touched
-        # cells dispatch to shards.
-        inc_executor = PlanExecutor(
-            rest_plan, workers=self.workers, incremental=True, baseline=base_plan
-        )
-        for world, merged in inc_executor.merged_worlds(seed_incidents=build_incidents):
-            fold(world, merged)
-        return SweepResult(outcomes=outcomes, reuse=inc_executor.reuse)
+            # Phase 2: every scenario world, diff-aware.  Untouched cells
+            # attach from the cell cache phase 1 just wrote; only touched
+            # cells dispatch to shards.
+            inc_executor = PlanExecutor(
+                rest_plan, workers=self.workers, incremental=True, baseline=base_plan
+            )
+            for world, merged in inc_executor.merged_worlds(seed_incidents=build_incidents):
+                fold(world, merged)
+            return SweepResult(outcomes=outcomes, reuse=inc_executor.reuse)

@@ -35,8 +35,14 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.sim.run_result import RunRecord, RunState
+from repro.telemetry import count as telemetry_count
 
 logger = logging.getLogger(__name__)
+
+#: distinct invalid-entry reasons kept per cache before folding into
+#: the ``"other"`` bucket — degradation stays diagnosable without the
+#: histogram growing unboundedly on pathological inputs
+INVALID_REASON_CAP = 8
 
 #: Bump to invalidate every existing cache entry (schema/semantics change).
 #: v2: keys grew a scenario digest (repro.scenarios) so what-if worlds
@@ -259,6 +265,13 @@ class RunCache:
         #: schema mismatch, malformed payload); each one degrades the
         #: cache to re-simulation, so each one leaves a warning trace
         self.invalid = 0
+        #: why entries were invalid: reason label → count, capped at
+        #: :data:`INVALID_REASON_CAP` distinct labels (overflow folds
+        #: into ``"other"``) so one corrupt directory cannot balloon it
+        self.invalid_reasons: dict[str, int] = {}
+        #: payload bytes read on hits / written on puts
+        self.hit_bytes = 0
+        self.put_bytes = 0
 
     def note_invalid(self, key: str, reason: str) -> None:
         """Count one unusable entry and leave a one-line warning trace.
@@ -266,9 +279,17 @@ class RunCache:
         The cache is an accelerator, never a source of truth — malformed
         entries always fall back to re-simulation — but silent
         degradation hides real problems (truncated writes, version
-        skew), so every fallback is counted and logged.
+        skew), so every fallback is counted, binned by reason, and
+        logged.  The histogram bins on the reason *label* (the text
+        before the first ``:``), which is stable across entries while
+        the exception detail varies.
         """
         self.invalid += 1
+        label = reason.split(":", 1)[0].strip() or "other"
+        if label not in self.invalid_reasons and len(self.invalid_reasons) >= INVALID_REASON_CAP:
+            label = "other"
+        self.invalid_reasons[label] = self.invalid_reasons.get(label, 0) + 1
+        telemetry_count("cache.invalid")
         logger.warning(
             "cache entry %s under %s is invalid (%s); re-simulating",
             key, self.root, reason,
@@ -277,35 +298,58 @@ class RunCache:
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get_json(self, key: str) -> Any | None:
-        """The raw JSON payload for ``key``, or ``None`` on a miss."""
+    def get_json(self, key: str, *, level: str = "cell") -> Any | None:
+        """The raw JSON payload for ``key``, or ``None`` on a miss.
+
+        ``level`` labels the telemetry counters only (``"run"``,
+        ``"cell"``, or ``"world"`` — whichever granularity the caller
+        probes at); it never affects lookup or storage.
+        """
+        return self._read(key, level)
+
+    def _read(self, key: str, level: str) -> Any | None:
         try:
             with open(self.path(key), "r", encoding="utf-8") as fh:
-                data = json.load(fh)
+                text = fh.read()
+            data = json.loads(text)
         except FileNotFoundError:
             self.misses += 1
+            telemetry_count(f"cache.{level}.misses")
             return None
         except (OSError, ValueError) as exc:
             # The entry exists but cannot be read or parsed: a miss,
             # and a degradation worth a trace.
             self.misses += 1
+            telemetry_count(f"cache.{level}.misses")
             self.note_invalid(key, f"unreadable or corrupt JSON: {exc}")
             return None
         self.hits += 1
+        self.hit_bytes += len(text)
+        telemetry_count(f"cache.{level}.hits")
+        telemetry_count(f"cache.{level}.hit_bytes", len(text))
         return data
 
-    def put_json(self, key: str, data: Any) -> None:
+    def put_json(self, key: str, data: Any, *, level: str = "cell") -> None:
         """Store a JSON payload under ``key`` (atomic, last-writer-wins)."""
+        self._write(key, data, level)
+
+    def _write(self, key: str, data: Any, level: str) -> None:
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        text = json.dumps(data, separators=(",", ":"))
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(data, fh, separators=(",", ":"))
+            fh.write(text)
         os.replace(tmp, path)
+        self.put_bytes += len(text)
+        telemetry_count(f"cache.{level}.puts")
+        telemetry_count(f"cache.{level}.put_bytes", len(text))
 
     def get(self, key: str) -> RunRecord | None:
         """The cached record for ``key``, or ``None`` on a miss."""
-        data = self.get_json(key)
+        # _read, not get_json: tests stub the public JSON probes
+        # (cell/world granularity) without touching the run-record path.
+        data = self._read(key, level="run")
         if data is None:
             return None
         try:
@@ -314,21 +358,26 @@ class RunCache:
             # Schema-mismatched entry: count the earlier hit back as a miss.
             self.hits -= 1
             self.misses += 1
+            telemetry_count("cache.run.hits", -1)
+            telemetry_count("cache.run.misses")
             self.note_invalid(key, f"record schema mismatch: {exc}")
             return None
 
     def put(self, key: str, record: RunRecord) -> None:
         """Store ``record`` under ``key`` (atomic, last-writer-wins)."""
-        self.put_json(key, encode_record(record))
+        self._write(key, encode_record(record), level="run")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
-    @property
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss/invalid counts, byte totals, and the reason histogram."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "invalid": self.invalid,
+            "invalid_reasons": dict(self.invalid_reasons),
+            "hit_bytes": self.hit_bytes,
+            "put_bytes": self.put_bytes,
             "entries": len(self),
         }

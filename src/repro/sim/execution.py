@@ -43,6 +43,8 @@ from repro.scenarios.market import draw_preemption, preemption_block
 from repro.scenarios.spec import Scenario, active, footprint_digest
 from repro.sim.cache import RunCache, run_key, run_key_block
 from repro.sim.run_result import STATE_CODE, STATE_ORDER, RunRecord, RunState
+from repro.telemetry import count as telemetry_count
+from repro.telemetry import span
 from repro.units import HOUR
 
 #: walltime ceiling for cloud runs (15–20 min; we use the upper bound
@@ -262,33 +264,36 @@ class ExecutionEngine:
         instead of once per iteration, with identical results.
         """
         model = app_lookup(app) if isinstance(app, str) else app
-        nodes = env.nodes_for(scale)
-        ranks = env.ranks_for(scale)
-        ecc_on = True
-        if env.is_gpu:
-            # The node's ECC state: Azure fleets are mixed (§3.3).
-            states = sample_ecc_settings(env.cloud, nodes, seed=self.seed)
-            ecc_on = bool(states.all()) if states.size else True
-        itype = env.instance()
-        rate = itype.cost_per_hour
-        scn = active(self.scenario)
-        if scn is not None:
-            rate = effective_rate(itype, scn.price_multiplier(env.cloud, nodes))
-        fabric = self._effective_fabric(env, nodes)
-        return ResolvedGroup(
-            env=env,
-            model=model,
-            scale=scale,
-            nodes=nodes,
-            ranks=ranks,
-            node_model=env.node_model(ecc_on=ecc_on),
-            fabric=fabric,
-            comm=CollectiveModel(fabric),
-            memo={},
-            rate=rate,
-            walltime_limit=ONPREM_WALLTIME_S if env.cloud == "p" else CLOUD_WALLTIME_S,
-            options=options or {},
-        )
+        with span(
+            "engine.resolve_group", env=env.env_id, app=model.name, scale=scale
+        ):
+            nodes = env.nodes_for(scale)
+            ranks = env.ranks_for(scale)
+            ecc_on = True
+            if env.is_gpu:
+                # The node's ECC state: Azure fleets are mixed (§3.3).
+                states = sample_ecc_settings(env.cloud, nodes, seed=self.seed)
+                ecc_on = bool(states.all()) if states.size else True
+            itype = env.instance()
+            rate = itype.cost_per_hour
+            scn = active(self.scenario)
+            if scn is not None:
+                rate = effective_rate(itype, scn.price_multiplier(env.cloud, nodes))
+            fabric = self._effective_fabric(env, nodes)
+            return ResolvedGroup(
+                env=env,
+                model=model,
+                scale=scale,
+                nodes=nodes,
+                ranks=ranks,
+                node_model=env.node_model(ecc_on=ecc_on),
+                fabric=fabric,
+                comm=CollectiveModel(fabric),
+                memo={},
+                rate=rate,
+                walltime_limit=ONPREM_WALLTIME_S if env.cloud == "p" else CLOUD_WALLTIME_S,
+                options=options or {},
+            )
 
     def _group_context(self, group: ResolvedGroup, iteration: int) -> RunContext:
         """The :class:`RunContext` for one iteration of a resolved group."""
@@ -580,29 +585,33 @@ class ExecutionEngine:
 
         group: ResolvedGroup | None = None
         ctx: RunContext | None = None
-        for iteration in range(iterations):
-            record = None
-            if self.cache is not None:
-                key = self._cache_key(env, model, scale, iteration, options)
-                record = self.cache.get(key)
-            if record is None:
-                if group is None:
-                    group = self.resolve_group(env, model, scale, options=options)
-                    ctx = self._group_context(group, iteration)
-                else:
-                    # Reuse the context: only the keyed rng and the
-                    # iteration number vary within a group.
-                    ctx.rng = stream(
-                        self.seed, "run", group.env.env_id, group.scale, iteration
-                    )
-                    ctx.iteration = iteration
-                record = self._execute_in_group(group, iteration, ctx=ctx)
+        with span(
+            "engine.run_batch",
+            env=env.env_id, app=model.name, scale=scale, iterations=iterations,
+        ):
+            for iteration in range(iterations):
+                record = None
                 if self.cache is not None:
-                    self.cache.put(key, record)
-            self.history.append(record)
-            records.append(record)
-            if stop is not None and stop(record):
-                break
+                    key = self._cache_key(env, model, scale, iteration, options)
+                    record = self.cache.get(key)
+                if record is None:
+                    if group is None:
+                        group = self.resolve_group(env, model, scale, options=options)
+                        ctx = self._group_context(group, iteration)
+                    else:
+                        # Reuse the context: only the keyed rng and the
+                        # iteration number vary within a group.
+                        ctx.rng = stream(
+                            self.seed, "run", group.env.env_id, group.scale, iteration
+                        )
+                        ctx.iteration = iteration
+                    record = self._execute_in_group(group, iteration, ctx=ctx)
+                    if self.cache is not None:
+                        self.cache.put(key, record)
+                self.history.append(record)
+                records.append(record)
+                if stop is not None and stop(record):
+                    break
         return records
 
     # -- the array-native block path -------------------------------------------
@@ -626,109 +635,112 @@ class ExecutionEngine:
         hookup_memo = (
             "hookup", env.cloud, env.is_gpu, group.nodes, env.kind.value, sig,
         )
-        seeded = self._block_memo.get(run_key_memo)
-        if seeded is not None:
-            # A sibling app of this cell already seeded these streams.
-            block.install_states(seeded)
-            hookup = self._block_memo.get(hookup_memo)
-        else:
-            hookup = None
-        if hookup is None:
-            hookup_streams = hookup_stream_block(
-                env.cloud,
-                env.is_gpu,
-                group.nodes,
-                environment_kind=env.kind.value,
-                seed=self.seed,
-                iterations=iters,
-            )
-            if seeded is None:
-                # One vectorized seeding pass covers both stream families.
-                co_seed(block, hookup_streams)
-                self._block_memo[run_key_memo] = block.seeded_states()
-            hookup = hookup_block(
-                env.cloud,
-                env.is_gpu,
-                group.nodes,
-                environment_kind=env.kind.value,
-                seed=self.seed,
-                iterations=iters,
-                rng_block=hookup_streams,
-            )
-            self._block_memo[hookup_memo] = hookup
-        result = model.simulate_block(ctx, block)
-
-        failed = result.failed if result.failed is not None else np.zeros(n, dtype=bool)
-        wall = np.array(result.wall, dtype=np.float64, copy=True)
-        fom = np.array(result.fom, dtype=np.float64, copy=True)
-        limit = group.walltime_limit
-        timeout = ~failed & (wall > limit)
-        wall[timeout] = limit
-        state = np.full(n, _COMPLETED, dtype=np.int8)
-        state[timeout] = _TIMEOUT
-        state[failed] = _FAILED
-        fom_none = failed | timeout | np.isnan(fom)
-        fom[fom_none] = np.nan
-
-        app_kind = result.failure_kind
-        mixed = isinstance(app_kind, list) or bool(timeout.any()) or (
-            bool(failed.any()) and not bool(failed.all())
-        )
-        if mixed:
-            base = app_kind if isinstance(app_kind, list) else [app_kind] * n
-            kinds: Any = [
-                base[j] if failed[j] else ("walltime" if timeout[j] else None)
-                for j in range(n)
-            ]
-        else:
-            kinds = app_kind if bool(failed.any()) else None
-        phases = result.phases
-        extra = result.extra
-
-        scn = active(self.scenario)
-        if (
-            scn is not None
-            and scn.spot is not None
-            and env.is_cloud
-            and env.cloud in scn.spot.clouds
-        ):
-            # Spot preemption: a reclaimed run dies partway through its
-            # window; the consumed node-time still bills.  Runs that
-            # already failed on their own keep their original cause.
-            eligible = np.flatnonzero(state != _FAILED)
-            fracs = np.full(n, np.nan)
-            if eligible.size:
-                fracs[eligible] = preemption_block(
-                    scn.spot,
-                    self.seed,
-                    scn.scenario_id,
-                    env.env_id,
-                    model.name,
-                    group.scale,
-                    iters[eligible],
-                    (wall + hookup)[eligible],
+        with span("engine.rng", env=env.env_id, iterations=n):
+            seeded = self._block_memo.get(run_key_memo)
+            if seeded is not None:
+                # A sibling app of this cell already seeded these streams.
+                block.install_states(seeded)
+                hookup = self._block_memo.get(hookup_memo)
+            else:
+                hookup = None
+            if hookup is None:
+                hookup_streams = hookup_stream_block(
+                    env.cloud,
+                    env.is_gpu,
+                    group.nodes,
+                    environment_kind=env.kind.value,
+                    seed=self.seed,
+                    iterations=iters,
                 )
-            hit = np.flatnonzero(~np.isnan(fracs))
-            if hit.size:
-                from repro.core.results import payload_slot
+                if seeded is None:
+                    # One vectorized seeding pass covers both stream families.
+                    co_seed(block, hookup_streams)
+                    self._block_memo[run_key_memo] = block.seeded_states()
+                hookup = hookup_block(
+                    env.cloud,
+                    env.is_gpu,
+                    group.nodes,
+                    environment_kind=env.kind.value,
+                    seed=self.seed,
+                    iterations=iters,
+                    rng_block=hookup_streams,
+                )
+                self._block_memo[hookup_memo] = hookup
+        with span("engine.physics", env=env.env_id, app=model.name, iterations=n):
+            result = model.simulate_block(ctx, block)
 
-                extra = [payload_slot(result.extra, j) for j in range(n)]
-                if not isinstance(kinds, list):
-                    kinds = [
-                        kinds if failed[j] else ("walltime" if timeout[j] else None)
-                        for j in range(n)
-                    ]
-                for j in hit:
-                    slot = dict(extra[j])
-                    slot["preempted_at_fraction"] = float(fracs[j])
-                    extra[j] = slot
-                    kinds[j] = "spot-preemption"
-                wall[hit] = wall[hit] * fracs[hit]
-                state[hit] = _FAILED
-                fom[hit] = np.nan
-                fom_none[hit] = True
+        with span("engine.price", env=env.env_id, iterations=n):
+            failed = result.failed if result.failed is not None else np.zeros(n, dtype=bool)
+            wall = np.array(result.wall, dtype=np.float64, copy=True)
+            fom = np.array(result.fom, dtype=np.float64, copy=True)
+            limit = group.walltime_limit
+            timeout = ~failed & (wall > limit)
+            wall[timeout] = limit
+            state = np.full(n, _COMPLETED, dtype=np.int8)
+            state[timeout] = _TIMEOUT
+            state[failed] = _FAILED
+            fom_none = failed | timeout | np.isnan(fom)
+            fom[fom_none] = np.nan
 
-        cost = (group.nodes * group.rate) * (wall + hookup) / HOUR
+            app_kind = result.failure_kind
+            mixed = isinstance(app_kind, list) or bool(timeout.any()) or (
+                bool(failed.any()) and not bool(failed.all())
+            )
+            if mixed:
+                base = app_kind if isinstance(app_kind, list) else [app_kind] * n
+                kinds: Any = [
+                    base[j] if failed[j] else ("walltime" if timeout[j] else None)
+                    for j in range(n)
+                ]
+            else:
+                kinds = app_kind if bool(failed.any()) else None
+            phases = result.phases
+            extra = result.extra
+
+            scn = active(self.scenario)
+            if (
+                scn is not None
+                and scn.spot is not None
+                and env.is_cloud
+                and env.cloud in scn.spot.clouds
+            ):
+                # Spot preemption: a reclaimed run dies partway through its
+                # window; the consumed node-time still bills.  Runs that
+                # already failed on their own keep their original cause.
+                eligible = np.flatnonzero(state != _FAILED)
+                fracs = np.full(n, np.nan)
+                if eligible.size:
+                    fracs[eligible] = preemption_block(
+                        scn.spot,
+                        self.seed,
+                        scn.scenario_id,
+                        env.env_id,
+                        model.name,
+                        group.scale,
+                        iters[eligible],
+                        (wall + hookup)[eligible],
+                    )
+                hit = np.flatnonzero(~np.isnan(fracs))
+                if hit.size:
+                    from repro.core.results import payload_slot
+
+                    extra = [payload_slot(result.extra, j) for j in range(n)]
+                    if not isinstance(kinds, list):
+                        kinds = [
+                            kinds if failed[j] else ("walltime" if timeout[j] else None)
+                            for j in range(n)
+                        ]
+                    for j in hit:
+                        slot = dict(extra[j])
+                        slot["preempted_at_fraction"] = float(fracs[j])
+                        extra[j] = slot
+                        kinds[j] = "spot-preemption"
+                    wall[hit] = wall[hit] * fracs[hit]
+                    state[hit] = _FAILED
+                    fom[hit] = np.nan
+                    fom_none[hit] = True
+
+            cost = (group.nodes * group.rate) * (wall + hookup) / HOUR
         return _BlockColumns(
             iteration=np.asarray(iters, dtype=np.int64),
             state=state,
@@ -820,44 +832,50 @@ class ExecutionEngine:
                     break
             return BlockOutcome(count=count, total_seconds=0.0)
 
-        if self.cache is not None:
-            return self._run_block_cached(env, model, scale, iterations, options, stop, store)
-
-        group = self.resolve_group(env, model, scale, options=options)
-        cols = self._simulate_columns(group, np.arange(iterations, dtype=np.int64))
-        if stop is not None:
-            stop_index = getattr(stop, "stop_index", None)
-            if stop_index is not None:
-                k = stop_index(env.env_id, scale, cols.hookup)
-            else:
-                k = next(
-                    (j for j, r in enumerate(self._column_records(group, cols)) if stop(r)),
-                    None,
+        with span(
+            "engine.run_block",
+            env=env.env_id, app=model.name, scale=scale, iterations=iterations,
+        ):
+            if self.cache is not None:
+                return self._run_block_cached(
+                    env, model, scale, iterations, options, stop, store
                 )
-            if k is not None:
-                cols = cols.truncate(k + 1)
-        store.append_block(
-            env_id=env.env_id,
-            app=model.name,
-            scale=group.scale,
-            nodes=group.nodes,
-            iteration=cols.iteration,
-            state=cols.state,
-            fom=cols.fom,
-            fom_none=cols.fom_none,
-            wall_seconds=cols.wall,
-            hookup_seconds=cols.hookup,
-            cost_usd=cols.cost,
-            fom_units=model.fom_units,
-            failure_kind=cols.failure_kind,
-            phases=cols.phases,
-            extra=cols.extra,
-        )
-        total = 0.0
-        for j in range(len(cols.iteration)):
-            # Accumulate in record order, like the per-record shard clock.
-            total = total + (cols.wall[j] + cols.hookup[j])
-        return BlockOutcome(count=len(cols.iteration), total_seconds=float(total))
+
+            group = self.resolve_group(env, model, scale, options=options)
+            cols = self._simulate_columns(group, np.arange(iterations, dtype=np.int64))
+            if stop is not None:
+                stop_index = getattr(stop, "stop_index", None)
+                if stop_index is not None:
+                    k = stop_index(env.env_id, scale, cols.hookup)
+                else:
+                    k = next(
+                        (j for j, r in enumerate(self._column_records(group, cols)) if stop(r)),
+                        None,
+                    )
+                if k is not None:
+                    cols = cols.truncate(k + 1)
+            store.append_block(
+                env_id=env.env_id,
+                app=model.name,
+                scale=group.scale,
+                nodes=group.nodes,
+                iteration=cols.iteration,
+                state=cols.state,
+                fom=cols.fom,
+                fom_none=cols.fom_none,
+                wall_seconds=cols.wall,
+                hookup_seconds=cols.hookup,
+                cost_usd=cols.cost,
+                fom_units=model.fom_units,
+                failure_kind=cols.failure_kind,
+                phases=cols.phases,
+                extra=cols.extra,
+            )
+            total = 0.0
+            for j in range(len(cols.iteration)):
+                # Accumulate in record order, like the per-record shard clock.
+                total = total + (cols.wall[j] + cols.hookup[j])
+            return BlockOutcome(count=len(cols.iteration), total_seconds=float(total))
 
     def _run_block_cached(
         self,
@@ -891,10 +909,23 @@ class ExecutionEngine:
         )
         probes: list[RunRecord | None] = []
         probe_invalid: list[int] = []
-        for key in keys:
-            before = self.cache.invalid
-            probes.append(self.cache.get(key))
-            probe_invalid.append(self.cache.invalid - before)
+        probe_reasons: list[dict[str, int] | None] = []
+        with span("engine.cache_probe", env=env.env_id, app=model.name, probes=len(keys)):
+            for key in keys:
+                before = self.cache.invalid
+                before_reasons = dict(self.cache.invalid_reasons)
+                probes.append(self.cache.get(key))
+                delta = self.cache.invalid - before
+                probe_invalid.append(delta)
+                # Remember which reason bins this probe touched, so a
+                # stop-truncated batch can unwind them with the counters.
+                probe_reasons.append(
+                    None if not delta else {
+                        label: count - before_reasons.get(label, 0)
+                        for label, count in self.cache.invalid_reasons.items()
+                        if count != before_reasons.get(label, 0)
+                    }
+                )
         records: list[RunRecord | None] = list(probes)
         missing = [i for i, record in enumerate(probes) if record is None]
         simulated: list[RunRecord] = []
@@ -909,17 +940,30 @@ class ExecutionEngine:
             prefix = next(
                 (j + 1 for j, r in enumerate(records) if stop(r)), len(records)
             )
-        for i, record in zip(missing, simulated):
-            if i < prefix:
-                self.cache.put(keys[i], record)
+        with span("engine.cache_put", env=env.env_id, app=model.name):
+            for i, record in zip(missing, simulated):
+                if i < prefix:
+                    self.cache.put(keys[i], record)
         if prefix < len(records):
             # The scalar path never probes past the stop; re-align all
             # three counters (a corrupt entry past the stop must not
             # surface as an invalid-entry degradation it never caused).
             over_hits = sum(1 for r in probes[prefix:] if r is not None)
+            over_misses = (len(records) - prefix) - over_hits
             self.cache.hits -= over_hits
-            self.cache.misses -= (len(records) - prefix) - over_hits
+            self.cache.misses -= over_misses
             self.cache.invalid -= sum(probe_invalid[prefix:])
+            telemetry_count("cache.run.hits", -over_hits)
+            telemetry_count("cache.run.misses", -over_misses)
+            telemetry_count("cache.invalid", -sum(probe_invalid[prefix:]))
+            # The reason histogram unwinds with the invalid counter.
+            for deltas in probe_reasons[prefix:]:
+                for label, count in (deltas or {}).items():
+                    remaining = self.cache.invalid_reasons.get(label, 0) - count
+                    if remaining > 0:
+                        self.cache.invalid_reasons[label] = remaining
+                    else:
+                        self.cache.invalid_reasons.pop(label, None)
         kept = records[:prefix]
         store.extend(kept)
         total = 0.0

@@ -1,0 +1,62 @@
+"""repro.telemetry — spans, counters, and cross-process traces.
+
+The observability layer every execution surface shares:
+
+* :mod:`~repro.telemetry.tracer` — the :class:`Tracer` (nested spans +
+  monotonic counters), a process-global no-op default, and the
+  module-level :func:`span`/:func:`count` hooks instrumented code
+  calls (≈ free while tracing is disabled);
+* :mod:`~repro.telemetry.registry` — the declared span taxonomy (a
+  lint test keeps ``src/`` and the registry in sync);
+* :mod:`~repro.telemetry.collect` — rebases worker snapshots
+  (piggybacked on :class:`~repro.parallel.shard.ShardResult`) onto one
+  epoch timeline as per-process lanes;
+* :mod:`~repro.telemetry.export` — JSON trace files, Chrome
+  ``trace_event`` flamegraphs, and the self-time-by-phase summary
+  table.
+
+Hard invariant: **timing never feeds results** — with tracing enabled
+every result store stays byte-identical to an untraced run
+(``tests/test_telemetry.py`` holds that property at workers 1 and 4).
+"""
+
+from repro.telemetry.collect import TRACE_VERSION, merge_trace
+from repro.telemetry.export import (
+    chrome_trace_events,
+    coverage,
+    load_trace,
+    phase_rows,
+    phase_summary,
+    render_summary,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.telemetry.registry import SPANS
+from repro.telemetry.tracer import (
+    Tracer,
+    count,
+    current_tracer,
+    enabled,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "SPANS",
+    "TRACE_VERSION",
+    "Tracer",
+    "chrome_trace_events",
+    "count",
+    "coverage",
+    "current_tracer",
+    "enabled",
+    "load_trace",
+    "merge_trace",
+    "phase_rows",
+    "phase_summary",
+    "render_summary",
+    "span",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_trace",
+]

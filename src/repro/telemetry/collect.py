@@ -1,0 +1,120 @@
+"""Cross-process trace collection: worker snapshots → one trace tree.
+
+Worker processes record spans against their own ``perf_counter`` origin
+and ship them back as flat columnar snapshots piggybacked on each
+:class:`~repro.parallel.shard.ShardResult` (the same transport
+discipline the columnar record buffers use).  :func:`merge_trace`
+rebases every snapshot onto one epoch timeline using the
+``(epoch, perf)`` clock anchor each snapshot carries, then lays the
+spans out in *lanes*: the parent's spans in the ``main`` lane, each
+worker process in its own ``worker-<pid>`` lane — ready for the
+flamegraph and summary exporters (:mod:`repro.telemetry.export`).
+
+A worker that executed several shards contributes several snapshots to
+the same lane; parent indices are offset per snapshot so the per-lane
+span forest stays well-formed.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.tracer import SNAPSHOT_VERSION, Tracer
+
+#: merged trace document schema version
+TRACE_VERSION = 1
+
+
+def _anchor(snapshot: dict) -> float:
+    """The perf→epoch offset for one snapshot's timestamps."""
+    return snapshot["epoch"] - snapshot["perf"]
+
+
+def _rebased_spans(snapshot: dict, t0_epoch: float, base: int) -> list[dict]:
+    """One snapshot's spans on the merged timeline (µs since ``t0``).
+
+    ``base`` offsets parent indices so several snapshots can share a
+    lane; top-level spans additionally carry the dispatch ordinal and
+    measured worker wall time the pool tagged onto the shard result
+    (when present) — the lane then reads as a sequence of cells.
+    """
+    offset = _anchor(snapshot) - t0_epoch
+    ordinal = snapshot.get("dispatch_ordinal")
+    worker_seconds = snapshot.get("worker_seconds")
+    spans = []
+    for i, name in enumerate(snapshot["names"]):
+        parent = snapshot["parents"][i]
+        attrs = snapshot["attrs"][i] or {}
+        if parent < 0 and ordinal is not None:
+            attrs = dict(attrs)
+            attrs["dispatch_ordinal"] = ordinal
+            if worker_seconds is not None:
+                attrs["worker_seconds"] = round(worker_seconds, 6)
+        span = {
+            "name": name,
+            # max() soaks up float error at epoch magnitude: no span can
+            # precede t0 (the min first-start across snapshots), but the
+            # subtraction can land a fraction of a µs below zero.
+            "start_us": max(round((snapshot["starts"][i] + offset) * 1e6, 1), 0.0),
+            "dur_us": round((snapshot["ends"][i] - snapshot["starts"][i]) * 1e6, 1),
+            "parent": parent if parent < 0 else parent + base,
+        }
+        if attrs:
+            span["attrs"] = attrs
+        spans.append(span)
+    return spans
+
+
+def _first_start_epoch(snapshot: dict) -> float:
+    starts = snapshot["starts"]
+    return (min(starts) if starts else snapshot["perf"]) + _anchor(snapshot)
+
+
+def _last_end_epoch(snapshot: dict) -> float:
+    ends = snapshot["ends"]
+    return (max(ends) if ends else snapshot["perf"]) + _anchor(snapshot)
+
+
+def merge_trace(tracer: Tracer) -> dict:
+    """The tracer's own spans plus every absorbed worker snapshot, as
+    one JSON-safe trace document with per-process lanes.
+
+    The ``main`` lane is always first; worker lanes follow in
+    first-seen order, one per worker pid.  All timestamps are µs
+    relative to the earliest span start across every lane, so the
+    document is self-contained and diff-friendly.
+    """
+    main = tracer.snapshot()
+    snapshots = [main, *tracer.worker_traces]
+    t0_epoch = min(_first_start_epoch(s) for s in snapshots)
+    t_end = max(_last_end_epoch(s) for s in snapshots)
+
+    lanes: list[dict] = []
+    lane_by_pid: dict[int, dict] = {}
+    for snapshot in snapshots:
+        if snapshot is main:
+            lane = {"label": main["label"], "pid": main["pid"], "spans": []}
+            lanes.append(lane)
+        else:
+            pid = snapshot["pid"]
+            lane = lane_by_pid.get(pid)
+            if lane is None:
+                lane = {"label": f"worker-{pid}", "pid": pid, "spans": []}
+                lane_by_pid[pid] = lane
+                lanes.append(lane)
+        lane["spans"].extend(
+            _rebased_spans(snapshot, t0_epoch, base=len(lane["spans"]))
+        )
+
+    counters: dict[str, float] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+
+    return {
+        "version": TRACE_VERSION,
+        "snapshot_version": SNAPSHOT_VERSION,
+        "t0_epoch": t0_epoch,
+        "wall_seconds": max(t_end - t0_epoch, 0.0),
+        "span_count": sum(len(lane["spans"]) for lane in lanes),
+        "counters": dict(sorted(counters.items())),
+        "lanes": lanes,
+    }

@@ -1,0 +1,176 @@
+"""Trace exporters: JSON file, Chrome ``trace_event``, summary table.
+
+Three views of one merged trace document
+(:func:`repro.telemetry.collect.merge_trace`):
+
+* :func:`write_trace` / :func:`load_trace` — the document itself as a
+  JSON file (what ``--trace FILE`` writes and ``repro trace``
+  consumes);
+* :func:`chrome_trace_events` — the Chrome ``trace_event`` array
+  (complete-duration ``"X"`` events, one track per process lane); load
+  it in ``chrome://tracing`` or Perfetto for a flamegraph;
+* :func:`phase_summary` — self-time grouped by span name as a
+  :class:`~repro.reporting.tables.Table` (the ``repro trace
+  summarize`` view): *self* time is a span's duration minus its
+  children's, so the column sums to the instrumented wall clock
+  instead of double-counting the tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import Table, render_table
+from repro.telemetry.collect import TRACE_VERSION
+
+
+def write_trace(doc: dict, path: str) -> None:
+    """Write one merged trace document as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    """Read a trace document back, with clean usage errors."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON in trace file {path!r}: {exc}")
+    if not isinstance(doc, dict) or doc.get("version") != TRACE_VERSION:
+        raise ConfigurationError(
+            f"{path!r} is not a repro trace document "
+            f"(expected version {TRACE_VERSION})"
+        )
+    return doc
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+
+def chrome_trace_events(doc: dict) -> list[dict]:
+    """The trace as Chrome ``trace_event`` objects (JSON array format).
+
+    Every lane becomes one named process track; spans become complete
+    ``"X"`` duration events, attributes ride in ``args``.  The output
+    loads directly in ``chrome://tracing`` and Perfetto.
+    """
+    events: list[dict] = []
+    for lane in doc["lanes"]:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": lane["pid"],
+                "tid": 0,
+                "args": {"name": lane["label"]},
+            }
+        )
+        for span in lane["spans"]:
+            events.append(
+                {
+                    "ph": "X",
+                    "cat": "repro",
+                    "name": span["name"],
+                    "pid": lane["pid"],
+                    "tid": 0,
+                    "ts": span["start_us"],
+                    "dur": span["dur_us"],
+                    "args": span.get("attrs", {}),
+                }
+            )
+    return events
+
+
+def write_chrome_trace(doc: dict, path: str) -> None:
+    """Write the Chrome ``trace_event`` JSON array for ``doc``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace_events(doc), fh, separators=(",", ":"))
+        fh.write("\n")
+
+
+# -- self-time summary --------------------------------------------------------
+
+
+def phase_rows(doc: dict) -> list[dict]:
+    """Per-phase totals: one row per span name, self-time descending.
+
+    Self time excludes child spans, so summing the ``self_s`` column
+    reproduces each lane's instrumented wall clock exactly — the
+    summary attributes time instead of double-counting nesting levels.
+    """
+    totals: dict[str, dict] = {}
+    total_self = 0.0
+    for lane in doc["lanes"]:
+        spans = lane["spans"]
+        child_us = [0.0] * len(spans)
+        for span in spans:
+            parent = span["parent"]
+            if parent >= 0:
+                child_us[parent] += span["dur_us"]
+        for i, span in enumerate(spans):
+            row = totals.setdefault(
+                span["name"], {"phase": span["name"], "count": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            row["count"] += 1
+            row["total_s"] += span["dur_us"] / 1e6
+            row["self_s"] += max(span["dur_us"] - child_us[i], 0.0) / 1e6
+            total_self += max(span["dur_us"] - child_us[i], 0.0) / 1e6
+    rows = sorted(totals.values(), key=lambda r: -r["self_s"])
+    for row in rows:
+        row["total_s"] = round(row["total_s"], 6)
+        row["self_s"] = round(row["self_s"], 6)
+        row["self_pct"] = round(100.0 * row["self_s"] / total_self, 2) if total_self else 0.0
+    return rows
+
+
+def coverage(doc: dict) -> float:
+    """Fraction of the main lane's wall clock covered by spans.
+
+    The acceptance gate for instrumentation completeness: top-level
+    span durations in the ``main`` lane over the trace's wall clock —
+    uninstrumented gaps between top-level spans lower it.
+    """
+    wall = doc["wall_seconds"]
+    if not wall or not doc["lanes"]:
+        return 0.0
+    covered = sum(
+        span["dur_us"] for span in doc["lanes"][0]["spans"] if span["parent"] < 0
+    )
+    return min(covered / 1e6 / wall, 1.0)
+
+
+def phase_summary(doc: dict) -> Table:
+    """The self-time-by-phase table ``repro trace summarize`` prints."""
+    workers = len(doc["lanes"]) - 1
+    table = Table(
+        title="Self-time by phase",
+        columns=("phase", "spans", "total s", "self s", "self %"),
+        caption=(
+            f"{doc['wall_seconds']:.3f} s wall, {doc['span_count']} spans, "
+            f"{len(doc['lanes'])} lane(s) ({workers} worker(s)); "
+            f"main-lane span coverage {100.0 * coverage(doc):.1f}% of wall clock"
+        ),
+    )
+    for row in phase_rows(doc):
+        table.add(
+            row["phase"], row["count"], row["total_s"], row["self_s"],
+            f"{row['self_pct']:.1f}",
+        )
+    return table
+
+
+def render_summary(doc: dict) -> str:
+    """The full human summary: phase table plus merged counters."""
+    out = [render_table(phase_summary(doc))]
+    if doc["counters"]:
+        out.append("")
+        out.append("counters:")
+        for name, value in doc["counters"].items():
+            formatted = f"{value:g}" if isinstance(value, float) else str(value)
+            out.append(f"  {name:40s} {formatted:>12s}")
+    return "\n".join(out)

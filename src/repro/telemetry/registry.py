@@ -1,0 +1,56 @@
+"""The span registry: every span name the codebase may emit.
+
+One flat taxonomy keeps traces summarizable: ``repro trace summarize``
+groups self-time by span name, so names must be stable string literals
+(never interpolated — varying detail belongs in span *attributes*).  A
+lint-style test (``tests/test_telemetry.py``) greps ``src/`` for
+``span("...")`` call sites and fails on any name missing here, so the
+registry and the instrumentation can never drift apart.
+
+Naming convention: ``<layer>.<operation>``, layers ordered roughly by
+call depth — front-end runners (``study``/``sweep``/``ensemble``), the
+planner (``plan``), the process pool (``pool``), per-cell execution
+(``shard``), the engine (``engine``), and the benchmark suite
+(``bench``).
+"""
+
+from __future__ import annotations
+
+#: span name → what the interval covers
+SPANS: dict[str, str] = {
+    # front-end runners
+    "study.run": "one full study campaign, compile through artifact push",
+    "study.build_containers": "building and pushing the container matrix",
+    "sweep.run": "a scenario sweep: every world, baseline first",
+    "ensemble.run": "a Monte-Carlo ensemble: every replica-world, folded",
+    "ensemble.world_probe": "probing the world-summary cache for one world",
+    "ensemble.fold": "folding one world summary into the streaming stats",
+    # the execution planner
+    "plan.run": "executing one compiled RunPlan end to end",
+    "plan.world": "one world: collecting its shard results (and the caller's fold)",
+    "plan.diff": "diffing the plan against its baseline (incremental mode)",
+    "plan.attach": "probing the cell cache for every reusable cell",
+    "plan.merge": "merging one world's shard results in plan order",
+    # the process pool
+    "pool.dispatch": "submitting one chunk of shards to the worker pool",
+    "pool.drain": "waiting on one in-flight chunk's results",
+    # per-cell execution (worker side)
+    "shard.execute": "one (environment, size) cell, start to finish",
+    "shard.provision": "quota, cluster provisioning, and environment deploy",
+    # the engine
+    "engine.run_block": "one (env, app, size) group through the array-native path",
+    "engine.run_batch": "one (env, app, size) group through the batched path",
+    "engine.resolve_group": "placement, fabric, ECC, and pricing resolution",
+    "engine.rng": "batched keyed-stream seeding and hookup draws",
+    "engine.physics": "the app model's columnar simulation",
+    "engine.price": "walltime policy, spot preemption, and pricing as array math",
+    "engine.cache_probe": "probing the run cache for a group's iterations",
+    "engine.cache_put": "storing a group's simulated records in the run cache",
+    # the benchmark suite
+    "bench.run": "the whole benchmark suite",
+    "bench.seed": "the per-iteration seed pipeline",
+    "bench.batched": "the run_batch pipeline",
+    "bench.block": "the array-native block pipeline",
+    "bench.rng": "the keyed-rng component microbenchmark",
+    "bench.transport": "the shard-transport component microbenchmark",
+}

@@ -1,0 +1,243 @@
+"""The tracer: nested spans, monotonic counters, a no-op default.
+
+A :class:`Tracer` records *spans* — named, attributed, wall-clock
+intervals arranged in a tree by lexical nesting — and *counters* —
+monotonic named totals.  Instrumented code never talks to a tracer
+directly; it calls the module-level :func:`span` and :func:`count`,
+which delegate to the process-global active tracer.  When no tracer is
+active (the default), :func:`span` returns one shared no-op context
+manager and :func:`count` returns immediately, so instrumentation on
+the hot path costs a few attribute lookups and nothing else — the
+``repro bench`` acceptance gate holds the disabled overhead under 2%.
+
+Spans are stored *columnar* — parallel lists of names, start/end
+times, parent indices, and attribute dicts — the same discipline the
+shard transport uses for records, so a worker's whole trace serializes
+as a handful of flat lists (:meth:`Tracer.snapshot`) and piggybacks on
+its :class:`~repro.parallel.shard.ShardResult` without any per-span
+object overhead.
+
+Two clocks anchor every snapshot: ``time.perf_counter()`` provides the
+span timestamps (monotonic, high resolution, but with a per-process
+origin) and ``time.time()`` is sampled at the same instant so traces
+from different processes can be rebased onto one epoch timeline
+(:func:`repro.telemetry.collect.merge_trace`).
+
+The hard invariant of the whole subsystem: **timing never feeds
+results**.  A tracer only ever reads clocks and accumulates counts;
+nothing in this package returns a value the execution path consumes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+__all__ = [
+    "Tracer",
+    "count",
+    "current_tracer",
+    "enabled",
+    "span",
+    "use_tracer",
+]
+
+#: snapshot schema version; bump on shape changes so stale payloads
+#: are rejected instead of mis-merged
+SNAPSHOT_VERSION = 1
+
+#: the process-global active tracer; ``None`` = tracing disabled
+_active: "Tracer | None" = None
+
+
+class _NullSpan:
+    """The shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def current_tracer() -> "Tracer | None":
+    """The process-global active tracer, or ``None`` when disabled."""
+    return _active
+
+
+def enabled() -> bool:
+    """Whether a tracer is currently active in this process."""
+    return _active is not None
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one named span under the active tracer.
+
+    With tracing disabled this returns a shared no-op singleton — the
+    call costs one global read.  Span names must be string literals
+    declared in :data:`repro.telemetry.registry.SPANS` (a lint test
+    enforces it), so every trace is summarizable against one taxonomy.
+    """
+    tracer = _active
+    if tracer is None:
+        return _NULL_SPAN
+    return _SpanContext(tracer, name, attrs or None)
+
+
+def count(name: str, value: float = 1) -> None:
+    """Add ``value`` to the named monotonic counter (no-op when disabled)."""
+    tracer = _active
+    if tracer is not None:
+        counters = tracer.counters
+        counters[name] = counters.get(name, 0) + value
+
+
+class use_tracer:
+    """Install ``tracer`` as the process-global tracer for a ``with`` block.
+
+    Restores the prior tracer on exit (exceptions included), so nested
+    installations compose — a worker process installs its own recording
+    tracer around one shard without disturbing anything else.
+    """
+
+    def __init__(self, tracer: "Tracer | None"):
+        self.tracer = tracer
+        self._prior: "Tracer | None" = None
+
+    def __enter__(self) -> "Tracer | None":
+        global _active
+        self._prior = _active
+        _active = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc: Any) -> bool:
+        global _active
+        _active = self._prior
+        return False
+
+
+class _SpanContext:
+    """One live span; closes its interval even when the body raises."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_index")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict | None):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._index = -1
+
+    def __enter__(self) -> "_SpanContext":
+        self._index = self._tracer._begin(self._name, self._attrs)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._tracer._end(self._index)
+        return False
+
+
+class Tracer:
+    """Records spans and counters for one process.
+
+    Spans live in parallel columns (``names``/``starts``/``ends``/
+    ``parents``/``attrs``); the parent of span *i* is ``parents[i]``
+    (``-1`` for top level).  ``worker_traces`` accumulates snapshots
+    absorbed from worker processes (:meth:`absorb`); the collector
+    merges them into per-worker lanes.
+    """
+
+    def __init__(self, label: str = "main"):
+        self.label = label
+        self.pid = os.getpid()
+        self.names: list[str] = []
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.parents: list[int] = []
+        self.attrs: list[dict | None] = []
+        self.counters: dict[str, float] = {}
+        #: snapshots absorbed from worker processes, in arrival order
+        self.worker_traces: list[dict] = []
+        #: the open-span stack; [-1] roots top-level spans
+        self._stack: list[int] = [-1]
+        # One instant, two clocks: perf for intervals, epoch to rebase
+        # across processes.
+        self.epoch = time.time()
+        self.perf = time.perf_counter()
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """A context manager timing one span recorded by this tracer."""
+        return _SpanContext(self, name, attrs or None)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def _begin(self, name: str, attrs: dict | None) -> int:
+        index = len(self.names)
+        self.names.append(name)
+        self.parents.append(self._stack[-1])
+        self.attrs.append(attrs)
+        self.ends.append(0.0)
+        self._stack.append(index)
+        # Sampled last so span bookkeeping never counts as span time.
+        self.starts.append(time.perf_counter())
+        return index
+
+    def _end(self, index: int) -> None:
+        now = time.perf_counter()
+        # Unwind to this span's frame even if an inner span leaked open
+        # (a generator abandoned mid-iteration): every popped span gets
+        # a close time, so the tree stays balanced under any exit path.
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if not self.ends[top]:
+                self.ends[top] = now
+            if top == index:
+                break
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack) - 1
+
+    # -- cross-process ------------------------------------------------------
+
+    def absorb(self, snapshot: dict) -> None:
+        """Adopt one worker's serialized trace (a :meth:`snapshot` dict).
+
+        Unknown snapshot versions are dropped rather than mis-merged —
+        a version-skewed worker degrades the trace, never the run.
+        """
+        if isinstance(snapshot, dict) and snapshot.get("v") == SNAPSHOT_VERSION:
+            self.worker_traces.append(snapshot)
+
+    def snapshot(self) -> dict:
+        """This tracer's spans and counters as flat JSON-safe columns.
+
+        Open spans are closed at the snapshot instant, so a snapshot is
+        always a complete interval set.  The ``epoch``/``perf`` anchor
+        pair lets the parent rebase these perf-clock timestamps onto
+        its own epoch timeline.
+        """
+        now = time.perf_counter()
+        return {
+            "v": SNAPSHOT_VERSION,
+            "label": self.label,
+            "pid": self.pid,
+            "epoch": self.epoch,
+            "perf": self.perf,
+            "names": list(self.names),
+            "starts": list(self.starts),
+            "ends": [end if end else now for end in self.ends],
+            "parents": list(self.parents),
+            "attrs": list(self.attrs),
+            "counters": dict(self.counters),
+        }

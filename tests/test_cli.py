@@ -415,3 +415,81 @@ def test_plan_help_documents_diff(capsys):
     out = capsys.readouterr().out
     assert "plan diff" in out
     assert "--incremental" in out or "incremental" in out
+
+
+def test_study_trace_writes_document_and_summary(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    rc = main([
+        "study", "--envs", "cpu-eks-aws", "--apps", "amg2023", "--sizes", "32",
+        "--workers", "2", "--trace", str(trace_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Self-time by phase" in out
+    assert "study.run" in out
+    assert trace_path.exists()
+    from repro.telemetry import load_trace
+
+    doc = load_trace(str(trace_path))
+    assert doc["span_count"] > 0
+    assert doc["lanes"][0]["label"] == "main"
+
+
+def test_trace_summarize_command(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    main([
+        "study", "--envs", "cpu-eks-aws", "--apps", "amg2023", "--sizes", "32",
+        "--trace", str(trace_path),
+    ])
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Self-time by phase" in out
+    assert "coverage" in out
+
+
+def test_trace_chrome_command(tmp_path, capsys):
+    import json as jsonlib
+
+    trace_path = tmp_path / "trace.json"
+    main([
+        "study", "--envs", "cpu-eks-aws", "--apps", "amg2023", "--sizes", "32",
+        "--trace", str(trace_path),
+    ])
+    capsys.readouterr()
+    out_path = tmp_path / "chrome.json"
+    assert main(["trace", "chrome", str(trace_path), "-o", str(out_path)]) == 0
+    events = jsonlib.loads(out_path.read_text())
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_trace_summarize_rejects_non_trace_file(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    assert main(["trace", "summarize", str(bogus)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bench_quick_trace_adds_phase_section(tmp_path, capsys):
+    trace_path = tmp_path / "bench-trace.json"
+    assert main(["bench", "--quick", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "phase (self-time)" in out
+    assert "bench.run" in out
+    assert trace_path.exists()
+
+
+def test_study_cache_line_shows_invalid_reasons(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "study", "--envs", "cpu-eks-aws", "--apps", "amg2023", "--sizes", "32",
+        "--cache", str(cache_dir),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    for entry in cache_dir.glob("*/*.json"):
+        entry.write_text("{ not json")
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "invalid (re-simulated; see warnings)" in out
+    assert "[" in out and "x" in out  # the reason histogram detail
