@@ -25,6 +25,12 @@ Subcommands:
   replicates the campaign across a seed grid × scenario grid and prints
   distributions (mean ± 95% CI, percentiles, exceedance probabilities)
   instead of point estimates, with CSV/JSON export;
+* ``campaign`` — staged experiment campaigns over the planner:
+  ``campaign run --spec FILE`` drives SMOKE → GRID → AB → SELECT →
+  PUBLISH (prune the search space cheaply, measure survivors at full
+  fidelity with incremental reuse, pick the cheapest config that meets
+  the SLA) and can export the frontier CSV and the CampaignReport
+  JSON; ``campaign show`` prints what would run without executing;
 * ``bench`` — run the vectorization benchmark suite locally and print
   the speedup table (``--output`` writes the BENCH_vector.json
   artifact, ``--quick`` runs a small smoke campaign);
@@ -538,6 +544,9 @@ examples:
       the campaign under a what-if overlay, vs the baseline
   python -m repro ensemble run --replicas 8 --workers 4
       replicate the campaign over 8 seeds; distributions, not points
+  python -m repro campaign run --spec campaign.json --workers 4
+      find the cheapest config that meets the SLA: smoke-prune, grid,
+      AB vs baseline, select the winner, publish the report
   python -m repro study --workers 4 --trace study-trace.json
       record spans across every worker; then
       `python -m repro trace summarize study-trace.json`
@@ -620,6 +629,131 @@ examples:
       the whole plan from a declarative EnsembleSpec JSON file,
       exported as CSV and JSON
 """
+
+
+_CAMPAIGN_EPILOG = """\
+examples:
+  python -m repro campaign run --spec campaign.json --workers 4
+      the five-stage pipeline: smoke-prune the search space, measure
+      survivors at full replication (reusing everything smoke already
+      simulated), AB against the baseline, select the cheapest config
+      that meets the SLA, publish the report
+  python -m repro campaign run --spec campaign.json \\
+      --cache .repro-cache --output frontier.csv --json report.json
+      persist the run cache across campaigns (a re-run from the same
+      spec replays smoke from the world cache), export the Pareto
+      frontier as CSV and the CampaignReport as JSON
+  python -m repro campaign run --spec campaign.json --trace trace.json
+      also record telemetry; the summary prints per-stage
+      (campaign.smoke/grid/ab/select/publish) self-time rows
+  python -m repro campaign show --spec campaign.json
+      the campaign's digest, gates, budgets, and compiled stage shapes
+      — without executing anything
+
+a minimal spec file:
+  {"sla": {"min_exceedance": 0.5, "max_cost_per_fom": 2.0},
+   "scenarios": ["price-war", "spot-aws"],
+   "env_ids": ["cpu-eks-aws"], "apps": ["amg2023"], "sizes": [64],
+   "smoke": {"replicas": 1, "margin": 0.5}, "grid": {"replicas": 3}}
+"""
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """The :class:`CampaignSpec` named by ``--spec`` (shared run/show)."""
+    from repro.campaigns import CampaignSpec
+
+    return CampaignSpec.from_dict(_load_json_file(args.spec, "campaign spec"))
+
+
+def _cmd_campaign_show(args: argparse.Namespace) -> int:
+    from repro.plan import compile_ensemble
+
+    spec = _campaign_spec_from_args(args)
+    if args.json_dump:
+        smoke_plan = compile_ensemble(spec.smoke_spec())
+        grid_plan = compile_ensemble(spec.grid_spec(spec.scenarios))
+        print(json.dumps(
+            {
+                "campaign": spec.to_dict(),
+                "digest": spec.digest(),
+                "smoke": smoke_plan.describe()["totals"],
+                "grid_upper_bound": grid_plan.describe()["totals"],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(f"campaign          : {spec.digest()}")
+    print(f"objective         : {spec.objective.direction} {spec.objective.metric}")
+    sla = spec.sla
+    gates = [f"exceedance >= {sla.min_exceedance}",
+             f"completion >= {sla.min_completion}"]
+    if sla.max_cost_per_fom is not None:
+        gates.append(f"cost/FOM <= {sla.max_cost_per_fom}")
+    print(f"sla               : {', '.join(gates)}")
+    print(f"scenarios         : {len(spec.scenarios)} "
+          f"({', '.join(s.scenario_id for s in spec.scenarios) or 'baseline only'})")
+    for stage, budget, plan in (
+        ("smoke", spec.smoke, compile_ensemble(spec.smoke_spec())),
+        ("grid", spec.grid, compile_ensemble(spec.grid_spec(spec.scenarios))),
+    ):
+        totals = plan.describe()["totals"]
+        bound = " (upper bound before pruning)" if stage == "grid" else ""
+        print(f"{stage:18s}: {budget.replicas} replica(s), margin {budget.margin} "
+              f"-> {totals['worlds']} worlds, {totals['shards']} cells, "
+              f"{totals['runs']} runs{bound}")
+    print("stages            : smoke -> grid -> ab -> select -> publish")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    if args.campaign_command == "show":
+        try:
+            return _cmd_campaign_show(args)
+        except (ConfigurationError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    # campaign run
+    from repro.campaigns import CampaignRunner
+    from repro.reporting.frontier import frontier_table
+
+    error = _cache_dir_error(args.cache)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        spec = _campaign_spec_from_args(args)
+        runner = CampaignRunner(spec, workers=args.workers, cache_dir=args.cache)
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _TraceSession(args) as session:
+        result = runner.run()
+    print(result.render())
+    print()
+    print(f"campaign digest   : {spec.digest()}")
+    print(f"smoke             : {result.smoke.worlds} worlds folded, "
+          f"{len(result.pruned)} candidates pruned, "
+          f"{len(result.survivors)} survived")
+    grid_line = f"grid              : {result.grid.worlds} worlds folded"
+    if result.grid.reuse is not None:
+        grid_line += f" ({_fmt_reuse_line(result.grid.reuse)})"
+    print(grid_line)
+    if args.cache:
+        print(f"world cache       : "
+              f"{_fmt_cache_line(result.smoke.world_cache_hits + result.grid.world_cache_hits, result.smoke.world_cache_misses + result.grid.world_cache_misses, result.smoke.world_cache_invalid + result.grid.world_cache_invalid)}")
+    _write_exports(
+        args,
+        csv_text=lambda: frontier_table(result).to_csv(),
+        json_text=lambda: result.report.to_json() + "\n",
+        csv_label="frontier CSV",
+        json_label="campaign report",
+    )
+    session.report()
+    return 0
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
@@ -874,6 +1008,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flag(p_ens_run)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="staged experiment campaigns: smoke -> grid -> ab -> select -> publish",
+        epilog=_CAMPAIGN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+    p_camp_run = campaign_sub.add_parser(
+        "run",
+        help="run the five-stage pipeline and publish the campaign report",
+        epilog=_CAMPAIGN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_camp_run.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="the CampaignSpec JSON file: objective, SLA gates, scenario "
+        "search space, per-stage budgets",
+    )
+    p_camp_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded execution (default: 1, serial); "
+        "the frontier and the winner are byte-identical for any count",
+    )
+    p_camp_run.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="run-cache directory shared by both stages (default: a "
+        "private temporary directory); persist it and a re-run from the "
+        "same spec replays the smoke stage from the world cache",
+    )
+    p_camp_run.add_argument("--output", help="write the Pareto frontier CSV here")
+    p_camp_run.add_argument(
+        "--json",
+        dest="json_output",
+        metavar="FILE",
+        help="write the CampaignReport JSON artifact here",
+    )
+    _add_trace_flag(p_camp_run)
+    p_camp_show = campaign_sub.add_parser(
+        "show",
+        help="print the campaign's gates, budgets, and compiled stage "
+        "shapes without executing",
+        epilog=_CAMPAIGN_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_camp_show.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="the CampaignSpec JSON file to inspect",
+    )
+    p_camp_show.add_argument(
+        "--json",
+        dest="json_dump",
+        action="store_true",
+        help="print the spec, digest, and stage totals as JSON",
+    )
+
     p_bench = sub.add_parser(
         "bench",
         help="run the vectorization benchmark suite and print speedups",
@@ -992,6 +1188,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "scenario": _cmd_scenario,
         "ensemble": _cmd_ensemble,
+        "campaign": _cmd_campaign,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "report": _cmd_report,

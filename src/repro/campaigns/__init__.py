@@ -1,0 +1,56 @@
+"""repro.campaigns — staged experiment campaigns over the planner.
+
+The orchestration layer that turns the execution stack — plans,
+ensembles, incremental reuse, telemetry — into an *answer*: which
+(scenario, env, app, scale) configuration meets a performance SLA at
+the lowest cost?  A campaign is a typed five-stage pipeline:
+
+``SMOKE → GRID → AB → SELECT → PUBLISH``
+
+* :mod:`~repro.campaigns.spec` — :class:`CampaignSpec`: the declarative
+  objective, SLA gates, search space, and per-stage budgets;
+* :mod:`~repro.campaigns.stages` — the pure stage functions (pruning,
+  survivor scenarios, AB delta rows);
+* :mod:`~repro.campaigns.frontier` — candidates, SLA gating, the Pareto
+  frontier, and deterministic winner selection;
+* :mod:`~repro.campaigns.runner` — :class:`CampaignRunner`: sequences
+  the stages inside ``campaign.*`` telemetry spans, threading the smoke
+  stage's plan into the grid stage's incremental diff baseline;
+* :mod:`~repro.campaigns.report` — :class:`CampaignReport`: the
+  published JSON artifact (fingerprints, frontier, winner, per-stage
+  timings).
+
+``repro campaign run --spec campaign.json`` drives the whole pipeline
+from the command line; ``repro campaign show`` prints what would run.
+"""
+
+from repro.campaigns.frontier import (
+    Candidate,
+    config_fingerprint,
+    evaluate_candidates,
+    pareto_frontier,
+    select_winner,
+)
+from repro.campaigns.report import CampaignReport, build_report
+from repro.campaigns.runner import CampaignResult, CampaignRunner
+from repro.campaigns.spec import CampaignSpec, Objective, SlaGate, StageBudget
+from repro.campaigns.stages import STAGES, StageRecord, ab_rows
+
+__all__ = [
+    "Candidate",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Objective",
+    "STAGES",
+    "SlaGate",
+    "StageBudget",
+    "StageRecord",
+    "ab_rows",
+    "build_report",
+    "config_fingerprint",
+    "evaluate_candidates",
+    "pareto_frontier",
+    "select_winner",
+]

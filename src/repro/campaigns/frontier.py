@@ -1,0 +1,237 @@
+"""Candidates, SLA gating, and the Pareto frontier.
+
+A *candidate* is one (scenario, env, app, scale) coordinate of the
+search space with its grid-folded statistics attached: mean cost, mean
+FOM with a Student-t CI, completion rate, exceedance probability
+against the seed study's point estimate, and the objective value
+(cost per FOM).  Candidates are pure values derived deterministically
+from an :class:`~repro.ensemble.runner.EnsembleResult`, so every
+downstream decision — pruning, selection, the frontier — is
+byte-identical for any worker count.
+
+Two deliberate exclusions keep the candidate set honest:
+
+* **Untouched scenario cells are not candidates.**  A cell a scenario's
+  overlay footprint cannot reach simulates byte-identically to the
+  baseline cell (that is what incremental reuse is built on), so it
+  names no new configuration — only the baseline candidate represents
+  it.  Keeping such duplicates would let one physical config occupy
+  several frontier slots.
+* **Cells with no completed FOM-bearing runs fail the gate** — there is
+  nothing to buy, at any price.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+
+from repro.campaigns.spec import CampaignSpec
+from repro.ensemble.runner import EnsembleResult
+from repro.envs.registry import ENVIRONMENTS
+
+#: a candidate's identity within the campaign
+CandidateKey = tuple[str, str, str, int]  # (scenario_id, env, app, scale)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One search-space coordinate with its folded statistics."""
+
+    scenario_id: str
+    env: str
+    app: str
+    scale: int
+    #: worlds (replicas) folded into the statistics
+    worlds: int
+    #: completed-run rate: mean completed per world / iterations
+    completion: float
+    fom_mean: float | None
+    fom_ci95: float
+    cost_mean: float
+    cost_ci95: float
+    #: the objective: mean dollars per unit of FOM (None without a FOM)
+    cost_per_fom: float | None
+    #: P(FOM >= seed-study point estimate), None when unanchored
+    exceedance: float | None
+    #: did this candidate clear the (possibly margin-relaxed) SLA?
+    sla_ok: bool
+    #: why it did not, one clause per violated gate
+    sla_failures: tuple[str, ...]
+    #: stable config fingerprint (scenario digest x cell x fidelity)
+    fingerprint: str
+
+    @property
+    def key(self) -> CandidateKey:
+        return (self.scenario_id, self.env, self.app, self.scale)
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.scenario_id == "baseline"
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario_id,
+            "env": self.env,
+            "app": self.app,
+            "scale": self.scale,
+            "worlds": self.worlds,
+            "completion": self.completion,
+            "fom_mean": self.fom_mean,
+            "fom_ci95": self.fom_ci95,
+            "cost_mean": self.cost_mean,
+            "cost_ci95": self.cost_ci95,
+            "cost_per_fom": self.cost_per_fom,
+            "exceedance": self.exceedance,
+            "sla_ok": self.sla_ok,
+            "sla_failures": list(self.sla_failures),
+            "fingerprint": self.fingerprint,
+        }
+
+
+def config_fingerprint(
+    spec: CampaignSpec, scenario_digest: str | None, env: str, app: str, scale: int
+) -> str:
+    """A stable hash naming one config at the campaign's grid fidelity.
+
+    Embeds everything that determines the config's published numbers:
+    the scenario's semantic digest, the cell coordinate, and the grid
+    stage's replication (seed, replicas, iterations) — so a report
+    reader can tell whether two campaigns measured the same thing.
+    """
+    payload = {
+        "scenario": scenario_digest,
+        "env": env,
+        "app": app,
+        "scale": scale,
+        "base_seed": spec.base_seed,
+        "replicas": spec.grid.replicas,
+        "iterations": spec.iterations,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def evaluate_candidates(
+    result: EnsembleResult, spec: CampaignSpec, *, margin: float
+) -> list[Candidate]:
+    """Every candidate of ``result``'s grid, gated at ``margin``.
+
+    Candidates come out in the result's deterministic fold order
+    (scenario-major).  ``margin`` relaxes the SLA (bounds x margin,
+    ceilings / margin): the smoke stage prunes at ``spec.smoke.margin``,
+    the grid stage judges at 1.
+    """
+    scenarios = {scn.scenario_id: scn for scn in result.spec.scenario_grid()}
+    sla = spec.sla
+    out: list[Candidate] = []
+    for (sid, env, app, scale), stats in result.cells.items():
+        scenario = scenarios[sid]
+        if not scenario.is_baseline:
+            cloud = ENVIRONMENTS[env].cloud
+            if scenario.footprint(cloud) is None:
+                # Byte-identical to the baseline cell: not a distinct
+                # config, so not a candidate (see module docstring).
+                continue
+        completion = (
+            stats.completed.mean / spec.iterations if stats.completed.count else 0.0
+        )
+        fom_mean = stats.fom.mean if stats.fom.count else None
+        threshold = result.threshold_for(env, app, scale)
+        exceedance = (
+            stats.fom.exceedance(threshold)
+            if threshold is not None and stats.fom.count
+            else None
+        )
+        cost_per_fom = (
+            stats.cost.mean / fom_mean
+            if fom_mean is not None and fom_mean > 0
+            else None
+        )
+
+        failures: list[str] = []
+        if fom_mean is None or fom_mean <= 0:
+            failures.append("no completed runs produced a figure of merit")
+        floor = sla.min_completion * margin
+        if completion < floor:
+            failures.append(f"completion {completion:.3f} < {floor:.3f}")
+        if exceedance is not None:
+            floor = sla.min_exceedance * margin
+            if exceedance < floor:
+                failures.append(f"exceedance {exceedance:.3f} < {floor:.3f}")
+        if sla.max_cost_per_fom is not None and cost_per_fom is not None:
+            ceiling = sla.max_cost_per_fom / margin
+            if cost_per_fom > ceiling:
+                failures.append(f"cost/FOM {cost_per_fom:.4g} > {ceiling:.4g}")
+
+        out.append(
+            Candidate(
+                scenario_id=sid,
+                env=env,
+                app=app,
+                scale=scale,
+                worlds=stats.worlds,
+                completion=completion,
+                fom_mean=fom_mean,
+                fom_ci95=stats.fom.ci95_halfwidth(),
+                cost_mean=stats.cost.mean,
+                cost_ci95=stats.cost.ci95_halfwidth(),
+                cost_per_fom=cost_per_fom,
+                exceedance=exceedance,
+                sla_ok=not failures,
+                sla_failures=tuple(failures),
+                fingerprint=config_fingerprint(
+                    spec,
+                    scenario.digest() if not scenario.is_baseline else None,
+                    env,
+                    app,
+                    scale,
+                ),
+            )
+        )
+    return out
+
+
+def pareto_frontier(candidates: list[Candidate]) -> list[Candidate]:
+    """The non-dominated set over (cost ascending, FOM descending).
+
+    A candidate is dominated when another costs no more *and* performs
+    at least as well (strictly better on one axis).  Candidates without
+    a FOM can never be on the frontier.  The sweep is deterministic:
+    sort by (cost, -FOM, key) and keep every candidate that raises the
+    best FOM seen so far — ties broken toward the lexically smaller
+    key, so the frontier is reproducible for any worker count.
+    """
+    measurable = [c for c in candidates if c.fom_mean is not None]
+    frontier: list[Candidate] = []
+    best_fom = -math.inf
+    for cand in sorted(
+        measurable, key=lambda c: (c.cost_mean, -c.fom_mean, c.key)
+    ):
+        if cand.fom_mean > best_fom:
+            frontier.append(cand)
+            best_fom = cand.fom_mean
+    return frontier
+
+
+def select_winner(
+    candidates: list[Candidate], *, eligible_keys: frozenset[CandidateKey]
+) -> Candidate | None:
+    """The cheapest-per-FOM SLA-passing candidate, deterministically.
+
+    Eligibility is the intersection of the full-strictness SLA verdict
+    (``sla_ok`` at grid fidelity) and ``eligible_keys`` (the smoke
+    stage's survivors — a config pruned on the cheap pass stays pruned,
+    that is the point of SMOKE).  Ties on the objective break on the
+    candidate key, so the winner is identical for any worker count.
+    """
+    pool = [
+        c
+        for c in candidates
+        if c.sla_ok and c.cost_per_fom is not None and c.key in eligible_keys
+    ]
+    if not pool:
+        return None
+    return min(pool, key=lambda c: (c.cost_per_fom, c.key))

@@ -184,6 +184,7 @@ class EnsembleRunner:
         workers: int = 1,
         cache_dir: str | None = None,
         incremental: bool = False,
+        baseline_plan: RunPlan | None = None,
     ):
         if incremental and cache_dir is None:
             raise ConfigurationError(
@@ -191,10 +192,19 @@ class EnsembleRunner:
                 "untouched cells attach from the cell-level cache the "
                 "baseline replicas write (pass cache_dir=...)"
             )
+        if baseline_plan is not None and not incremental:
+            raise ConfigurationError(
+                "baseline_plan only makes sense with incremental=True: "
+                "it extends the diff baseline the incremental schedule "
+                "attaches cells from"
+            )
         self.spec = spec
         self.workers = workers
         self.cache_dir = cache_dir
         self.incremental = incremental
+        #: extra worlds (e.g. a campaign's smoke stage) whose cached
+        #: cells this run may attach, on top of its own baseline replicas
+        self.baseline_plan = baseline_plan
 
     # -- planning -----------------------------------------------------------
 
@@ -244,13 +254,22 @@ class EnsembleRunner:
             baseline: RunPlan | None = None
             if self.incremental:
                 result.reuse = ReuseStats()
-                baseline, _ = plan.split_baseline()
+                own_baseline, _ = plan.split_baseline()
                 # Phase 1: run (and summary-cache) the baseline replicas.
                 # Their summaries are discarded here — the main pass below
                 # replays them from the world cache *in fold order*, so the
                 # streamed folds see the exact from-scratch ordering.
-                for _ in self._summaries(baseline, cache):
+                for _ in self._summaries(own_baseline, cache):
                     pass
+                # The diff baseline may extend beyond this run's own
+                # baseline replicas: a campaign threads its smoke-stage
+                # plan in, so cells that stage already simulated (at the
+                # same seed and footprint) attach from the cell cache
+                # instead of re-executing.  Sound because the diff
+                # matches shards by content-addressed summary keys.
+                baseline = own_baseline
+                if self.baseline_plan is not None:
+                    baseline = RunPlan.concat(own_baseline, self.baseline_plan)
             for world, summary, cached in self._summaries(
                 plan, cache, baseline=baseline, reuse=result.reuse
             ):

@@ -31,6 +31,7 @@ show`` prints it before anything executes).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
@@ -169,6 +170,38 @@ class RunPlan:
         base = self.subset(w.index for w in self.worlds if w.is_baseline)
         rest = self.subset(w.index for w in self.worlds if not w.is_baseline)
         return base, rest
+
+    # -- composition ---------------------------------------------------------
+
+    @staticmethod
+    def concat(*plans: "RunPlan") -> "RunPlan":
+        """One plan holding every world of ``plans``, re-indexed.
+
+        World indices (and shard indices / world tags) are resequenced
+        so the invariants hold across inputs that each start at 0.  The
+        result is only meant as a *diff baseline*
+        (:func:`~repro.plan.diff.diff_plans` matches shards by their
+        content-addressed summary keys, never by index) — the campaign
+        runner concatenates an ensemble's own baseline replicas with the
+        smoke-stage plan so the grid stage can attach any cell either
+        one already simulated.  Shards whose summary keys collide across
+        inputs are harmless: the diff's key map collapses them.
+        """
+        worlds: list[PlanWorld] = []
+        shards: list[StudyShard] = []
+        cache_dir = next((p.cache_dir for p in plans if p.cache_dir), None)
+        for plan in plans:
+            remap = {}
+            for world in plan.worlds:
+                remap[world.index] = len(worlds)
+                worlds.append(dataclasses.replace(world, index=remap[world.index]))
+            for shard in plan.shards:
+                shards.append(
+                    dataclasses.replace(
+                        shard, index=len(shards), world=remap[shard.world]
+                    )
+                )
+        return RunPlan(worlds=tuple(worlds), shards=tuple(shards), cache_dir=cache_dir)
 
     # -- inspection ----------------------------------------------------------
 

@@ -1,0 +1,136 @@
+"""Campaign reports: frontier, AB deltas, and stage accounting tables.
+
+Renders a :class:`~repro.campaigns.runner.CampaignResult` as the
+study's usual :class:`~repro.reporting.tables.Table` values:
+
+* :func:`frontier_table` — the Pareto frontier of cost vs performance,
+  one row per non-dominated candidate, the SLA verdict and the selected
+  winner marked;
+* :func:`ab_table` — every surviving config against its baseline cell:
+  cost delta/ratio, FOM ratio, exceedance, and whether the cost delta
+  is significant at 95% (Student-t CIs);
+* :func:`stage_table` — per-stage accounting: worlds folded, cache
+  hits, cells attached, prune counts, and wall-clock seconds from the
+  ``campaign.*`` telemetry spans.
+
+The frontier and AB tables are deterministic in the campaign's fold
+order — byte-identical CSV for any worker count.  The stage table
+carries measured seconds and is for humans.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.tables import Table, render_table
+
+
+def _na(value) -> object:
+    return "n/a" if value is None else value
+
+
+def frontier_table(result) -> Table:
+    """The Pareto frontier rows of a :class:`CampaignResult`."""
+    winner_key = result.winner.key if result.winner is not None else None
+    table = Table(
+        title="Pareto frontier: cost vs performance",
+        columns=(
+            "rank", "scenario", "env", "app", "scale",
+            "cost mean $", "FOM mean", "cost/FOM", "P(FOM>=base)",
+            "SLA", "winner", "fingerprint",
+        ),
+        caption=(
+            "Non-dominated candidates, cheapest first; SLA is the "
+            "full-strictness verdict at grid fidelity; the winner is the "
+            "cheapest-per-FOM candidate that passed both the smoke gate "
+            "and the full SLA."
+        ),
+    )
+    for rank, cand in enumerate(result.frontier, start=1):
+        table.add(
+            rank,
+            cand.scenario_id,
+            cand.env,
+            cand.app,
+            cand.scale,
+            cand.cost_mean,
+            _na(cand.fom_mean),
+            _na(cand.cost_per_fom),
+            _na(cand.exceedance),
+            "pass" if cand.sla_ok else "fail",
+            "*" if cand.key == winner_key else "",
+            cand.fingerprint,
+        )
+    return table
+
+
+def ab_table(result) -> Table:
+    """The AB stage's candidate-vs-baseline delta rows."""
+    table = Table(
+        title="AB: candidates vs the baseline world",
+        columns=(
+            "scenario", "env", "app", "scale",
+            "cost delta $", "cost ratio", "FOM ratio", "P(FOM>=base)",
+            "significant",
+        ),
+        caption=(
+            "Deltas are candidate minus the baseline cell at the same "
+            "(env, app, scale); 'significant' marks cost deltas whose 95% "
+            "Student-t confidence intervals do not overlap."
+        ),
+    )
+    for row in result.ab:
+        table.add(
+            row["scenario"],
+            row["env"],
+            row["app"],
+            row["scale"],
+            row["cost_delta"],
+            _na(row["cost_ratio"]),
+            _na(row["fom_ratio"]),
+            _na(row["exceedance"]),
+            "yes" if row["significant"] else "no",
+        )
+    return table
+
+
+def stage_table(result) -> Table:
+    """Per-stage accounting (worlds, reuse, prunes, measured seconds)."""
+    table = Table(
+        title="Campaign stages",
+        columns=("stage", "seconds", "detail"),
+        caption=(
+            "Seconds are wall-clock self+child time of each campaign.* "
+            "telemetry span; detail summarizes the stage record."
+        ),
+    )
+    for record in result.stage_records:
+        parts = []
+        for key, value in record.detail.items():
+            if isinstance(value, dict):
+                inner = ",".join(f"{k}={v}" for k, v in value.items())
+                parts.append(f"{key}[{inner}]")
+            else:
+                parts.append(f"{key}={value}")
+        table.add(
+            record.name,
+            result.stage_seconds.get(record.name, 0.0),
+            " ".join(parts),
+        )
+    return table
+
+
+def render_campaign(result) -> str:
+    """The whole campaign as fixed-width text (CLI output)."""
+    blocks = [render_table(frontier_table(result))]
+    if result.ab:
+        blocks.append(render_table(ab_table(result)))
+    blocks.append(render_table(stage_table(result)))
+    if result.winner is not None:
+        w = result.winner
+        blocks.append(
+            f"winner: {w.scenario_id} on {w.env} / {w.app} @ {w.scale} — "
+            f"cost/FOM {w.cost_per_fom:.4g}, cost ${w.cost_mean:,.2f}, "
+            f"P(FOM>=base) {_na(w.exceedance)} [{w.fingerprint}]"
+        )
+    else:
+        blocks.append("winner: none — no candidate met the SLA at grid fidelity")
+    return "\n\n".join(blocks)

@@ -138,11 +138,9 @@ def scenario_grid(
     callers that validate user input surface a clean message.
     """
     worlds = list(scenarios)
-    seen: set[str] = set()
+    counts: dict[str, int] = {}
     for scn in worlds:
-        if scn.scenario_id in seen:
-            raise ValueError(f"duplicate scenario id {scn.scenario_id!r} in sweep")
-        seen.add(scn.scenario_id)
+        counts[scn.scenario_id] = counts.get(scn.scenario_id, 0) + 1
         if scn.scenario_id == "baseline" and not scn.is_baseline:
             # The label "baseline" is reserved for the empty world; a
             # perturbed scenario wearing it would silently replace the
@@ -150,6 +148,16 @@ def scenario_grid(
             raise ValueError(
                 "scenario id 'baseline' is reserved for the empty scenario"
             )
+    duplicates = [sid for sid, n in counts.items() if n > 1]
+    if duplicates:
+        # Name *every* offender (with multiplicity), not just the first:
+        # a sweep generated from a config file may repeat several ids,
+        # and the user should fix them all in one round trip.
+        detail = ", ".join(f"{sid!r} x{counts[sid]}" for sid in duplicates)
+        raise ValueError(
+            f"duplicate scenario ids in sweep: {detail} "
+            "(every world needs a unique id)"
+        )
     if include_baseline and not any(s.is_baseline for s in worlds):
         worlds.insert(0, BASELINE)
     return worlds

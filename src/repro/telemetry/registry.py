@@ -8,16 +8,23 @@ lint-style test (``tests/test_telemetry.py``) greps ``src/`` for
 registry and the instrumentation can never drift apart.
 
 Naming convention: ``<layer>.<operation>``, layers ordered roughly by
-call depth — front-end runners (``study``/``sweep``/``ensemble``), the
-planner (``plan``), the process pool (``pool``), per-cell execution
-(``shard``), the engine (``engine``), and the benchmark suite
-(``bench``).
+call depth — campaign orchestration (``campaign``), front-end runners
+(``study``/``sweep``/``ensemble``), the planner (``plan``), the process
+pool (``pool``), per-cell execution (``shard``), the engine
+(``engine``), and the benchmark suite (``bench``).
 """
 
 from __future__ import annotations
 
 #: span name → what the interval covers
 SPANS: dict[str, str] = {
+    # campaign orchestration (stage spans carry a `stage=...` attribute)
+    "campaign.run": "one staged campaign: smoke -> grid -> ab -> select -> publish",
+    "campaign.smoke": "the SMOKE stage: low-replica ensemble pruning the search space",
+    "campaign.grid": "the GRID stage: full-replica ensemble over the survivors",
+    "campaign.ab": "the AB stage: candidate-vs-baseline deltas with Student-t CIs",
+    "campaign.select": "the SELECT stage: Pareto frontier and deterministic winner",
+    "campaign.publish": "the PUBLISH stage: building the CampaignReport artifact",
     # front-end runners
     "study.run": "one full study campaign, compile through artifact push",
     "study.build_containers": "building and pushing the container matrix",

@@ -270,7 +270,7 @@ def test_ensemble_help_documents_examples(capsys):
 def test_help_documents_every_subcommand_with_examples():
     help_text = build_parser().format_help()
     for subcommand in ("list", "experiment", "run", "study", "scenario",
-                       "ensemble", "bench", "report"):
+                       "ensemble", "campaign", "bench", "report"):
         assert subcommand in help_text
     assert "examples:" in help_text
     assert "--workers 4" in help_text
@@ -493,3 +493,112 @@ def test_study_cache_line_shows_invalid_reasons(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "invalid (re-simulated; see warnings)" in out
     assert "[" in out and "x" in out  # the reason histogram detail
+
+
+CAMPAIGN_SPEC_JSON = """\
+{
+  "sla": {"min_exceedance": 0.5, "min_completion": 0.5, "max_cost_per_fom": 2.0},
+  "scenarios": [
+    {"scenario_id": "cheap-aws",
+     "price_shocks": [{"cloud": "aws", "multiplier": 0.9}]},
+    {"scenario_id": "slow-aws",
+     "fabric": {"latency_multiplier": 3.0, "clouds": ["aws"]}}
+  ],
+  "env_ids": ["cpu-eks-aws"],
+  "apps": ["lammps"],
+  "sizes": [16],
+  "iterations": 2,
+  "smoke": {"replicas": 1, "margin": 0.5},
+  "grid": {"replicas": 2}
+}
+"""
+
+
+def test_campaign_show_command(tmp_path, capsys):
+    spec = tmp_path / "campaign.json"
+    spec.write_text(CAMPAIGN_SPEC_JSON)
+    assert main(["campaign", "show", "--spec", str(spec)]) == 0
+    out = capsys.readouterr().out
+    assert "objective" in out
+    assert "cost_per_fom" in out
+    assert "smoke" in out and "grid" in out
+    assert "cheap-aws" in out
+
+
+def test_campaign_run_command(tmp_path, capsys):
+    spec = tmp_path / "campaign.json"
+    spec.write_text(CAMPAIGN_SPEC_JSON)
+    csv_path = tmp_path / "frontier.csv"
+    json_path = tmp_path / "report.json"
+    trace_path = tmp_path / "trace.json"
+    rc = main([
+        "campaign", "run",
+        "--spec", str(spec),
+        "--workers", "2",
+        "--output", str(csv_path),
+        "--json", str(json_path),
+        "--trace", str(trace_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "winner: cheap-aws" in out
+    assert "campaign digest" in out
+    # The trace summary names the five stage spans.
+    assert "campaign.smoke" in out
+    assert "campaign.grid" in out
+    assert "campaign.publish" in out
+    assert csv_path.read_text().startswith("rank,scenario,env,app,scale,")
+    import json as jsonlib
+
+    report = jsonlib.loads(json_path.read_text())
+    assert report["v"] == 1
+    assert set(report["stages"]) == {"smoke", "grid", "ab", "select", "publish"}
+    assert report["winner"]["scenario"] == "cheap-aws"
+    assert trace_path.exists()
+
+
+def test_campaign_run_is_byte_identical_across_worker_counts(tmp_path, capsys):
+    spec = tmp_path / "campaign.json"
+    spec.write_text(CAMPAIGN_SPEC_JSON)
+
+    def run(workers, path):
+        rc = main(["campaign", "run", "--spec", str(spec),
+                   "--workers", workers, "--json", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        import json as jsonlib
+
+        data = jsonlib.loads(path.read_text())
+        del data["profile"]  # measured seconds — the one non-deterministic bit
+        del data["stages"]   # cache accounting moves between cold/warm runs
+        return jsonlib.dumps(data, sort_keys=True)
+
+    serial = run("1", tmp_path / "r1.json")
+    sharded = run("4", tmp_path / "r4.json")
+    assert serial == sharded
+
+
+def test_campaign_run_bad_spec_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"grid": {"replicas": 0}}')
+    assert main(["campaign", "run", "--spec", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_campaign_run_duplicate_scenarios_is_a_clean_error(tmp_path, capsys):
+    dup = tmp_path / "dup.json"
+    dup.write_text(
+        '{"scenarios": [{"scenario_id": "a"}, {"scenario_id": "a"}]}'
+    )
+    assert main(["campaign", "run", "--spec", str(dup)]) == 2
+    err = capsys.readouterr().err
+    assert "duplicate" in err and "'a' x2" in err
+
+
+def test_campaign_help_documents_examples(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--help"])
+    out = capsys.readouterr().out
+    assert "examples:" in out
+    assert "smoke" in out
