@@ -160,6 +160,18 @@ def _write_exports(
         print(f"{json_label:18s}: {args.json_output}")
 
 
+def _apply_transport_flags(args: argparse.Namespace) -> None:
+    """Apply the shared ``--spill-mb`` knob before any store is built.
+
+    The threshold travels through the environment so pool workers
+    (forked or spawned) inherit it without any shard plumbing.
+    """
+    if getattr(args, "spill_mb", None) is not None:
+        from repro.core.results import set_spill_limit_mb
+
+        set_spill_limit_mb(args.spill_mb)
+
+
 def _fmt_cache_line(
     hits: int,
     misses: int,
@@ -247,8 +259,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     config = _config_from_args(args)
+    _apply_transport_flags(args)
     with _TraceSession(args) as session:
-        report = StudyRunner(config, workers=args.workers, cache_dir=args.cache).run()
+        report = StudyRunner(
+            config,
+            workers=args.workers,
+            cache_dir=args.cache,
+            transport=args.transport,
+        ).run()
     print(f"datasets          : {report.datasets}")
     print(f"clusters created  : {report.clusters_created}")
     print(f"containers built  : {report.containers_built} "
@@ -258,6 +276,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if args.cache:
         print(f"run cache         : "
               f"{_fmt_cache_line(report.cache_hits, report.cache_misses, report.cache_invalid, report.cache_invalid_reasons)}")
+    if report.transport is not None and report.transport.mode != "inline":
+        # Diagnostics, not results: worker count changes this line, so
+        # it goes to stderr to keep stdout byte-identical across runs.
+        print(f"shard transport   : {report.transport.summary()}", file=sys.stderr)
     _write_exports(
         args,
         csv_text=report.store.to_csv,
@@ -316,12 +338,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     try:
         scenarios = [_resolve_scenario(name) for name in args.scenario]
+        _apply_transport_flags(args)
         sweep = ScenarioSweep(
             _config_from_args(args),
             scenarios,
             workers=args.workers,
             cache_dir=args.cache,
             incremental=args.incremental,
+            transport=args.transport,
         )
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -390,12 +414,14 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _apply_transport_flags(args)
     try:
         runner = EnsembleRunner(
             spec,
             workers=args.workers,
             cache_dir=args.cache,
             incremental=args.incremental,
+            transport=args.transport,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -412,6 +438,10 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
               f"{_fmt_cache_line(result.world_cache_hits, result.world_cache_misses, result.world_cache_invalid, result.world_cache_invalid_reasons)}")
     if result.reuse is not None:
         print(f"cell reuse        : {_fmt_reuse_line(result.reuse)}")
+    if result.transport is not None and result.transport.mode != "inline":
+        # Diagnostics on stderr: stdout stays byte-identical across
+        # worker counts and transports.
+        print(f"shard transport   : {result.transport.summary()}", file=sys.stderr)
     _write_exports(
         args,
         csv_text=lambda: result.distribution_table().to_csv(),
@@ -724,9 +754,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
+    _apply_transport_flags(args)
     try:
         spec = _campaign_spec_from_args(args)
-        runner = CampaignRunner(spec, workers=args.workers, cache_dir=args.cache)
+        runner = CampaignRunner(
+            spec,
+            workers=args.workers,
+            cache_dir=args.cache,
+            transport=args.transport,
+        )
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -745,6 +781,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.cache:
         print(f"world cache       : "
               f"{_fmt_cache_line(result.smoke.world_cache_hits + result.grid.world_cache_hits, result.smoke.world_cache_misses + result.grid.world_cache_misses, result.smoke.world_cache_invalid + result.grid.world_cache_invalid)}")
+    for label, stage_result in (("smoke transport", result.smoke),
+                                ("grid transport", result.grid)):
+        if stage_result.transport is not None and stage_result.transport.mode != "inline":
+            # Diagnostics on stderr, like the study/ensemble lines.
+            print(f"{label:18s}: {stage_result.transport.summary()}", file=sys.stderr)
     _write_exports(
         args,
         csv_text=lambda: frontier_table(result).to_csv(),
@@ -822,6 +863,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed run-cache directory; repeat campaigns "
         "replay cached runs instead of re-simulating (keys embed the "
         "scenario digest, so what-if worlds never collide)",
+    )
+    campaign_options.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="how shard results cross back from workers: shared-memory "
+        "blocks (shm, zero-copy), plain pickling, or probe-and-prefer-"
+        "shm (auto, the default); results are byte-identical either way",
+    )
+    campaign_options.add_argument(
+        "--spill-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="spill result columns bigger than this to unlinked temp-"
+        "file mmaps (out-of-core stores; default: keep everything in "
+        "RAM).  Applies to this process and every worker",
     )
 
     p_study = sub.add_parser(
@@ -1042,6 +1100,19 @@ def build_parser() -> argparse.ArgumentParser:
         "private temporary directory); persist it and a re-run from the "
         "same spec replays the smoke stage from the world cache",
     )
+    p_camp_run.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="shard-result transport (see `repro study --help`)",
+    )
+    p_camp_run.add_argument(
+        "--spill-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="out-of-core column threshold (see `repro study --help`)",
+    )
     p_camp_run.add_argument("--output", help="write the Pareto frontier CSV here")
     p_camp_run.add_argument(
         "--json",
@@ -1095,6 +1166,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the reduced smoke campaign instead of the full one",
     )
+    p_bench.add_argument(
+        "--transport",
+        action="store_true",
+        help=(
+            "run the zero-copy transport benchmark instead: shm "
+            "descriptors vs pickled columns on a ~1M-record store, "
+            "plus in-RAM vs spilled peak RSS"
+        ),
+    )
+    p_bench.add_argument(
+        "--records",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="store size for --transport (default: 1,000,000)",
+    )
     _add_trace_flag(p_bench)
 
     p_trace = sub.add_parser(
@@ -1146,7 +1233,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import QUICK_CAMPAIGN, render_table as render_bench, run_bench, write_artifact
 
     with _TraceSession(args) as session:
-        payload = run_bench(QUICK_CAMPAIGN if args.quick else None)
+        if args.transport:
+            from repro.bench import render_transport_table, run_transport_bench
+
+            render_bench = render_transport_table
+            payload = run_transport_bench(
+                n_records=args.records, repeats=1 if args.quick else 3
+            )
+        else:
+            payload = run_bench(QUICK_CAMPAIGN if args.quick else None)
     if session.tracer is not None:
         from repro.telemetry import phase_rows
 

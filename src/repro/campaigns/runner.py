@@ -87,9 +87,11 @@ class CampaignRunner:
         *,
         workers: int = 1,
         cache_dir: str | None = None,
+        transport: str = "auto",
     ):
         self.spec = spec
         self.workers = workers
+        self.transport = transport
         self.cache_dir = cache_dir
 
     def run(self) -> CampaignResult:
@@ -113,6 +115,7 @@ class CampaignRunner:
                         workers=self.workers,
                         cache_dir=cache_dir,
                         incremental=True,
+                        transport=self.transport,
                     )
                     smoke = smoke_runner.run()
                     smoke_candidates = evaluate_candidates(
@@ -129,6 +132,7 @@ class CampaignRunner:
                         cache_dir=cache_dir,
                         incremental=True,
                         baseline_plan=smoke_runner.compile(),
+                        transport=self.transport,
                     )
                     grid = grid_runner.run()
                     grid_candidates = evaluate_candidates(grid, spec, margin=1.0)

@@ -26,6 +26,9 @@ from __future__ import annotations
 
 import csv
 import io
+import mmap
+import os
+import tempfile
 from bisect import bisect_right
 from typing import Any, Callable, Iterable, Iterator
 
@@ -41,14 +44,67 @@ from repro.sim.run_result import (
 )
 
 
+#: environment knob for the out-of-core threshold (megabytes); an env
+#: var rather than plumbing because worker processes inherit it for free
+SPILL_ENV = "REPRO_SPILL_MB"
+
+#: where spill files land; default honors TMPDIR via tempfile
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+#: sentinel distinguishing "no limit passed" (read the environment) from
+#: an explicit ``None`` ("never spill")
+_SPILL_FROM_ENV = object()
+
+
+def spill_limit_bytes():
+    """The process-wide spill threshold in bytes, or ``None`` (in-RAM)."""
+    raw = os.environ.get(SPILL_ENV)
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes < 0:
+        return None
+    return int(megabytes * (1 << 20))
+
+
+def set_spill_limit_mb(megabytes) -> None:
+    """Set (or with ``None`` clear) the spill threshold for this process
+    *and every worker it forks or spawns* — the CLI ``--spill-mb`` knob."""
+    if megabytes is None:
+        os.environ.pop(SPILL_ENV, None)
+    else:
+        os.environ[SPILL_ENV] = repr(float(megabytes))
+
+
 class _ColumnBuffer:
-    """One growing typed column: amortized-doubling NumPy storage."""
+    """One growing typed column: amortized-doubling NumPy storage.
 
-    __slots__ = ("_arr", "_n")
+    In-RAM (``np.empty``) below the spill threshold; above it the
+    backing moves to an *unlinked* temp-file mmap, and fully-written
+    pages are periodically synced and dropped from the page cache
+    (``MADV_DONTNEED``), so a buffer's resident set stays a bounded
+    window regardless of how many records it holds.  ``view()`` is a
+    zero-copy slice either way — readers fault spilled pages back in on
+    demand, which is exactly the working-set-only memory profile the
+    out-of-core store promises.
+    """
 
-    def __init__(self, dtype):
+    __slots__ = ("_arr", "_n", "_spill", "_mmap", "_synced")
+
+    #: release dirty spilled pages once this many bytes accumulate
+    _SYNC_CHUNK = 1 << 20
+
+    def __init__(self, dtype, spill_bytes=_SPILL_FROM_ENV):
         self._arr = np.empty(0, dtype=dtype)
         self._n = 0
+        self._spill = (
+            spill_limit_bytes() if spill_bytes is _SPILL_FROM_ENV else spill_bytes
+        )
+        self._mmap = None
+        self._synced = 0
 
     def __len__(self) -> int:
         return self._n
@@ -57,18 +113,86 @@ class _ColumnBuffer:
         """The live column as a zero-copy view of the buffer."""
         return self._arr[: self._n]
 
+    def _spill_alloc(self, capacity: int):
+        """An ndarray over a fresh unlinked temp-file mapping, or ``None``
+        if the filesystem refuses (the fallback rung: stay in RAM)."""
+        dtype = self._arr.dtype
+        nbytes = max(capacity * dtype.itemsize, mmap.PAGESIZE)
+        try:
+            fd, path = tempfile.mkstemp(
+                prefix="repro-spill-", dir=os.environ.get(SPILL_DIR_ENV)
+            )
+            try:
+                os.unlink(path)
+                os.ftruncate(fd, nbytes)
+                mapped = mmap.mmap(fd, nbytes)
+            finally:
+                os.close(fd)
+        except OSError:
+            return None
+        self._mmap = mapped
+        self._synced = 0
+        return np.frombuffer(mapped, dtype=dtype, count=capacity)
+
+    def _release(self, mapped, start: int, end: int) -> None:
+        """Sync then drop the page-aligned byte range from RAM."""
+        start = -(-start // mmap.PAGESIZE) * mmap.PAGESIZE
+        end = (end // mmap.PAGESIZE) * mmap.PAGESIZE
+        if end <= start:
+            return
+        try:
+            mapped.flush(start, end - start)
+            mapped.madvise(mmap.MADV_DONTNEED, start, end - start)
+        except (OSError, ValueError, AttributeError):
+            pass
+
+    def _maybe_sync(self) -> None:
+        if self._mmap is None:
+            return
+        written = self._n * self._arr.dtype.itemsize
+        if written - self._synced < self._SYNC_CHUNK:
+            return
+        self._release(self._mmap, self._synced, written)
+        self._synced = (written // mmap.PAGESIZE) * mmap.PAGESIZE
+
     def _reserve(self, extra: int) -> None:
         need = self._n + extra
         if need > len(self._arr):
             capacity = max(need, 2 * len(self._arr), 16)
-            grown = np.empty(capacity, dtype=self._arr.dtype)
-            grown[: self._n] = self._arr[: self._n]
+            old_arr, old_mmap = self._arr, self._mmap
+            grown = None
+            if (
+                self._spill is not None
+                and capacity * self._arr.dtype.itemsize >= self._spill
+            ):
+                grown = self._spill_alloc(capacity)
+            if grown is None:
+                self._mmap, self._synced = None, 0
+                grown = np.empty(capacity, dtype=old_arr.dtype)
+                grown[: self._n] = old_arr[: self._n]
+                self._arr = grown
+                return
+            # Spilled growth: copy in bounded windows, dropping each
+            # window's pages (source and destination) as it completes,
+            # so the copy itself never faults the whole column resident.
+            itemsize = old_arr.dtype.itemsize
+            step = max(self._SYNC_CHUNK // itemsize, 1)
+            for start in range(0, self._n, step):
+                stop = min(self._n, start + step)
+                grown[start:stop] = old_arr[start:stop]
+                self._release(self._mmap, start * itemsize, stop * itemsize)
+                if old_mmap is not None:
+                    self._release(old_mmap, start * itemsize, stop * itemsize)
+            # The old mapping closes when its last array view is
+            # collected — never explicitly, since callers may still hold
+            # (now stale-capacity) views from before the growth.
             self._arr = grown
 
     def append(self, value) -> None:
         self._reserve(1)
         self._arr[self._n] = value
         self._n += 1
+        self._maybe_sync()
 
     def extend(self, values) -> None:
         """Append a list (or ndarray) of values in one vectorized copy."""
@@ -78,6 +202,7 @@ class _ColumnBuffer:
         self._reserve(len(chunk))
         self._arr[self._n : self._n + len(chunk)] = chunk
         self._n += len(chunk)
+        self._maybe_sync()
 
     def fill(self, n: int, value) -> None:
         """Append ``n`` copies of one value (a broadcast store, no chunk
@@ -88,6 +213,7 @@ class _ColumnBuffer:
         self._reserve(n)
         self._arr[self._n : self._n + n] = value
         self._n += n
+        self._maybe_sync()
 
     # -- pickling (shard transport) -----------------------------------------
 
@@ -101,6 +227,20 @@ class _ColumnBuffer:
     def __setstate__(self, state):
         (self._arr,) = state
         self._n = len(self._arr)
+        self._spill = spill_limit_bytes()
+        self._mmap = None
+        self._synced = 0
+
+    @classmethod
+    def _wrap(cls, arr: np.ndarray) -> "_ColumnBuffer":
+        """A buffer over an existing array, zero-copy (shm attach)."""
+        buf = cls.__new__(cls)
+        buf._arr = arr
+        buf._n = len(arr)
+        buf._spill = None
+        buf._mmap = None
+        buf._synced = 0
+        return buf
 
 
 def _has_array_leaf(template: dict) -> bool:
@@ -259,17 +399,22 @@ _TYPED_COLUMNS: tuple[tuple[str, str, Callable[[RunRecord], Any]], ...] = (
 class ResultStore:
     """Queryable columnar collection of run records."""
 
-    def __init__(self, records: Iterable[RunRecord] | None = None):
+    def __init__(
+        self,
+        records: Iterable[RunRecord] | None = None,
+        *,
+        spill_bytes=_SPILL_FROM_ENV,
+    ):
         self._cols: dict[str, _ColumnBuffer] = {
-            name: _ColumnBuffer(dtype) for name, dtype, _ in _TYPED_COLUMNS
+            name: _ColumnBuffer(dtype, spill_bytes) for name, dtype, _ in _TYPED_COLUMNS
         }
         #: explicit None mask for ``fom`` (NaN is the column encoding)
-        self._fom_none = _ColumnBuffer("?")
+        self._fom_none = _ColumnBuffer("?", spill_bytes)
         #: incremental (env, app, scale) factorization: first-seen code
         #: per cell plus a per-record label column, so a frame never
         #: re-derives the group-by keys from the string columns
         self._cell_codes: dict[tuple[str, str, int], int] = {}
-        self._labels = _ColumnBuffer("i8")
+        self._labels = _ColumnBuffer("i8", spill_bytes)
         #: per-record Python payloads the columns don't carry (segmented
         #: so block appends stay O(1) in Python objects)
         self._fom_units = _PayloadColumn()
@@ -279,6 +424,11 @@ class ResultStore:
         #: lazily materialized row objects (a prefix cache; appends
         #: extend it on the next access, not eagerly)
         self._rows: list[RunRecord] = []
+        #: transport marking: ``"shm"`` makes the *next* pickle pack the
+        #: numeric columns into shared memory; stats record how the
+        #: store actually arrived on the attaching side
+        self._transport: str | None = None
+        self._transport_stats: dict[str, Any] | None = None
         if records:
             self.extend(records)
 
@@ -435,6 +585,20 @@ class ResultStore:
     #: fully derivable from the cell factorization
     _DERIVED_COLUMNS = ("env", "app", "scale")
 
+    def _shm_arrays(self) -> dict[str, np.ndarray]:
+        """The store's typed column views, keyed for a shm block.
+
+        *Every* typed column ships, derived string columns included:
+        unlike the pipe, block bytes cost one local memcpy, and carrying
+        the derived columns lets the receiving side skip the gather
+        that rebuilds them from the cell labels.  (The Python payload
+        columns still ship as O(1) pickled segments.)
+        """
+        arrays = {f"col:{name}": buf.view() for name, buf in self._cols.items()}
+        arrays["fom_none"] = self._fom_none.view()
+        arrays["labels"] = self._labels.view()
+        return arrays
+
     def __getstate__(self):
         """Columnar transport: compacted buffers and payload segments.
 
@@ -443,8 +607,14 @@ class ResultStore:
         list of per-record objects.  The lazily materialized row cache
         never ships, and neither do the env/app/scale columns (rebuilt
         from the cell labels with three vectorized gathers).
+
+        When the store is marked for shm transport (see
+        :meth:`mark_transport`) the numeric columns move through one
+        shared-memory block instead and only its descriptor is pickled;
+        if the block can't be created the state degrades to the plain
+        pickle form below — the receiving side handles both.
         """
-        return {
+        state = {
             "cols": {
                 name: buf
                 for name, buf in self._cols.items()
@@ -458,24 +628,55 @@ class ResultStore:
             "phases": self._phases,
             "extra": self._extra,
         }
+        if self._transport == "shm":
+            from repro.parallel import transport
+
+            descriptor = transport.pack_columns(self._shm_arrays())
+            if descriptor is not None:
+                del state["cols"], state["fom_none"], state["labels"]
+                state["shm"] = descriptor
+                state["col_order"] = list(self._cols)
+        return state
 
     def __setstate__(self, state):
+        if "shm" in state:
+            from repro.parallel import transport
+
+            views = transport.attach_columns(state["shm"])
+            state["cols"] = {
+                name: _ColumnBuffer._wrap(views[f"col:{name}"])
+                for name in state["col_order"]
+            }
+            state["fom_none"] = _ColumnBuffer._wrap(views["fom_none"])
+            state["labels"] = _ColumnBuffer._wrap(views["labels"])
+            self._transport_stats = {
+                "mode": "shm",
+                "blocks": 1,
+                "bytes": state["shm"]["size"],
+                "copied_bytes": 0,
+            }
+        else:
+            self._transport_stats = None
+        self._transport = None
         self._cols = state["cols"]
         self._fom_none = state["fom_none"]
         cells = state["cells"]
         self._cell_codes = {key: code for code, key in enumerate(cells)}
         self._labels = state["labels"]
-        labels = self._labels.view()
-        by_code = {
-            "env": np.array([c[0] for c in cells] or [""], dtype=f"U{_ENV_WIDTH}"),
-            "app": np.array([c[1] for c in cells] or [""], dtype=f"U{_APP_WIDTH}"),
-            "scale": np.array([c[2] for c in cells] or [0], dtype=np.int64),
-        }
-        for name, _, _ in _TYPED_COLUMNS:
-            if name in self._DERIVED_COLUMNS:
-                buf = _ColumnBuffer(by_code[name].dtype)
-                buf.extend(by_code[name][labels])
-                self._cols[name] = buf
+        if any(name not in self._cols for name in self._DERIVED_COLUMNS):
+            # Plain pickle transport derives env/app/scale from the cell
+            # labels (they never ship — see __getstate__); shm transport
+            # carries them in the block, so this gather is skipped.
+            labels = self._labels.view()
+            by_code = {
+                "env": np.array([c[0] for c in cells] or [""], dtype=f"U{_ENV_WIDTH}"),
+                "app": np.array([c[1] for c in cells] or [""], dtype=f"U{_APP_WIDTH}"),
+                "scale": np.array([c[2] for c in cells] or [0], dtype=np.int64),
+            }
+            for name in self._DERIVED_COLUMNS:
+                # The gather materializes a fresh array; wrap it as the
+                # column's buffer directly rather than copying it again.
+                self._cols[name] = _ColumnBuffer._wrap(by_code[name][labels])
         # Restore the schema's column order.
         self._cols = {name: self._cols[name] for name, _, _ in _TYPED_COLUMNS}
         self._fom_units = state["fom_units"]
@@ -483,6 +684,22 @@ class ResultStore:
         self._phases = state["phases"]
         self._extra = state["extra"]
         self._rows = []
+
+    def mark_transport(self, mode: str | None) -> None:
+        """Choose how this store crosses the next process boundary.
+
+        ``"shm"`` packs the numeric columns into a shared-memory block
+        at pickle time (falling back to plain pickle if that fails);
+        ``None``/``"pickle"`` is the plain path.  The mark itself never
+        ships — an unpickled store is always unmarked.
+        """
+        self._transport = mode if mode == "shm" else None
+
+    @property
+    def transport_stats(self) -> dict[str, Any] | None:
+        """How this store arrived, if it crossed a process boundary via
+        shared memory (``None`` for pickle transport or local stores)."""
+        return getattr(self, "_transport_stats", None)
 
     def __len__(self) -> int:
         return len(self._fom_units)

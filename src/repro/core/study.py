@@ -44,6 +44,7 @@ from repro.core.incidents import (
 from repro.core.results import ResultStore
 from repro.envs.environment import EnvironmentKind
 from repro.envs.registry import ENVIRONMENTS
+from repro.parallel.merge import TransportStats
 from repro.errors import ConfigurationError
 from repro.telemetry import span
 
@@ -99,6 +100,9 @@ class StudyReport:
     #: why those entries were invalid: reason label → count (capped per
     #: shard at :data:`~repro.sim.cache.INVALID_REASON_CAP` labels)
     cache_invalid_reasons: dict[str, int] = field(default_factory=dict)
+    #: how shard result stores crossed back from the worker pool
+    #: (``None`` only for reports predating transport accounting)
+    transport: TransportStats | None = None
 
     @property
     def datasets(self) -> int:
@@ -146,9 +150,11 @@ class StudyRunner:
         workers: int = 1,
         cache_dir: str | None = None,
         scenario=None,
+        transport: str = "auto",
     ):
         self.config = config
         self.workers = workers
+        self.transport = transport
         self.cache_dir = cache_dir
         self.scenario = scenario
         self.registry = Registry()
@@ -223,7 +229,9 @@ class StudyRunner:
             self.build_containers()
 
             scn = active(self.scenario)
-            executor = PlanExecutor(self.compile(), workers=self.workers)
+            executor = PlanExecutor(
+                self.compile(), workers=self.workers, transport=self.transport
+            )
             ((_, merged),) = executor.run(seed_incidents=self.incidents)
 
             self.store = merged.store
@@ -248,4 +256,5 @@ class StudyRunner:
                 cache_misses=merged.cache_misses,
                 cache_invalid=merged.cache_invalid,
                 cache_invalid_reasons=merged.cache_invalid_reasons,
+                transport=merged.transport,
             )

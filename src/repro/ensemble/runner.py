@@ -41,6 +41,7 @@ from repro.core.results import ResultStore
 from repro.ensemble.frame import ResultFrame
 from repro.ensemble.spec import EnsembleSpec
 from repro.ensemble.stats import CellStats, StreamAccumulator
+from repro.parallel.merge import TransportStats
 from repro.parallel.shard import ShardResult
 from repro.plan import PlanExecutor, PlanWorld, ReuseStats, RunPlan, compile_ensemble
 from repro.errors import ConfigurationError
@@ -99,6 +100,12 @@ class EnsembleResult:
     #: malformed cell-summary entries met on the reuse path); ``None``
     #: for from-scratch runs
     reuse: ReuseStats | None = None
+    #: how executed worlds' shard stores crossed back from the worker
+    #: pool (:class:`~repro.parallel.merge.TransportStats`); world-cache
+    #: replays ship nothing, so a fully-warm run reports no blocks.
+    #: Deliberately absent from :meth:`to_json_dict` — transport is an
+    #: execution property, not part of the dataset.
+    transport: TransportStats | None = None
 
     def scenario_ids(self) -> list[str]:
         """Scenario ids in fold order (baseline first)."""
@@ -185,6 +192,7 @@ class EnsembleRunner:
         cache_dir: str | None = None,
         incremental: bool = False,
         baseline_plan: RunPlan | None = None,
+        transport: str = "auto",
     ):
         if incremental and cache_dir is None:
             raise ConfigurationError(
@@ -200,8 +208,11 @@ class EnsembleRunner:
             )
         self.spec = spec
         self.workers = workers
+        self.transport = transport
         self.cache_dir = cache_dir
         self.incremental = incremental
+        #: accumulates over one run() invocation (see EnsembleResult)
+        self._transport_stats = TransportStats()
         #: extra worlds (e.g. a campaign's smoke stage) whose cached
         #: cells this run may attach, on top of its own baseline replicas
         self.baseline_plan = baseline_plan
@@ -243,6 +254,8 @@ class EnsembleRunner:
         is byte-identical to a from-scratch run.
         """
         result = EnsembleResult(spec=self.spec)
+        self._transport_stats = TransportStats()
+        result.transport = self._transport_stats
         cache = RunCache(self.cache_dir) if self.cache_dir else None
         plan = self.compile()
         with span(
@@ -387,10 +400,13 @@ class EnsembleRunner:
             workers=self.workers,
             incremental=baseline is not None,
             baseline=baseline,
+            transport=self.transport,
         )
         world_results = executor.iter_world_results()
         for (world, key), (executed, shard_results) in zip(pending, world_results):
             assert executed.index == world.index
+            for shard in shard_results:
+                self._transport_stats.note(shard)
             summary = self._world_summary(shard_results)
             if cache is not None and key is not None:
                 cache.put_json(key, summary, level="world")

@@ -7,20 +7,33 @@ pool (:mod:`~repro.parallel.pool`), and folds the results back together
 deterministically (:mod:`~repro.parallel.merge`).  Seeds are derived
 per-cell from keyed streams, never from call order, so any worker count
 yields a byte-identical :class:`~repro.core.results.ResultStore`.
+
+Results cross the pool zero-copy when the platform allows: workers pack
+their column arrays into shared-memory blocks and ship only a small
+descriptor (:mod:`~repro.parallel.transport`), falling back to plain
+column pickling wherever ``/dev/shm`` isn't available.
 """
 
-from repro.parallel.merge import MergedStudy, merge_incident_logs, merge_shard_results
+from repro.parallel.merge import (
+    MergedStudy,
+    TransportStats,
+    merge_incident_logs,
+    merge_shard_results,
+)
 from repro.parallel.pool import execute_shards, pmap
 from repro.parallel.shard import ShardResult, StudyShard, execute_shard, plan_shards
+from repro.parallel.transport import shm_available
 
 __all__ = [
     "MergedStudy",
     "ShardResult",
     "StudyShard",
+    "TransportStats",
     "execute_shard",
     "execute_shards",
     "merge_incident_logs",
     "merge_shard_results",
     "plan_shards",
     "pmap",
+    "shm_available",
 ]

@@ -40,7 +40,9 @@ def _call_tagged(fn: Callable[[T], R], item: T, ordinal: int) -> R:
     if hasattr(result, "worker_pid") and hasattr(result, "dispatch_ordinal"):
         result.worker_pid = os.getpid()
         result.dispatch_ordinal = ordinal
-        if not result.worker_seconds:
+        # `is None`, not falsiness: 0.0 is a legitimate measurement a
+        # traced execution may already have stamped.
+        if result.worker_seconds is None:
             result.worker_seconds = time.perf_counter() - t0
     return result
 

@@ -74,6 +74,13 @@ class StudyShard:
     #: (:mod:`repro.telemetry`); a transport flag only — it never
     #: participates in cache keys or simulation.
     trace: bool = False
+    #: how the result store crosses back to the parent: ``"pickle"``
+    #: (plain column pickle) or ``"shm"`` (one shared-memory block per
+    #: shard, descriptor-only pickle — :mod:`repro.parallel.transport`).
+    #: Like ``trace``, a transport flag only: it never participates in
+    #: cache keys or simulation, and any setting yields byte-identical
+    #: merged results.
+    transport: str = "pickle"
 
 
 @dataclass
@@ -106,8 +113,9 @@ class ShardResult:
     #: observability — merges ignore them
     worker_pid: int = -1
     dispatch_ordinal: int = -1
-    #: wall seconds the executing process spent on this cell
-    worker_seconds: float = 0.0
+    #: wall seconds the executing process spent on this cell (``None``
+    #: until something measures it — 0.0 is a legitimate measurement)
+    worker_seconds: float | None = None
     #: columnar span snapshot recorded while executing (``None`` unless
     #: the shard was dispatched with ``trace=True`` to another process)
     trace: dict | None = None
@@ -323,10 +331,13 @@ def execute_shard(shard: StudyShard) -> ShardResult:
                 result = _execute_shard_body(shard)
         result.trace = tracer.snapshot()
         result.worker_seconds = time.perf_counter() - t0
+        result.store.mark_transport(shard.transport)
         return result
     with span("shard.execute", env=shard.env_id, scale=shard.scale,
               world=shard.world):
-        return _execute_shard_body(shard)
+        result = _execute_shard_body(shard)
+    result.store.mark_transport(shard.transport)
+    return result
 
 
 def _execute_shard_body(shard: StudyShard) -> ShardResult:
@@ -347,6 +358,14 @@ def _execute_shard_body(shard: StudyShard) -> ShardResult:
         # (the invalid counter keeps accumulating — it is the trace).
         cache.hits = 0
         cache.misses = 0
+    # One run-cache envelope per cell: every run-level probe and store
+    # below goes through a single batched read/write instead of a file
+    # per run (engine.cache_scope is a no-op without a cache).
+    with engine.cache_scope(env, shard.scale):
+        return _execute_shard_cell(shard, env, scn, cache, engine)
+
+
+def _execute_shard_cell(shard, env, scn, cache, engine) -> ShardResult:
     result = ShardResult(
         index=shard.index, env_id=shard.env_id, scale=shard.scale, world=shard.world
     )

@@ -85,6 +85,7 @@ class PlanExecutor:
         workers: int = 1,
         incremental: bool = False,
         baseline: RunPlan | None = None,
+        transport: str = "auto",
     ):
         if incremental and plan.cache_dir is None:
             raise ConfigurationError(
@@ -92,8 +93,18 @@ class PlanExecutor:
                 "cells attach from the cell-level cache the baseline run "
                 "wrote (compile the plan with cache_dir=...)"
             )
+        if transport not in ("auto", "shm", "pickle"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r}: choose 'auto', 'shm', "
+                "or 'pickle'"
+            )
         self.plan = plan
         self.workers = workers
+        #: how shard stores cross back from workers: ``"shm"`` packs
+        #: columns into shared-memory blocks, ``"pickle"`` ships them
+        #: through the pool pipe, ``"auto"`` probes and prefers shm.
+        #: Results are byte-identical either way.
+        self.transport = transport
         self.incremental = incremental
         #: the plan reusable cells are diffed against; defaults to the
         #: plan's own baseline worlds (:meth:`RunPlan.split_baseline`)
@@ -110,17 +121,37 @@ class PlanExecutor:
         first = counts[0][1] if counts else 0
         return max(first, max(1, self.workers) * 4, 1)
 
-    def _dispatchable(self, shards: Sequence[StudyShard]) -> tuple[StudyShard, ...]:
-        """Shards as dispatched: trace-marked when a tracer is active.
+    def _transport_mode(self) -> str:
+        """The transport shards actually dispatch with.
 
-        The flag only tells :func:`~repro.parallel.shard.execute_shard`
-        to record spans and ship them back on the result — cache keys
-        hash explicit shard fields, so traced and untraced dispatches
-        key (and compute) identically.
+        ``auto`` resolves to shared memory when the pool will really
+        cross process boundaries and the platform supports it; inline
+        execution (``workers<=1``) never pays the packing cost.
         """
-        if not enabled():
+        if self.workers <= 1:
+            return "pickle"
+        if self.transport == "auto":
+            from repro.parallel.transport import shm_available
+
+            return "shm" if shm_available() else "pickle"
+        return self.transport
+
+    def _dispatchable(self, shards: Sequence[StudyShard]) -> tuple[StudyShard, ...]:
+        """Shards as dispatched: trace- and transport-marked.
+
+        The flags only tell :func:`~repro.parallel.shard.execute_shard`
+        to record spans (``trace``) and how to ship the result store
+        back (``transport``) — cache keys hash explicit shard fields,
+        so any marking keys (and computes) identically.
+        """
+        traced = enabled()
+        mode = self._transport_mode()
+        if not traced and mode == "pickle":
             return tuple(shards)
-        return tuple(dataclasses.replace(s, trace=True) for s in shards)
+        return tuple(
+            dataclasses.replace(s, trace=traced or s.trace, transport=mode)
+            for s in shards
+        )
 
     def _absorb_traces(self, results: list[ShardResult]) -> None:
         """Move worker span snapshots off the results into the tracer.

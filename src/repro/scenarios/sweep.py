@@ -151,6 +151,7 @@ class ScenarioSweep:
         cache_dir: str | None = None,
         include_baseline: bool = True,
         incremental: bool = False,
+        transport: str = "auto",
     ):
         if incremental and cache_dir is None:
             raise ConfigurationError(
@@ -161,6 +162,7 @@ class ScenarioSweep:
         self.config = config
         self.scenarios = list(scenarios)
         self.workers = workers
+        self.transport = transport
         self.cache_dir = cache_dir
         self.include_baseline = include_baseline
         self.incremental = incremental
@@ -228,7 +230,9 @@ class ScenarioSweep:
             incremental=self.incremental,
         ):
             if not self.incremental:
-                executor = PlanExecutor(self.compile(), workers=self.workers)
+                executor = PlanExecutor(
+                    self.compile(), workers=self.workers, transport=self.transport
+                )
                 for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
                     fold(world, merged)
                 return SweepResult(outcomes=outcomes)
@@ -242,7 +246,9 @@ class ScenarioSweep:
             emit_baseline = base_plan.n_shards > 0
             if not emit_baseline:
                 base_plan = compile_study(self.config, cache_dir=self.cache_dir)
-            base_executor = PlanExecutor(base_plan, workers=self.workers)
+            base_executor = PlanExecutor(
+                base_plan, workers=self.workers, transport=self.transport
+            )
             for world, merged in base_executor.merged_worlds(seed_incidents=build_incidents):
                 if emit_baseline:
                     fold(world, merged)
@@ -251,7 +257,11 @@ class ScenarioSweep:
             # attach from the cell cache phase 1 just wrote; only touched
             # cells dispatch to shards.
             inc_executor = PlanExecutor(
-                rest_plan, workers=self.workers, incremental=True, baseline=base_plan
+                rest_plan,
+                workers=self.workers,
+                incremental=True,
+                baseline=base_plan,
+                transport=self.transport,
             )
             for world, merged in inc_executor.merged_worlds(seed_incidents=build_incidents):
                 fold(world, merged)

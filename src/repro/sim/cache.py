@@ -26,13 +26,14 @@ identical artifacts — but code comparing whole records or relying on
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import logging
 import os
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.sim.run_result import RunRecord, RunState
 from repro.telemetry import count as telemetry_count
@@ -159,6 +160,41 @@ def run_key_block(
     ]
 
 
+def batch_key(
+    *,
+    seed: int,
+    env_id: str,
+    scale: int,
+    engine_options: Mapping[str, Any] | None = None,
+    scenario: str | None = None,
+) -> str:
+    """Content hash naming one cell's run-level *batch envelope*.
+
+    Deliberately coarser than :func:`run_key`: no app list, no iteration
+    count, no per-run options — every run of a ``(seed, env, scale,
+    scenario)`` cell lands in the same envelope regardless of which apps
+    or how many iterations produced it, so a re-run with a different
+    app roster or a longer iteration axis still finds its earlier runs
+    in one read.  The envelope's *entries* are keyed by full
+    :func:`run_key`, so coarse envelope addressing never conflates
+    distinct runs.
+    """
+    payload = json.dumps(
+        {
+            "v": CACHE_VERSION,
+            "kind": "run-batch",
+            "seed": seed,
+            "env": env_id,
+            "scale": scale,
+            "engine": _jsonable(dict(engine_options or {})),
+            "scenario": scenario,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
 def shard_key(
     *,
     seed: int,
@@ -248,6 +284,29 @@ def decode_record(data: dict[str, Any]) -> RunRecord:
     return RunRecord(**fields)
 
 
+class _CacheBatch:
+    """One open batch envelope: a read overlay plus buffered writes.
+
+    The envelope is a single JSON file holding ``{run_key: encoded
+    record}`` for a whole cell — one read primes the overlay, every
+    buffered :meth:`RunCache.put` lands in ``pending``, and closing the
+    batch merges overlay + pending back into **one** atomic write (and
+    one digest pass) instead of a file per run.
+    """
+
+    __slots__ = ("group_key", "level", "overlay", "pending")
+
+    def __init__(self, group_key: str, level: str, overlay: dict[str, Any]):
+        self.group_key = group_key
+        self.level = level
+        self.overlay = overlay
+        self.pending: dict[str, Any] = {}
+
+    def lookup(self, key: str) -> Any | None:
+        data = self.pending.get(key)
+        return data if data is not None else self.overlay.get(key)
+
+
 class RunCache:
     """Directory-backed cache of simulated run records.
 
@@ -272,6 +331,15 @@ class RunCache:
         #: payload bytes read on hits / written on puts
         self.hit_bytes = 0
         self.put_bytes = 0
+        #: envelope-granularity I/O counters (see :meth:`batched`);
+        #: deliberately separate from the per-record hits/misses above,
+        #: which keep counting at consumption time so batched and bare
+        #: engines report probe-for-probe identical stats
+        self.batch_hits = 0
+        self.batch_misses = 0
+        self.batch_puts = 0
+        #: open batch per level (``"run"``/``"cell"``/``"world"``)
+        self._batches: dict[str, _CacheBatch] = {}
 
     def note_invalid(self, key: str, reason: str) -> None:
         """Count one unusable entry and leave a one-line warning trace.
@@ -345,8 +413,131 @@ class RunCache:
         telemetry_count(f"cache.{level}.puts")
         telemetry_count(f"cache.{level}.put_bytes", len(text))
 
+    # -- batched I/O (one envelope per cell) --------------------------------
+
+    @contextlib.contextmanager
+    def batched(self, group_key: str, *, level: str = "run"):
+        """Group this scope's reads and writes into one *batch envelope*.
+
+        On entry the envelope stored under ``group_key`` (if any) is
+        read **once** and becomes a lookup overlay for every
+        :meth:`get` inside the scope; every :meth:`put` is buffered; on
+        exit (including via an exception) the merged entries are written
+        back in **one** atomic file write.  Per-record ``hits``/
+        ``misses`` keep counting at consumption time, so an engine
+        running inside a batch reports stats probe-for-probe identical
+        to a bare one — only the file I/O collapses, tracked separately
+        by the ``batch_*`` counters.
+
+        Reentrant per level: a nested ``batched`` reuses the open batch
+        (the outer ``group_key`` wins) so helper layers can wrap
+        defensively.  Entries are self-describing ``{run_key: payload}``
+        maps, so concurrent writers of the same deterministic cell
+        produce identical envelopes and last-writer-wins stays safe.
+        """
+        outer = self._batches.get(level)
+        if outer is not None:
+            yield outer
+            return
+        batch = _CacheBatch(group_key, level, self._read_envelope(group_key, level))
+        self._batches[level] = batch
+        try:
+            yield batch
+        finally:
+            del self._batches[level]
+            self._flush_envelope(batch)
+
+    def _read_envelope(self, group_key: str, level: str) -> dict[str, Any]:
+        try:
+            with open(self.path(group_key), "r", encoding="utf-8") as fh:
+                text = fh.read()
+            data = json.loads(text)
+        except FileNotFoundError:
+            self.batch_misses += 1
+            telemetry_count(f"cache.{level}.batch_misses")
+            return {}
+        except (OSError, ValueError) as exc:
+            self.batch_misses += 1
+            telemetry_count(f"cache.{level}.batch_misses")
+            self.note_invalid(group_key, f"unreadable or corrupt JSON: {exc}")
+            return {}
+        entries = data.get("entries") if isinstance(data, dict) else None
+        if not isinstance(entries, dict) or data.get("kind") != "batch":
+            self.batch_misses += 1
+            telemetry_count(f"cache.{level}.batch_misses")
+            self.note_invalid(group_key, "batch envelope malformed")
+            return {}
+        self.batch_hits += 1
+        self.hit_bytes += len(text)
+        telemetry_count(f"cache.{level}.batch_hits")
+        telemetry_count(f"cache.{level}.batch_hit_bytes", len(text))
+        return entries
+
+    def _flush_envelope(self, batch: _CacheBatch) -> None:
+        if not batch.pending:
+            return
+        envelope = {
+            "kind": "batch",
+            "v": CACHE_VERSION,
+            "entries": {**batch.overlay, **batch.pending},
+        }
+        path = self.path(batch.group_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        text = json.dumps(envelope, separators=(",", ":"))
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+        self.put_bytes += len(text)
+        self.batch_puts += 1
+        telemetry_count(f"cache.{batch.level}.batch_puts")
+        telemetry_count(f"cache.{batch.level}.batch_put_bytes", len(text))
+
+    def get_many(
+        self, keys: Iterable[str], *, group_key: str | None = None, level: str = "run"
+    ) -> list[RunRecord | None]:
+        """Probe many keys with (at most) one envelope read.
+
+        With ``group_key`` the probe runs inside :meth:`batched`; keys
+        absent from the envelope still fall through to their individual
+        files, so batched and unbatched caches interoperate.
+        """
+        if group_key is None:
+            return [self.get(key) for key in keys]
+        with self.batched(group_key, level=level):
+            return [self.get(key) for key in keys]
+
+    def put_many(
+        self, entries: Mapping[str, RunRecord], *, group_key: str, level: str = "run"
+    ) -> None:
+        """Store many records in one envelope write (one digest pass)."""
+        with self.batched(group_key, level=level):
+            for key, record in entries.items():
+                self.put(key, record)
+
+    # -- per-record probes --------------------------------------------------
+
     def get(self, key: str) -> RunRecord | None:
         """The cached record for ``key``, or ``None`` on a miss."""
+        batch = self._batches.get("run")
+        if batch is not None:
+            data = batch.lookup(key)
+            if data is not None:
+                # The envelope's bytes were counted once at batch entry;
+                # per-record accounting here is hits/misses only.
+                self.hits += 1
+                telemetry_count("cache.run.hits")
+                try:
+                    return decode_record(data)
+                except (ValueError, TypeError, KeyError) as exc:
+                    self.hits -= 1
+                    self.misses += 1
+                    telemetry_count("cache.run.hits", -1)
+                    telemetry_count("cache.run.misses")
+                    self.note_invalid(key, f"record schema mismatch: {exc}")
+                    return None
+            # fall through: a key the envelope doesn't know may still
+            # exist as an individual file (unbatched writer)
         # _read, not get_json: tests stub the public JSON probes
         # (cell/world granularity) without touching the run-record path.
         data = self._read(key, level="run")
@@ -364,7 +555,16 @@ class RunCache:
             return None
 
     def put(self, key: str, record: RunRecord) -> None:
-        """Store ``record`` under ``key`` (atomic, last-writer-wins)."""
+        """Store ``record`` under ``key`` (atomic, last-writer-wins).
+
+        Inside a :meth:`batched` scope the write is buffered into the
+        open envelope instead of touching its own file.
+        """
+        batch = self._batches.get("run")
+        if batch is not None:
+            batch.pending[key] = encode_record(record)
+            telemetry_count("cache.run.puts")
+            return
         self._write(key, encode_record(record), level="run")
 
     def __len__(self) -> int:
@@ -372,6 +572,7 @@ class RunCache:
 
     def stats(self) -> dict[str, Any]:
         """Hit/miss/invalid counts, byte totals, and the reason histogram."""
+        batch_probes = self.batch_hits + self.batch_misses
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -379,5 +580,11 @@ class RunCache:
             "invalid_reasons": dict(self.invalid_reasons),
             "hit_bytes": self.hit_bytes,
             "put_bytes": self.put_bytes,
+            "batch_hits": self.batch_hits,
+            "batch_misses": self.batch_misses,
+            "batch_puts": self.batch_puts,
+            "batch_hit_rate": (
+                self.batch_hits / batch_probes if batch_probes else 0.0
+            ),
             "entries": len(self),
         }

@@ -20,6 +20,7 @@ Engines are deterministic given (seed, env, app, scale, iteration).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -41,7 +42,7 @@ from repro.rng import co_seed, stream, stream_block
 from repro.scenarios.apply import overlay_fabric
 from repro.scenarios.market import draw_preemption, preemption_block
 from repro.scenarios.spec import Scenario, active, footprint_digest
-from repro.sim.cache import RunCache, run_key, run_key_block
+from repro.sim.cache import RunCache, batch_key, run_key, run_key_block
 from repro.sim.run_result import STATE_CODE, STATE_ORDER, RunRecord, RunState
 from repro.telemetry import count as telemetry_count
 from repro.telemetry import span
@@ -386,6 +387,31 @@ class ExecutionEngine:
                 "options": options or {},
             },
             scenario=footprint_digest(self.scenario, env.cloud),
+        )
+
+    def cache_scope(self, env: Environment, scale: int):
+        """Batch one cell's run-cache traffic into a single envelope.
+
+        Returns a context manager: inside it, every run-level cache
+        probe reads from (and every store buffers into) one
+        :func:`~repro.sim.cache.batch_key`-addressed envelope that is
+        written once at scope exit — one file write and one digest pass
+        per cell instead of one per run (see :meth:`RunCache.batched`).
+        The envelope key is app- and iteration-insensitive, so re-runs
+        with different app rosters or iteration counts still hit it.
+        A no-op without a cache; per-record hit/miss stats are
+        identical either way.
+        """
+        if self.cache is None:
+            return contextlib.nullcontext()
+        return self.cache.batched(
+            batch_key(
+                seed=self.seed,
+                env_id=env.env_id,
+                scale=scale,
+                engine_options={"azure_ucx_tuned": self.azure_ucx_tuned},
+                scenario=footprint_digest(self.scenario, env.cloud),
+            )
         )
 
     def _cached_execute(

@@ -41,6 +41,7 @@ SPANS: dict[str, str] = {
     # the process pool
     "pool.dispatch": "submitting one chunk of shards to the worker pool",
     "pool.drain": "waiting on one in-flight chunk's results",
+    "transport.attach": "attaching one shard's shared-memory block as column views",
     # per-cell execution (worker side)
     "shard.execute": "one (environment, size) cell, start to finish",
     "shard.provision": "quota, cluster provisioning, and environment deploy",

@@ -182,3 +182,100 @@ def test_cached_study_seed_change_is_all_misses(tmp_path):
     other = StudyRunner(StudyConfig.smoke(seed=5), cache_dir=str(tmp_path)).run()
     assert other.cache_hits == 0
     assert other.cache_misses > 0
+
+
+# ------------------------------------------------------------ batched I/O
+
+
+def _records(n):
+    engine = ExecutionEngine(seed=0)
+    return {
+        run_key(seed=0, env_id=ENV.env_id, app="lammps", scale=32, iteration=i): (
+            engine.run(ENV, "lammps", 32, iteration=i)
+        )
+        for i in range(n)
+    }
+
+
+def _cache_files(tmp_path):
+    return [p for p in tmp_path.rglob("*.json") if not p.name.startswith(".")]
+
+
+def test_put_many_writes_one_envelope(tmp_path):
+    from repro.sim.cache import batch_key
+
+    cache = RunCache(tmp_path)
+    group = batch_key(seed=0, env_id=ENV.env_id, scale=32)
+    cache.put_many(_records(6), group_key=group)
+    assert len(_cache_files(tmp_path)) == 1
+    assert cache.batch_puts == 1
+
+
+def test_get_many_round_trips_across_instances(tmp_path):
+    from repro.sim.cache import batch_key
+
+    records = _records(4)
+    group = batch_key(seed=0, env_id=ENV.env_id, scale=32)
+    RunCache(tmp_path).put_many(records, group_key=group)
+
+    fresh = RunCache(tmp_path)
+    found = fresh.get_many(records.keys(), group_key=group)
+    assert [_csv_fields(r) for r in found] == [
+        _csv_fields(r) for r in records.values()
+    ]
+    assert fresh.batch_hits == 1
+    assert fresh.hits == len(records)
+
+
+def test_stats_expose_batch_counters(tmp_path):
+    from repro.sim.cache import batch_key
+
+    cache = RunCache(tmp_path)
+    group = batch_key(seed=0, env_id=ENV.env_id, scale=32)
+    cache.put_many(_records(2), group_key=group)
+    cache.get_many([], group_key=group)
+    stats = cache.stats()
+    assert stats["batch_puts"] == 1
+    assert stats["batch_hits"] == 1
+    assert stats["batch_misses"] == 1  # the cold read at put_many entry
+    assert stats["batch_hit_rate"] == 0.5
+
+
+def test_corrupt_envelope_is_a_miss_not_a_crash(tmp_path):
+    from repro.sim.cache import batch_key
+
+    records = _records(2)
+    group = batch_key(seed=0, env_id=ENV.env_id, scale=32)
+    cache = RunCache(tmp_path)
+    cache.put_many(records, group_key=group)
+    (path,) = _cache_files(tmp_path)
+    path.write_text('{"kind": "not-a-batch"}', encoding="utf-8")
+
+    fresh = RunCache(tmp_path)
+    assert fresh.get_many(records.keys(), group_key=group) == [None, None]
+    assert fresh.invalid >= 1
+    assert fresh.batch_misses == 1
+    assert fresh.batch_hits == 0
+
+
+def test_batched_get_falls_through_to_per_key_files(tmp_path):
+    from repro.sim.cache import batch_key
+
+    records = _records(3)
+    keys = list(records)
+    plain = RunCache(tmp_path)
+    for key in keys[:2]:
+        plain.put(key, records[key])  # unbatched writer: individual files
+
+    group = batch_key(seed=0, env_id=ENV.env_id, scale=32)
+    fresh = RunCache(tmp_path)
+    found = fresh.get_many(keys, group_key=group)
+    assert [r is not None for r in found] == [True, True, False]
+    assert fresh.hits == 2 and fresh.misses == 1
+
+
+def test_cached_study_writes_envelopes_not_per_run_files(tmp_path):
+    report = StudyRunner(StudyConfig.smoke(seed=4), cache_dir=str(tmp_path)).run()
+    # Far fewer files than runs: one run-batch envelope (plus cell
+    # summaries) per (env, size) cell instead of one file per record.
+    assert report.datasets > len(_cache_files(tmp_path))
