@@ -160,6 +160,57 @@ def _write_exports(
         print(f"{json_label:18s}: {args.json_output}")
 
 
+def _fault_options(args: argparse.Namespace):
+    """``(retry, chaos, resume)`` from the shared fault-tolerance flags.
+
+    ``retry`` stays ``None`` — the runner's default
+    :class:`~repro.parallel.pool.RetryPolicy` — unless a retry knob was
+    actually given; ``--chaos SPEC`` parses through
+    :meth:`~repro.chaos.FaultPlan.parse`.  Raises
+    :class:`~repro.errors.ConfigurationError` on bad values, which every
+    caller turns into a usage error (exit 2).
+    """
+    from repro.errors import ConfigurationError
+
+    retry = None
+    if args.max_retries is not None or args.shard_timeout is not None:
+        from repro.parallel.pool import RetryPolicy
+
+        kwargs: dict = {}
+        if args.max_retries is not None:
+            kwargs["max_attempts"] = args.max_retries
+        if args.shard_timeout is not None:
+            kwargs["timeout"] = args.shard_timeout
+        retry = RetryPolicy(**kwargs)
+    chaos = None
+    if getattr(args, "chaos", None):
+        from repro.chaos import FaultPlan
+
+        chaos = FaultPlan.parse(args.chaos)
+    if args.resume and not args.cache:
+        raise ConfigurationError(
+            "--resume needs --cache: completed cells re-attach through "
+            "the journal and caches the interrupted run wrote"
+        )
+    return retry, chaos, args.resume
+
+
+def _fmt_faults_line(faults) -> str:
+    """One diagnostic line for recovery accounting (non-zero fields)."""
+    parts = [
+        f"{name}={value}"
+        for name, value in sorted(faults.to_dict().items())
+        if value
+    ]
+    return ", ".join(parts) or "none"
+
+
+def _print_faults(faults) -> None:
+    """Recovery diagnostics on stderr (stdout stays byte-identical)."""
+    if faults is not None and faults.activity:
+        print(f"fault recovery    : {_fmt_faults_line(faults)}", file=sys.stderr)
+
+
 def _apply_transport_flags(args: argparse.Namespace) -> None:
     """Apply the shared ``--spill-mb`` knob before any store is built.
 
@@ -254,18 +305,28 @@ def _fmt_reuse_line(reuse) -> str:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
     error = _cache_dir_error(args.cache)
     if error:
         print(error, file=sys.stderr)
         return 2
     config = _config_from_args(args)
     _apply_transport_flags(args)
+    try:
+        retry, chaos, resume = _fault_options(args)
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     with _TraceSession(args) as session:
         report = StudyRunner(
             config,
             workers=args.workers,
             cache_dir=args.cache,
             transport=args.transport,
+            retry=retry,
+            chaos=chaos,
+            resume=resume,
         ).run()
     print(f"datasets          : {report.datasets}")
     print(f"clusters created  : {report.clusters_created}")
@@ -280,6 +341,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         # Diagnostics, not results: worker count changes this line, so
         # it goes to stderr to keep stdout byte-identical across runs.
         print(f"shard transport   : {report.transport.summary()}", file=sys.stderr)
+    _print_faults(report.faults)
     _write_exports(
         args,
         csv_text=report.store.to_csv,
@@ -339,6 +401,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     try:
         scenarios = [_resolve_scenario(name) for name in args.scenario]
         _apply_transport_flags(args)
+        retry, chaos, resume = _fault_options(args)
         sweep = ScenarioSweep(
             _config_from_args(args),
             scenarios,
@@ -346,6 +409,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             cache_dir=args.cache,
             incremental=args.incremental,
             transport=args.transport,
+            retry=retry,
+            chaos=chaos,
+            resume=resume,
         )
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -370,6 +436,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if result.reuse is not None:
         print()
         print(f"cell reuse        : {_fmt_reuse_line(result.reuse)}")
+    _print_faults(result.faults)
     if args.output or args.json_output:
         print()
     _write_exports(
@@ -416,14 +483,18 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         return 2
     _apply_transport_flags(args)
     try:
+        retry, chaos, resume = _fault_options(args)
         runner = EnsembleRunner(
             spec,
             workers=args.workers,
             cache_dir=args.cache,
             incremental=args.incremental,
             transport=args.transport,
+            retry=retry,
+            chaos=chaos,
+            resume=resume,
         )
-    except ConfigurationError as exc:
+    except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     with _TraceSession(args) as session:
@@ -442,6 +513,7 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         # Diagnostics on stderr: stdout stays byte-identical across
         # worker counts and transports.
         print(f"shard transport   : {result.transport.summary()}", file=sys.stderr)
+    _print_faults(result.faults)
     _write_exports(
         args,
         csv_text=lambda: result.distribution_table().to_csv(),
@@ -597,6 +669,12 @@ examples:
       the paper-scale iteration count, dataset exported as CSV
   python -m repro study --output study.csv --json study.json
       the same dataset as CSV and as a JSON snapshot (summary + records)
+  python -m repro study --workers 4 --chaos kill=0.1,transient=0.05
+      a recovery drill: deterministically kill workers and inject
+      transient failures; the retried dataset is still byte-identical
+  python -m repro study --workers 4 --cache .repro-cache --resume
+      continue an interrupted campaign: journaled cells re-attach,
+      only unfinished cells simulate
 """
 
 
@@ -756,12 +834,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     _apply_transport_flags(args)
     try:
+        retry, chaos, resume = _fault_options(args)
         spec = _campaign_spec_from_args(args)
         runner = CampaignRunner(
             spec,
             workers=args.workers,
             cache_dir=args.cache,
             transport=args.transport,
+            retry=retry,
+            chaos=chaos,
+            resume=resume,
         )
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -786,6 +868,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if stage_result.transport is not None and stage_result.transport.mode != "inline":
             # Diagnostics on stderr, like the study/ensemble lines.
             print(f"{label:18s}: {stage_result.transport.summary()}", file=sys.stderr)
+    from repro.parallel.pool import FaultStats as _FaultStats
+
+    campaign_faults = _FaultStats()
+    for stage_result in (result.smoke, result.grid):
+        if stage_result.faults is not None:
+            campaign_faults.add(stage_result.faults)
+    _print_faults(campaign_faults)
     _write_exports(
         args,
         csv_text=lambda: frontier_table(result).to_csv(),
@@ -795,6 +884,43 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     session.report()
     return 0
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by every executing subcommand."""
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per shard before the final inline-serial rescue "
+        "(default: 3); transient failures retry with exponential backoff "
+        "and deterministic jitter, fatal ones fail fast",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline: a shard exceeding it is requeued onto "
+        "a rebuilt worker pool (default: no deadline)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-attach cells a previous interrupted run journaled "
+        "(requires --cache); the finished dataset is byte-identical to "
+        "an uninterrupted run",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection for recovery drills, e.g. "
+        "'kill=0.1,transient=0.05,seed=7' (kinds: kill, transient, "
+        "corrupt, delay, abort; rates in [0,1]); a surviving run's "
+        "dataset is byte-identical to an uninjected one",
+    )
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
@@ -881,6 +1007,7 @@ def build_parser() -> argparse.ArgumentParser:
         "file mmaps (out-of-core stores; default: keep everything in "
         "RAM).  Applies to this process and every worker",
     )
+    _add_fault_flags(campaign_options)
 
     p_study = sub.add_parser(
         "study",
@@ -1113,6 +1240,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MB",
         help="out-of-core column threshold (see `repro study --help`)",
     )
+    _add_fault_flags(p_camp_run)
     p_camp_run.add_argument("--output", help="write the Pareto frontier CSV here")
     p_camp_run.add_argument(
         "--json",

@@ -76,13 +76,23 @@ def build_report(
     frontier: list,
     winner,
     stage_seconds: dict[str, float],
+    faults: dict[str, int] | None = None,
 ) -> CampaignReport:
     """Assemble the document from the stage pipeline's outputs.
 
     ``stage_records`` are :class:`~repro.campaigns.stages.StageRecord`
     values; ``pruned``/``candidates``/``frontier``/``winner`` are
     :class:`~repro.campaigns.frontier.Candidate` values (or ``None``).
+    ``faults`` is the run's recovery accounting
+    (:meth:`~repro.parallel.pool.FaultStats.to_dict`); like timings it
+    describes *this execution*, not the dataset — retry counts vary
+    with worker scheduling — so it lives in the non-deterministic
+    ``profile`` section, keeping :meth:`~CampaignReport.core_json`
+    byte-identical across worker counts and fault patterns.
     """
+    profile: dict = {"stage_seconds": stage_seconds}
+    if faults:
+        profile["faults"] = faults
     return CampaignReport(
         data={
             "v": REPORT_VERSION,
@@ -94,6 +104,6 @@ def build_report(
             "ab": ab,
             "frontier": [c.to_dict() for c in frontier],
             "winner": winner.to_dict() if winner is not None else None,
-            "profile": {"stage_seconds": stage_seconds},
+            "profile": profile,
         }
     )

@@ -88,11 +88,25 @@ class CampaignRunner:
         workers: int = 1,
         cache_dir: str | None = None,
         transport: str = "auto",
+        retry=None,
+        chaos=None,
+        resume: bool = False,
     ):
+        if resume and cache_dir is None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "resume needs a cache directory: completed cells re-attach "
+                "through the journal and caches the interrupted campaign "
+                "wrote (pass cache_dir=...)"
+            )
         self.spec = spec
         self.workers = workers
         self.transport = transport
         self.cache_dir = cache_dir
+        self.retry = retry
+        self.chaos = chaos
+        self.resume = resume
 
     def run(self) -> CampaignResult:
         spec = self.spec
@@ -116,6 +130,9 @@ class CampaignRunner:
                         cache_dir=cache_dir,
                         incremental=True,
                         transport=self.transport,
+                        retry=self.retry,
+                        chaos=self.chaos,
+                        resume=self.resume,
                     )
                     smoke = smoke_runner.run()
                     smoke_candidates = evaluate_candidates(
@@ -133,6 +150,9 @@ class CampaignRunner:
                         incremental=True,
                         baseline_plan=smoke_runner.compile(),
                         transport=self.transport,
+                        retry=self.retry,
+                        chaos=self.chaos,
+                        resume=self.resume,
                     )
                     grid = grid_runner.run()
                     grid_candidates = evaluate_candidates(grid, spec, margin=1.0)
@@ -187,6 +207,15 @@ class CampaignRunner:
                         StageRecord("publish", {"artifact": "campaign report v1"}),
                     ]
                     stage_seconds = _stage_seconds(tracer)
+                    # Recovery accounting from both ensemble stages goes
+                    # into the report's profile section (execution-shaped,
+                    # like timings — never part of the decision core).
+                    from repro.parallel.pool import FaultStats
+
+                    faults = FaultStats()
+                    for stage_result in (smoke, grid):
+                        if stage_result.faults is not None:
+                            faults.add(stage_result.faults)
                     report = build_report(
                         spec=spec,
                         stage_records=records,
@@ -196,6 +225,7 @@ class CampaignRunner:
                         frontier=frontier,
                         winner=winner,
                         stage_seconds=stage_seconds,
+                        faults=faults.to_dict() if faults.activity else None,
                     )
                     # The publish span is still open here; close the
                     # loop with a direct measurement of the build.

@@ -45,6 +45,7 @@ from repro.core.results import ResultStore
 from repro.envs.environment import EnvironmentKind
 from repro.envs.registry import ENVIRONMENTS
 from repro.parallel.merge import TransportStats
+from repro.parallel.pool import FaultStats
 from repro.errors import ConfigurationError
 from repro.telemetry import span
 
@@ -103,6 +104,10 @@ class StudyReport:
     #: how shard result stores crossed back from the worker pool
     #: (``None`` only for reports predating transport accounting)
     transport: TransportStats | None = None
+    #: recovery events the execution path survived (retries, requeues,
+    #: rebuilds, resumed cells); ``None`` when nothing happened —
+    #: faults never change the dataset, only this accounting
+    faults: FaultStats | None = None
 
     @property
     def datasets(self) -> int:
@@ -112,20 +117,25 @@ class StudyReport:
         """A JSON-safe snapshot: campaign summary plus every record."""
         from repro.sim.cache import encode_record
 
-        return {
-            "summary": {
-                "datasets": self.datasets,
-                "clusters_created": self.clusters_created,
-                "containers_built": self.containers_built,
-                "containers_failed": self.containers_failed,
-                "spend_by_cloud": dict(sorted(self.spend_by_cloud.items())),
-                "incidents": sum(len(i) for i in self.incidents.values()),
-                "cache": {
-                    "hits": self.cache_hits,
-                    "misses": self.cache_misses,
-                    "invalid": self.cache_invalid,
-                },
+        summary = {
+            "datasets": self.datasets,
+            "clusters_created": self.clusters_created,
+            "containers_built": self.containers_built,
+            "containers_failed": self.containers_failed,
+            "spend_by_cloud": dict(sorted(self.spend_by_cloud.items())),
+            "incidents": sum(len(i) for i in self.incidents.values()),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "invalid": self.cache_invalid,
             },
+        }
+        if self.faults is not None and self.faults.activity:
+            # Only when something actually happened: a clean run's
+            # snapshot stays byte-identical to pre-fault-tolerance ones.
+            summary["faults"] = self.faults.to_dict()
+        return {
+            "summary": summary,
             "records": [encode_record(r) for r in self.store],
         }
 
@@ -141,6 +151,12 @@ class StudyRunner:
     ``scenario`` runs the whole campaign under a what-if overlay
     (:mod:`repro.scenarios`); ``None`` — or an empty scenario — is the
     baseline world, byte for byte.
+
+    ``retry`` tunes the pool's fault-recovery ladder
+    (:class:`~repro.parallel.pool.RetryPolicy`), ``chaos`` injects
+    deterministic faults (:class:`repro.chaos.FaultPlan`), and
+    ``resume`` re-attaches cells a previous interrupted run journaled —
+    none of the three changes the dataset a surviving run produces.
     """
 
     def __init__(
@@ -151,12 +167,18 @@ class StudyRunner:
         cache_dir: str | None = None,
         scenario=None,
         transport: str = "auto",
+        retry=None,
+        chaos=None,
+        resume: bool = False,
     ):
         self.config = config
         self.workers = workers
         self.transport = transport
         self.cache_dir = cache_dir
         self.scenario = scenario
+        self.retry = retry
+        self.chaos = chaos
+        self.resume = resume
         self.registry = Registry()
         self.builder = ContainerBuilder()
         self.store = ResultStore()
@@ -230,7 +252,12 @@ class StudyRunner:
 
             scn = active(self.scenario)
             executor = PlanExecutor(
-                self.compile(), workers=self.workers, transport=self.transport
+                self.compile(),
+                workers=self.workers,
+                transport=self.transport,
+                retry=self.retry,
+                chaos=self.chaos,
+                resume=self.resume,
             )
             ((_, merged),) = executor.run(seed_incidents=self.incidents)
 
@@ -257,4 +284,5 @@ class StudyRunner:
                 cache_invalid=merged.cache_invalid,
                 cache_invalid_reasons=merged.cache_invalid_reasons,
                 transport=merged.transport,
+                faults=executor.faults,
             )

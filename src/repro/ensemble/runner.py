@@ -42,6 +42,7 @@ from repro.ensemble.frame import ResultFrame
 from repro.ensemble.spec import EnsembleSpec
 from repro.ensemble.stats import CellStats, StreamAccumulator
 from repro.parallel.merge import TransportStats
+from repro.parallel.pool import FaultStats
 from repro.parallel.shard import ShardResult
 from repro.plan import PlanExecutor, PlanWorld, ReuseStats, RunPlan, compile_ensemble
 from repro.errors import ConfigurationError
@@ -106,6 +107,11 @@ class EnsembleResult:
     #: Deliberately absent from :meth:`to_json_dict` — transport is an
     #: execution property, not part of the dataset.
     transport: TransportStats | None = None
+    #: recovery events executed worlds survived (retries, requeues,
+    #: rebuilds, resumed cells); included in :meth:`to_json_dict` only
+    #: when something actually happened, so clean snapshots are
+    #: byte-identical to pre-fault-tolerance ones
+    faults: FaultStats | None = None
 
     def scenario_ids(self) -> list[str]:
         """Scenario ids in fold order (baseline first)."""
@@ -169,6 +175,8 @@ class EnsembleResult:
         }
         if self.reuse is not None:
             out["cell_reuse"] = self.reuse.to_dict()
+        if self.faults is not None and self.faults.activity:
+            out["faults"] = self.faults.to_dict()
         return out
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -193,6 +201,9 @@ class EnsembleRunner:
         incremental: bool = False,
         baseline_plan: RunPlan | None = None,
         transport: str = "auto",
+        retry=None,
+        chaos=None,
+        resume: bool = False,
     ):
         if incremental and cache_dir is None:
             raise ConfigurationError(
@@ -206,13 +217,25 @@ class EnsembleRunner:
                 "it extends the diff baseline the incremental schedule "
                 "attaches cells from"
             )
+        if resume and cache_dir is None:
+            raise ConfigurationError(
+                "resume needs a cache directory: completed cells re-attach "
+                "through the journal and caches the interrupted run wrote "
+                "(pass cache_dir=...)"
+            )
         self.spec = spec
         self.workers = workers
         self.transport = transport
         self.cache_dir = cache_dir
         self.incremental = incremental
+        #: retry ladder / fault injection / journal re-attachment,
+        #: threaded through to every sub-plan's executor
+        self.retry = retry
+        self.chaos = chaos
+        self.resume = resume
         #: accumulates over one run() invocation (see EnsembleResult)
         self._transport_stats = TransportStats()
+        self._fault_stats = FaultStats()
         #: extra worlds (e.g. a campaign's smoke stage) whose cached
         #: cells this run may attach, on top of its own baseline replicas
         self.baseline_plan = baseline_plan
@@ -256,6 +279,8 @@ class EnsembleRunner:
         result = EnsembleResult(spec=self.spec)
         self._transport_stats = TransportStats()
         result.transport = self._transport_stats
+        self._fault_stats = FaultStats()
+        result.faults = self._fault_stats
         cache = RunCache(self.cache_dir) if self.cache_dir else None
         plan = self.compile()
         with span(
@@ -401,16 +426,24 @@ class EnsembleRunner:
             incremental=baseline is not None,
             baseline=baseline,
             transport=self.transport,
+            retry=self.retry,
+            chaos=self.chaos,
+            resume=self.resume,
         )
         world_results = executor.iter_world_results()
-        for (world, key), (executed, shard_results) in zip(pending, world_results):
-            assert executed.index == world.index
-            for shard in shard_results:
-                self._transport_stats.note(shard)
-            summary = self._world_summary(shard_results)
-            if cache is not None and key is not None:
-                cache.put_json(key, summary, level="world")
-            yield world, summary, False
+        try:
+            for (world, key), (executed, shard_results) in zip(pending, world_results):
+                assert executed.index == world.index
+                for shard in shard_results:
+                    self._transport_stats.note(shard)
+                summary = self._world_summary(shard_results)
+                if cache is not None and key is not None:
+                    cache.put_json(key, summary, level="world")
+                yield world, summary, False
+        finally:
+            # Harvest even when a world dies mid-batch: the accounting
+            # up to the failure still reaches the caller's report.
+            self._fault_stats.add(executor.faults)
         if reuse is not None:
             reuse.add(executor.reuse)
 

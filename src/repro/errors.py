@@ -112,3 +112,70 @@ class ExecutionError(ReproError):
         #: failure kind: "segfault", "timeout", "misconfiguration", "error"
         self.kind = kind
         super().__init__(message)
+
+
+class TransientShardError(ReproError):
+    """A shard failed for a reason worth retrying.
+
+    The resilient pool (:mod:`repro.parallel.pool`) re-dispatches shards
+    that raise this (or another transient class) with exponential
+    backoff, instead of failing the campaign.  ``injected`` marks faults
+    raised by the chaos harness (:mod:`repro.chaos`), so retry
+    accounting can attribute them.
+    """
+
+    def __init__(self, message: str, *, injected: bool = False):
+        self.injected = injected
+        super().__init__(message)
+
+
+class ChaosAbortError(ReproError):
+    """A chaos-injected *fatal* failure (models the driver being killed).
+
+    Never retried: the run stops with a :class:`ShardExecutionError`
+    naming the cell, and journaled progress survives for ``--resume``.
+    """
+
+
+class ShardExecutionError(ReproError):
+    """A shard exhausted its retries (or failed fatally) in the pool.
+
+    The typed wrapper every pool-surfaced failure crosses the CLI
+    boundary in: it names the shard's world, cell, and attempt count,
+    and chains the underlying exception as ``__cause__`` — no raw
+    worker tracebacks escape :func:`~repro.parallel.pool.pmap`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        env_id: str | None = None,
+        scale: int | None = None,
+        world: int | None = None,
+        attempts: int = 1,
+    ):
+        self.env_id = env_id
+        self.scale = scale
+        self.world = world
+        self.attempts = attempts
+        super().__init__(message)
+
+    @classmethod
+    def wrap(cls, item: object, ordinal: int, attempts: int, cause: BaseException) -> "ShardExecutionError":
+        """Build the error for ``item`` (a shard, or any mapped value)."""
+        env_id = getattr(item, "env_id", None)
+        scale = getattr(item, "scale", None)
+        world = getattr(item, "world", None)
+        if env_id is not None:
+            where = f"cell ({env_id}, {scale}) of world {world}"
+        else:
+            where = f"pool item {ordinal}"
+        noun = "attempt" if attempts == 1 else "attempts"
+        return cls(
+            f"{where} failed after {attempts} {noun}: {cause}",
+            env_id=env_id,
+            scale=scale if isinstance(scale, int) else None,
+            world=world if isinstance(world, int) else None,
+            attempts=attempts,
+        )

@@ -12,6 +12,13 @@ Results cross the pool zero-copy when the platform allows: workers pack
 their column arrays into shared-memory blocks and ship only a small
 descriptor (:mod:`~repro.parallel.transport`), falling back to plain
 column pickling wherever ``/dev/shm`` isn't available.
+
+Execution is fault-tolerant: per-shard futures retry transient failures
+with deterministic backoff under a :class:`~repro.parallel.pool.RetryPolicy`,
+broken pools rebuild and requeue, stragglers past their deadline are
+re-dispatched, and exhausted retries degrade workers→serial — with
+every recovery event accounted in a
+:class:`~repro.parallel.pool.FaultStats`.
 """
 
 from repro.parallel.merge import (
@@ -20,12 +27,19 @@ from repro.parallel.merge import (
     merge_incident_logs,
     merge_shard_results,
 )
-from repro.parallel.pool import execute_shards, pmap
+from repro.parallel.pool import (
+    FaultStats,
+    RetryPolicy,
+    execute_shards,
+    pmap,
+)
 from repro.parallel.shard import ShardResult, StudyShard, execute_shard, plan_shards
-from repro.parallel.transport import shm_available
+from repro.parallel.transport import reap_segments, shm_available
 
 __all__ = [
+    "FaultStats",
     "MergedStudy",
+    "RetryPolicy",
     "ShardResult",
     "StudyShard",
     "TransportStats",
@@ -35,5 +49,6 @@ __all__ = [
     "merge_shard_results",
     "plan_shards",
     "pmap",
+    "reap_segments",
     "shm_available",
 ]

@@ -81,6 +81,14 @@ class StudyShard:
     #: cache keys or simulation, and any setting yields byte-identical
     #: merged results.
     transport: str = "pickle"
+    #: 0-based retry attempt, stamped by the pool on re-dispatch; the
+    #: chaos harness gates injection on it so retries converge.  Pure
+    #: execution bookkeeping — never in cache keys or simulation.
+    attempt: int = 0
+    #: fault-injection plan (:class:`repro.chaos.FaultPlan`); ``None``
+    #: almost always.  Another transport-style flag: any plan the run
+    #: survives yields byte-identical merged results.
+    chaos: object | None = None
 
 
 @dataclass
@@ -119,6 +127,9 @@ class ShardResult:
     #: columnar span snapshot recorded while executing (``None`` unless
     #: the shard was dispatched with ``trace=True`` to another process)
     trace: dict | None = None
+    #: how many dispatches it took to deliver this result (0 = never
+    #: went through the pool's retry machinery); pure observability
+    attempts: int = 0
 
     @property
     def records(self) -> list[RunRecord]:
@@ -317,6 +328,10 @@ def execute_shard(shard: StudyShard) -> ShardResult:
     Timing never feeds the result — traced and untraced runs produce
     byte-identical stores.
     """
+    if shard.chaos is not None:
+        from repro.chaos import inject_before_execute
+
+        inject_before_execute(shard)
     active = current_tracer()
     if shard.trace and (active is None or active.pid != os.getpid()):
         # No tracer here, or a stale one inherited across fork: this is
@@ -559,4 +574,9 @@ def _finish_shard(
     result.cache_misses = cache.misses
     result.cache_invalid = cache.invalid
     result.cache_invalid_reasons = dict(cache.invalid_reasons)
-    cache.put_json(_shard_cache_key(shard, engine), _encode_shard(result))
+    cell_key = _shard_cache_key(shard, engine)
+    cache.put_json(cell_key, _encode_shard(result))
+    if shard.chaos is not None:
+        from repro.chaos import corrupt_after_store
+
+        corrupt_after_store(shard, cache, cell_key)

@@ -14,7 +14,7 @@ merge time.
 
 Descriptor format (the only thing pickled)::
 
-    {"name": "repro-shm-<hex>",          # /dev/shm segment name
+    {"name": "repro-shm-<pid>-<hex>",    # /dev/shm segment name
      "size": <payload bytes>,             # sum of aligned column extents
      "cols": [(key, dtype_str, shape, offset), ...]}
 
@@ -37,13 +37,23 @@ Failure ladder: if segment creation fails (no ``/dev/shm``, seccomp,
 exhausted space), :func:`pack_columns` returns ``None`` and the store
 falls back to the plain pickle path — the same sandbox-degradation story
 :func:`~repro.parallel.pool.pmap` has for process pools.
+
+One failure mode the lifecycle above cannot cover: a worker killed
+*after* creating a segment but *before* its descriptor reaches the
+parent (mid-``pack_columns``, or packed but undelivered when the pool
+breaks).  Nobody will ever attach those.  Segment names therefore embed
+the creating pid, and :func:`reap_segments` sweeps ``/dev/shm`` for the
+pids of a torn-down pool — safe precisely because delivery unlinks on
+arrival, so any dead worker's surviving segment is by construction
+undelivered, and its flight will re-pack into a fresh segment on retry.
 """
 
 from __future__ import annotations
 
+import os
 import secrets
 import weakref
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -120,8 +130,12 @@ def pack_columns(arrays: dict[str, np.ndarray]) -> dict[str, Any] | None:
     try:
         from multiprocessing import shared_memory
 
+        # The creating pid in the name is what makes orphans sweepable:
+        # reap_segments(dead_pids) can attribute every segment.
         seg = shared_memory.SharedMemory(
-            name=f"{SHM_PREFIX}{secrets.token_hex(8)}", create=True, size=max(total, 1)
+            name=f"{SHM_PREFIX}{os.getpid()}-{secrets.token_hex(8)}",
+            create=True,
+            size=max(total, 1),
         )
     except (ImportError, OSError, PermissionError, ValueError):
         return None
@@ -143,6 +157,37 @@ def pack_columns(arrays: dict[str, np.ndarray]) -> dict[str, Any] | None:
     _untrack(seg.name)
     seg.close()
     return descriptor
+
+
+def reap_segments(pids: Iterable[int]) -> int:
+    """Unlink /dev/shm segments created by the given (dead) pids.
+
+    Called by the resilient pool after tearing a broken pool down: a
+    killed worker can leave a packed-but-undelivered segment behind (see
+    module docstring), and those are the *only* segments a dead pid can
+    still own — delivered ones were unlinked on arrival.  Returns how
+    many segments were removed.
+    """
+    reaped = 0
+    shm_dir = "/dev/shm"
+    prefixes = tuple(f"{SHM_PREFIX}{pid}-" for pid in pids)
+    if not prefixes:
+        return 0
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    for entry in entries:
+        if not entry.startswith(prefixes):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+            reaped += 1
+        except OSError:
+            continue
+    if reaped:
+        count("transport.reaped", reaped)
+    return reaped
 
 
 def _close_segment(seg: Any) -> None:

@@ -34,9 +34,16 @@ from typing import Iterator, Sequence
 from repro.core.incidents import Incident
 from repro.errors import ConfigurationError
 from repro.parallel.merge import MergedStudy, merge_shard_results
-from repro.parallel.pool import pmap_chunked
-from repro.parallel.shard import ShardResult, StudyShard, attach_shard, execute_shard
+from repro.parallel.pool import FaultStats, RetryPolicy, pmap_chunked
+from repro.parallel.shard import (
+    ShardResult,
+    StudyShard,
+    attach_shard,
+    execute_shard,
+    shard_summary_key,
+)
 from repro.plan.ir import PlanWorld, RunPlan
+from repro.plan.journal import ExecutionJournal
 from repro.sim.cache import RunCache
 from repro.telemetry import count as telemetry_count
 from repro.telemetry import current_tracer, enabled, span
@@ -86,12 +93,21 @@ class PlanExecutor:
         incremental: bool = False,
         baseline: RunPlan | None = None,
         transport: str = "auto",
+        retry: RetryPolicy | None = None,
+        chaos: object | None = None,
+        resume: bool = False,
     ):
         if incremental and plan.cache_dir is None:
             raise ConfigurationError(
                 "incremental execution needs a cache directory: reusable "
                 "cells attach from the cell-level cache the baseline run "
                 "wrote (compile the plan with cache_dir=...)"
+            )
+        if resume and plan.cache_dir is None:
+            raise ConfigurationError(
+                "resume needs a cache directory: completed cells re-attach "
+                "through the journal and cell-level cache the interrupted "
+                "run wrote (compile the plan with cache_dir=...)"
             )
         if transport not in ("auto", "shm", "pickle"):
             raise ConfigurationError(
@@ -113,6 +129,17 @@ class PlanExecutor:
         self.diff = None
         #: reuse accounting (all zeros for non-incremental runs)
         self.reuse = ReuseStats()
+        #: retry ladder for the pool (defaults are production-sane)
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: fault-injection plan stamped onto every dispatched shard
+        #: (:class:`repro.chaos.FaultPlan`); ``None`` = no chaos
+        self.chaos = chaos
+        #: re-attach cells the journal proves complete instead of
+        #: executing them (:mod:`repro.plan.journal`)
+        self.resume = resume
+        #: recovery accounting: retries, requeues, rebuilds, resumed
+        #: cells — all zeros for a clean run
+        self.faults = FaultStats()
 
     def _chunk_size(self) -> int:
         # A chunk spans several small worlds (or part of one large one);
@@ -146,10 +173,15 @@ class PlanExecutor:
         """
         traced = enabled()
         mode = self._transport_mode()
-        if not traced and mode == "pickle":
+        if not traced and mode == "pickle" and self.chaos is None:
             return tuple(shards)
         return tuple(
-            dataclasses.replace(s, trace=traced or s.trace, transport=mode)
+            dataclasses.replace(
+                s,
+                trace=traced or s.trace,
+                transport=mode,
+                chaos=self.chaos if self.chaos is not None else s.chaos,
+            )
             for s in shards
         )
 
@@ -173,6 +205,76 @@ class PlanExecutor:
                 tracer.absorb(snapshot)
             r.trace = None
 
+    def _journal(self) -> ExecutionJournal | None:
+        """The checkpoint journal, when there is a cache to anchor it.
+
+        Journaling is unconditional with a cache directory: it is what
+        makes *this* run resumable if it dies, not a resume-mode-only
+        artifact.  Without a cache there is nothing to re-attach
+        through, so there is nothing worth journaling.
+        """
+        if self.plan.cache_dir is None:
+            return None
+        return ExecutionJournal(self.plan.cache_dir)
+
+    def _resume_attached(
+        self, journal: ExecutionJournal | None
+    ) -> dict[int, ShardResult]:
+        """Cells the journal proves complete, re-attached from the cache.
+
+        A journaled key whose cache entry went cold or malformed simply
+        stays on the execute list — resume degrades to re-execution,
+        never to a hole in the tables.
+        """
+        if not self.resume or journal is None:
+            return {}
+        done_keys = journal.completed()
+        if not done_keys:
+            return {}
+        cache = RunCache(self.plan.cache_dir)
+        attached: dict[int, ShardResult] = {}
+        with span("plan.attach", journaled=len(done_keys), resume=True):
+            for shard in self.plan.shards:
+                if shard_summary_key(shard) not in done_keys:
+                    continue
+                result = attach_shard(shard, cache)
+                if result is not None:
+                    attached[shard.index] = result
+        self.faults.resumed += len(attached)
+        telemetry_count("fault.resumed", len(attached))
+        return attached
+
+    def _journaled_results(
+        self, to_run: Sequence[StudyShard], journal: ExecutionJournal | None
+    ) -> Iterator[ShardResult]:
+        """Execute ``to_run`` through the pool, journaling as drained.
+
+        Each completed cell is journaled the moment its result is
+        *retrieved* (the pool's per-delivery hook) — before the chunk
+        it belongs to is yielded, before the caller folds it — so a
+        crash mid-chunk or mid-world still banks every drained cell
+        for ``--resume``.  Deliveries arrive strictly in ``to_run``
+        order, so pairing them with the shard list by position is
+        sound.
+        """
+        keys = iter(to_run)
+
+        def bank(_result) -> None:
+            if journal is not None:
+                journal.record(shard_summary_key(next(keys)))
+
+        batches = pmap_chunked(
+            execute_shard,
+            self._dispatchable(to_run),
+            workers=self.workers,
+            chunk_size=self._chunk_size(),
+            policy=self.retry,
+            stats=self.faults,
+            on_result=bank,
+        )
+        for batch in batches:
+            yield from batch
+
     def iter_world_results(self) -> Iterator[tuple[PlanWorld, list[ShardResult]]]:
         """Yield (world, its shard results) in plan order.
 
@@ -180,7 +282,8 @@ class PlanExecutor:
         regrouped by each world's shard count, so a world is yielded the
         moment its last cell returns — no barrier across worlds.  In
         incremental mode reusable cells attach from the cache instead of
-        executing; the yielded groups are indistinguishable.
+        executing; with ``resume`` journaled cells attach the same way;
+        the yielded groups are indistinguishable.
         """
         if self.incremental:
             yield from self._iter_incremental()
@@ -188,24 +291,31 @@ class PlanExecutor:
         with span(
             "plan.run", shards=len(self.plan.shards), workers=self.workers
         ):
-            results = (
-                shard_result
-                for batch in pmap_chunked(
-                    execute_shard,
-                    self._dispatchable(self.plan.shards),
-                    workers=self.workers,
-                    chunk_size=self._chunk_size(),
-                )
-                for shard_result in batch
-            )
-            for world, n_shards in self.plan.world_shard_counts():
-                # The world span stays open across the yield, so the
-                # caller's fold of this world is attributed to it.
-                with span("plan.world", world=world.index, shards=n_shards):
-                    world_results = [next(results) for _ in range(n_shards)]
-                    assert all(r.world == world.index for r in world_results)
-                    self._absorb_traces(world_results)
-                    yield world, world_results
+            journal = self._journal()
+            try:
+                attached = self._resume_attached(journal)
+                to_run = [
+                    s for s in self.plan.shards if s.index not in attached
+                ]
+                results = self._journaled_results(to_run, journal)
+                shards = iter(self.plan.shards)
+                for world, n_shards in self.plan.world_shard_counts():
+                    # The world span stays open across the yield, so the
+                    # caller's fold of this world is attributed to it.
+                    with span("plan.world", world=world.index, shards=n_shards):
+                        world_results = []
+                        for _ in range(n_shards):
+                            shard = next(shards)
+                            result = attached.pop(shard.index, None)
+                            world_results.append(
+                                result if result is not None else next(results)
+                            )
+                        assert all(r.world == world.index for r in world_results)
+                        self._absorb_traces(world_results)
+                        yield world, world_results
+            finally:
+                if journal is not None:
+                    journal.close()
 
     def _iter_incremental(self) -> Iterator[tuple[PlanWorld, list[ShardResult]]]:
         """The diff-aware path: attach reusable cells, dispatch the rest.
@@ -234,47 +344,56 @@ class PlanExecutor:
                 self.diff = diff_plans(baseline, self.plan)
             reusable = self.diff.reusable_indices()
             cache = RunCache(self.plan.cache_dir)
+            journal = self._journal()
+            resume_keys: set[str] = set()
+            if self.resume and journal is not None:
+                resume_keys = journal.completed()
             attached: dict[int, ShardResult] = {}
+            resumed = 0
             to_run = []
-            with span("plan.attach", reusable=len(reusable)):
-                for shard in self.plan.shards:
-                    if shard.index in reusable:
-                        before = cache.invalid
-                        result = attach_shard(shard, cache)
-                        self.reuse.invalid += cache.invalid - before
-                        if result is not None:
-                            attached[shard.index] = result
-                            continue
-                    to_run.append(shard)
-            self.reuse.planned_reusable = self.diff.n_reusable
-            self.reuse.planned_dirty = self.diff.n_dirty
-            self.reuse.attached = len(attached)
-            self.reuse.executed = len(to_run)
-            for name, value in self.reuse.to_dict().items():
-                telemetry_count(f"plan.reuse.{name}", value)
-            results = (
-                shard_result
-                for batch in pmap_chunked(
-                    execute_shard,
-                    self._dispatchable(to_run),
-                    workers=self.workers,
-                    chunk_size=self._chunk_size(),
-                )
-                for shard_result in batch
-            )
-            shards = iter(self.plan.shards)
-            for world, n_shards in self.plan.world_shard_counts():
-                with span("plan.world", world=world.index, shards=n_shards):
-                    world_results = []
-                    for _ in range(n_shards):
-                        shard = next(shards)
-                        result = attached.pop(shard.index, None)
-                        world_results.append(
-                            result if result is not None else next(results)
+            try:
+                with span("plan.attach", reusable=len(reusable)):
+                    for shard in self.plan.shards:
+                        journaled = (
+                            bool(resume_keys)
+                            and shard_summary_key(shard) in resume_keys
                         )
-                    assert all(r.world == world.index for r in world_results)
-                    self._absorb_traces(world_results)
-                    yield world, world_results
+                        if shard.index in reusable or journaled:
+                            before = cache.invalid
+                            result = attach_shard(shard, cache)
+                            self.reuse.invalid += cache.invalid - before
+                            if result is not None:
+                                attached[shard.index] = result
+                                if journaled and shard.index not in reusable:
+                                    resumed += 1
+                                continue
+                        to_run.append(shard)
+                if resumed:
+                    self.faults.resumed += resumed
+                    telemetry_count("fault.resumed", resumed)
+                self.reuse.planned_reusable = self.diff.n_reusable
+                self.reuse.planned_dirty = self.diff.n_dirty
+                self.reuse.attached = len(attached)
+                self.reuse.executed = len(to_run)
+                for name, value in self.reuse.to_dict().items():
+                    telemetry_count(f"plan.reuse.{name}", value)
+                results = self._journaled_results(to_run, journal)
+                shards = iter(self.plan.shards)
+                for world, n_shards in self.plan.world_shard_counts():
+                    with span("plan.world", world=world.index, shards=n_shards):
+                        world_results = []
+                        for _ in range(n_shards):
+                            shard = next(shards)
+                            result = attached.pop(shard.index, None)
+                            world_results.append(
+                                result if result is not None else next(results)
+                            )
+                        assert all(r.world == world.index for r in world_results)
+                        self._absorb_traces(world_results)
+                        yield world, world_results
+            finally:
+                if journal is not None:
+                    journal.close()
 
     def merged_worlds(
         self,

@@ -1,0 +1,81 @@
+"""Checkpoint journal: which cells an interrupted run already finished.
+
+The journal is the small piece that turns the caches into a resume
+mechanism.  Cell summaries already live in the content-addressed cache
+(:func:`~repro.parallel.shard.shard_summary_key`), but a cold probe of
+every key costs a decode per cell and — worse — cannot distinguish "this
+run finished that cell" from "some other campaign happened to share it".
+The journal records exactly the former: one JSON line per *completed*
+shard, appended and flushed as each result is drained, so a run killed
+mid-world still knows every cell it banked.
+
+Keys are content-addressed summary keys, **not** plan digests: an
+interrupted ensemble resumes through differently-shaped sub-plans
+(worlds regrouped, batches re-cut) whose digests would never match, but
+a cell's summary key is the same bytes in any of them.
+
+Format — ``journal.jsonl`` next to the cache::
+
+    {"key": "<shard summary key>"}
+    {"key": "..."}
+
+Tolerant on read: a torn final line (the crash was mid-append) or alien
+garbage is skipped, never fatal — the worst case is re-executing a cell
+whose record was lost, which is exactly what the caches make cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class ExecutionJournal:
+    """Append-only record of completed shard summary keys."""
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        self.path = Path(cache_dir) / self.FILENAME
+        self._fh = None
+
+    def completed(self) -> set[str]:
+        """Every key journaled by prior (possibly interrupted) runs."""
+        keys: set[str] = set()
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        # A torn append from the interrupted run: skip.
+                        continue
+                    key = entry.get("key") if isinstance(entry, dict) else None
+                    if isinstance(key, str) and key:
+                        keys.add(key)
+        except OSError:
+            return set()
+        return keys
+
+    def record(self, key: str) -> None:
+        """Journal one completed cell — durable before the next drain."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps({"key": key}, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ExecutionJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

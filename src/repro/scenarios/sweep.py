@@ -39,6 +39,7 @@ from repro.core.study import StudyConfig, StudyReport, StudyRunner
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # repro.plan sits below this module in the import graph
+    from repro.parallel.pool import FaultStats
     from repro.plan.executor import ReuseStats
 from repro.reporting.deltas import delta_table, scenario_deltas
 from repro.reporting.tables import render_table
@@ -70,6 +71,9 @@ class SweepResult:
 
     outcomes: dict[str, ScenarioOutcome]
     reuse: "ReuseStats | None" = None
+    #: recovery accounting summed over every executor the sweep ran
+    #: (``None`` when fault tolerance saw no action)
+    faults: "FaultStats | None" = None
 
     @property
     def baseline(self) -> StudyReport:
@@ -125,6 +129,8 @@ class SweepResult:
             out["deltas"] = [asdict(delta) for delta in self.deltas()]
         if self.reuse is not None:
             out["cell_reuse"] = self.reuse.to_dict()
+        if self.faults is not None and self.faults.activity:
+            out["faults"] = self.faults.to_dict()
         return out
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -152,12 +158,21 @@ class ScenarioSweep:
         include_baseline: bool = True,
         incremental: bool = False,
         transport: str = "auto",
+        retry=None,
+        chaos=None,
+        resume: bool = False,
     ):
         if incremental and cache_dir is None:
             raise ConfigurationError(
                 "an incremental sweep needs a cache directory: untouched "
                 "cells attach from the cell-level cache the baseline "
                 "campaign writes (pass cache_dir=...)"
+            )
+        if resume and cache_dir is None:
+            raise ConfigurationError(
+                "resume needs a cache directory: completed cells re-attach "
+                "through the journal and caches the interrupted run wrote "
+                "(pass cache_dir=...)"
             )
         self.config = config
         self.scenarios = list(scenarios)
@@ -166,6 +181,9 @@ class ScenarioSweep:
         self.cache_dir = cache_dir
         self.include_baseline = include_baseline
         self.incremental = incremental
+        self.retry = retry
+        self.chaos = chaos
+        self.resume = resume
         # Fail fast on duplicate/reserved ids — before any world runs.
         scenario_grid(self.scenarios, include_baseline=include_baseline)
 
@@ -195,6 +213,7 @@ class ScenarioSweep:
         to a from-scratch sweep either way; only the cache/reuse
         counters differ.
         """
+        from repro.parallel.pool import FaultStats
         from repro.plan import PlanExecutor, compile_study
 
         builder_runner = StudyRunner(self.config)
@@ -231,11 +250,17 @@ class ScenarioSweep:
         ):
             if not self.incremental:
                 executor = PlanExecutor(
-                    self.compile(), workers=self.workers, transport=self.transport
+                    self.compile(),
+                    workers=self.workers,
+                    transport=self.transport,
+                    retry=self.retry,
+                    chaos=self.chaos,
+                    resume=self.resume,
                 )
                 for world, merged in executor.merged_worlds(seed_incidents=build_incidents):
                     fold(world, merged)
-                return SweepResult(outcomes=outcomes)
+                faults = executor.faults if executor.faults.activity else None
+                return SweepResult(outcomes=outcomes, faults=faults)
 
             # Phase 1: the baseline campaign (the reference every scenario
             # world diffs against).  With include_baseline=False the sweep
@@ -247,7 +272,12 @@ class ScenarioSweep:
             if not emit_baseline:
                 base_plan = compile_study(self.config, cache_dir=self.cache_dir)
             base_executor = PlanExecutor(
-                base_plan, workers=self.workers, transport=self.transport
+                base_plan,
+                workers=self.workers,
+                transport=self.transport,
+                retry=self.retry,
+                chaos=self.chaos,
+                resume=self.resume,
             )
             for world, merged in base_executor.merged_worlds(seed_incidents=build_incidents):
                 if emit_baseline:
@@ -262,7 +292,17 @@ class ScenarioSweep:
                 incremental=True,
                 baseline=base_plan,
                 transport=self.transport,
+                retry=self.retry,
+                chaos=self.chaos,
+                resume=self.resume,
             )
             for world, merged in inc_executor.merged_worlds(seed_incidents=build_incidents):
                 fold(world, merged)
-            return SweepResult(outcomes=outcomes, reuse=inc_executor.reuse)
+            faults = FaultStats()
+            faults.add(base_executor.faults)
+            faults.add(inc_executor.faults)
+            return SweepResult(
+                outcomes=outcomes,
+                reuse=inc_executor.reuse,
+                faults=faults if faults.activity else None,
+            )

@@ -413,6 +413,22 @@ class RunCache:
         telemetry_count(f"cache.{level}.puts")
         telemetry_count(f"cache.{level}.put_bytes", len(text))
 
+    def poison(self, key: str) -> None:
+        """Overwrite ``key``'s entry with undecodable bytes.
+
+        The chaos harness's cache-corruption fault
+        (:func:`repro.chaos.corrupt_after_store`): the next probe must
+        degrade through :meth:`note_invalid` and re-simulate, never
+        crash or silently trust the entry.  Testing hook only — nothing
+        in the production path calls this.
+        """
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(b"\xff\xfechaos\x00 corrupted entry")
+        os.replace(tmp, path)
+
     # -- batched I/O (one envelope per cell) --------------------------------
 
     @contextlib.contextmanager

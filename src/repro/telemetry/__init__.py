@@ -31,7 +31,7 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_trace,
 )
-from repro.telemetry.registry import SPANS
+from repro.telemetry.registry import COUNTERS, SPANS
 from repro.telemetry.tracer import (
     Tracer,
     count,
@@ -42,6 +42,7 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "COUNTERS",
     "SPANS",
     "TRACE_VERSION",
     "Tracer",

@@ -1,11 +1,14 @@
-"""The span registry: every span name the codebase may emit.
+"""The span and counter registries: every name the codebase may emit.
 
 One flat taxonomy keeps traces summarizable: ``repro trace summarize``
 groups self-time by span name, so names must be stable string literals
 (never interpolated — varying detail belongs in span *attributes*).  A
 lint-style test (``tests/test_telemetry.py``) greps ``src/`` for
 ``span("...")`` call sites and fails on any name missing here, so the
-registry and the instrumentation can never drift apart.
+registry and the instrumentation can never drift apart.  :data:`COUNTERS`
+gets the same treatment for literal ``count("...")`` sites; counters
+whose names are built per call (the ``cache.<level>.*`` and
+``plan.reuse.<field>`` families) are enumerated explicitly below.
 
 Naming convention: ``<layer>.<operation>``, layers ordered roughly by
 call depth — campaign orchestration (``campaign``), front-end runners
@@ -41,7 +44,11 @@ SPANS: dict[str, str] = {
     # the process pool
     "pool.dispatch": "submitting one chunk of shards to the worker pool",
     "pool.drain": "waiting on one in-flight chunk's results",
+    "pool.retry": "backing off before re-dispatching a transiently failed shard",
+    "pool.requeue": "rebuilding a dead pool and resubmitting undelivered flights",
     "transport.attach": "attaching one shard's shared-memory block as column views",
+    # the chaos harness
+    "chaos.inject": "injecting one deterministic fault (kind=... attribute)",
     # per-cell execution (worker side)
     "shard.execute": "one (environment, size) cell, start to finish",
     "shard.provision": "quota, cluster provisioning, and environment deploy",
@@ -61,4 +68,44 @@ SPANS: dict[str, str] = {
     "bench.block": "the array-native block pipeline",
     "bench.rng": "the keyed-rng component microbenchmark",
     "bench.transport": "the shard-transport component microbenchmark",
+}
+
+#: counter name → what it accumulates
+COUNTERS: dict[str, str] = {
+    # fault tolerance (the resilient pool and resume path)
+    "fault.retries": "transient shard failures re-dispatched with backoff",
+    "fault.requeues": "flights resubmitted after their pool died under them",
+    "fault.rebuilds": "process-pool teardown/rebuild cycles",
+    "fault.timeouts": "per-shard deadlines that expired on stragglers",
+    "fault.serial_hops": "drops down the workers->serial degradation ladder",
+    "fault.injected": "faults attributed to the chaos harness",
+    "fault.resumed": "cells re-attached from the checkpoint journal",
+    # shared-memory transport
+    "transport.blocks": "shared-memory blocks attached by the parent",
+    "transport.bytes": "column bytes crossing via shared memory",
+    "transport.copied_bytes": "column bytes copied at attach time (zero-copy = 0)",
+    "transport.reaped": "orphaned /dev/shm segments swept after dead workers",
+    # the cache (levels: run / cell / world)
+    "cache.invalid": "unusable cache entries degraded to re-simulation",
+    "cache.run.hits": "run-level cache hits",
+    "cache.run.misses": "run-level cache misses",
+    "cache.run.puts": "run-level cache stores",
+    "cache.run.put_bytes": "run-level bytes written",
+    "cache.run.hit_bytes": "run-level bytes served",
+    "cache.cell.hits": "cell-level cache hits",
+    "cache.cell.misses": "cell-level cache misses",
+    "cache.cell.puts": "cell-level cache stores",
+    "cache.cell.put_bytes": "cell-level bytes written",
+    "cache.cell.hit_bytes": "cell-level bytes served",
+    "cache.world.hits": "world-summary cache hits",
+    "cache.world.misses": "world-summary cache misses",
+    "cache.world.puts": "world-summary cache stores",
+    "cache.world.put_bytes": "world-summary bytes written",
+    "cache.world.hit_bytes": "world-summary bytes served",
+    # incremental reuse accounting (mirrors ReuseStats fields)
+    "plan.reuse.planned_reusable": "cells the diff classified reusable",
+    "plan.reuse.planned_dirty": "cells the diff classified dirty",
+    "plan.reuse.attached": "cells attached from the cell-level cache",
+    "plan.reuse.executed": "cells dispatched to shard execution",
+    "plan.reuse.invalid": "malformed cell entries met on the reuse path",
 }

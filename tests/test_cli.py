@@ -602,3 +602,85 @@ def test_campaign_help_documents_examples(capsys):
     out = capsys.readouterr().out
     assert "examples:" in out
     assert "smoke" in out
+
+
+# -- fault tolerance flags ----------------------------------------------------
+
+_SMOKE_FLAGS = ["--envs", "cpu-eks-aws", "--apps", "lammps", "--sizes", "32"]
+
+
+def test_study_chaos_flag_survives_and_reports_on_stderr(capsys):
+    assert main(["study", *_SMOKE_FLAGS]) == 0
+    clean = capsys.readouterr()
+    assert main(["study", *_SMOKE_FLAGS, "--chaos", "transient=1.0"]) == 0
+    chaotic = capsys.readouterr()
+    # Diagnostics go to stderr; stdout stays byte-identical through the
+    # injected faults and their retries.
+    assert chaotic.out == clean.out
+    assert "fault recovery" in chaotic.err
+    assert "injected=" in chaotic.err
+
+
+def test_study_bad_chaos_spec_is_a_clean_error(capsys):
+    assert main(["study", "--chaos", "explode=1"]) == 2
+    assert "bad chaos spec" in capsys.readouterr().err
+
+
+def test_study_chaos_rate_out_of_range_is_a_clean_error(capsys):
+    assert main(["study", "--chaos", "kill=1.5"]) == 2
+    assert "within [0, 1]" in capsys.readouterr().err
+
+
+def test_study_resume_without_cache_is_a_clean_error(capsys):
+    assert main(["study", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "--resume needs --cache" in err
+
+
+def test_study_resume_replays_journaled_cells(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["study", *_SMOKE_FLAGS, "--cache", cache]) == 0
+    first = capsys.readouterr()
+    assert main(["study", *_SMOKE_FLAGS, "--cache", cache, "--resume"]) == 0
+    resumed = capsys.readouterr()
+    # Same campaign summary on stdout; the resumed run re-attached the
+    # journaled cell instead of executing it, and says so on stderr.
+    assert resumed.out.splitlines()[0] == first.out.splitlines()[0]
+    assert "resumed=1" in resumed.err
+
+
+def test_ensemble_run_accepts_fault_flags(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    rc = main([
+        "ensemble", "run", "--replicas", "2", *_SMOKE_FLAGS,
+        "--cache", cache, "--chaos", "transient=1.0",
+        "--max-retries", "4", "--workers", "2",
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "worlds folded     : 2" in captured.out
+    assert "fault recovery" in captured.err
+
+
+def test_campaign_run_accepts_fault_flags(tmp_path, capsys):
+    import json as _json
+
+    spec = tmp_path / "campaign.json"
+    spec.write_text(_json.dumps({
+        "sla": {"min_exceedance": 0.0},
+        "scenarios": ["price-war"],
+        "env_ids": ["cpu-eks-aws"], "apps": ["amg2023"], "sizes": [32],
+        "smoke": {"replicas": 1, "margin": 0.5}, "grid": {"replicas": 1},
+    }))
+    report_path = tmp_path / "report.json"
+    rc = main([
+        "campaign", "run", "--spec", str(spec), "--workers", "2",
+        "--chaos", "transient=1.0", "--json", str(report_path),
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "fault recovery" in captured.err
+    report = _json.loads(report_path.read_text())
+    # Recovery accounting lands in the profile section only — the
+    # decision core stays byte-identical to an uninjected campaign.
+    assert report["profile"]["faults"]["injected"] >= 1

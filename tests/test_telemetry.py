@@ -10,6 +10,7 @@ import pytest
 from repro.core.study import StudyConfig, StudyRunner
 from repro.sim.cache import INVALID_REASON_CAP, RunCache
 from repro.telemetry import (
+    COUNTERS,
     SPANS,
     Tracer,
     chrome_trace_events,
@@ -447,3 +448,39 @@ def test_registry_names_follow_convention():
         layer, _, operation = name.partition(".")
         assert layer and operation, name
         assert description
+
+
+def test_every_emitted_counter_is_registered():
+    # Literal counter emissions only: the dotted-name group skips both
+    # str.count("1") noise and f-string sites (whose expansions are
+    # registered by hand, e.g. the cache.<level>.* family).
+    pattern = re.compile(r'\b(?:telemetry_)?count\(\s*"([a-z_]+(?:\.[a-z_]+)+)"')
+    emitted = set()
+    for path in SRC.rglob("*.py"):
+        emitted.update(pattern.findall(path.read_text(encoding="utf-8")))
+    assert emitted  # the instrumentation exists
+    unregistered = emitted - set(COUNTERS)
+    assert not unregistered, (
+        f"counter names emitted in src/ but missing from "
+        f"repro.telemetry.registry.COUNTERS: {sorted(unregistered)}"
+    )
+
+
+def test_counter_registry_follows_convention():
+    assert COUNTERS
+    for name, description in COUNTERS.items():
+        layer, _, metric = name.partition(".")
+        assert layer and metric, name
+        assert description
+    # The fault-tolerance counters this layer emits are all declared.
+    for expected in (
+        "fault.retries",
+        "fault.requeues",
+        "fault.rebuilds",
+        "fault.timeouts",
+        "fault.serial_hops",
+        "fault.injected",
+        "fault.resumed",
+        "transport.reaped",
+    ):
+        assert expected in COUNTERS, expected

@@ -11,11 +11,13 @@ import pytest
 
 from repro.core.results import ResultStore
 from repro.core.study import StudyConfig, StudyRunner
+from repro.errors import ShardExecutionError
 from repro.parallel.pool import pmap
 from repro.parallel.transport import (
     SHM_PREFIX,
     attach_columns,
     pack_columns,
+    reap_segments,
     shm_available,
 )
 from repro.sim.execution import ExecutionEngine
@@ -202,9 +204,73 @@ def test_no_orphans_after_failing_worker():
     """A worker raising mid-batch must not strand /dev/shm segments.
 
     Successful items' stores are packed in the workers; the pool's
-    __exit__ waits for in-flight futures, every delivered result is
-    unpickled (attached + unlinked) before the error propagates.
+    teardown waits for in-flight futures, every delivered result is
+    unpickled (attached + unlinked) before the error propagates.  The
+    fatal error surfaces as the typed wrapper, original cause chained.
     """
-    with pytest.raises(RuntimeError, match="boom"):
+    with pytest.raises(ShardExecutionError, match="boom"):
         pmap(_build_marked_store, [4, 8, -1, 16], workers=2)
     # the autouse fixture asserts nothing leaked
+
+
+# -- kill-during-pack (the retry path re-packs into a fresh segment) --------
+
+
+import dataclasses as _dc
+import signal
+
+
+@_dc.dataclass(frozen=True)
+class _KillItem:
+    """A mapped value the pool stamps retry attempts onto."""
+
+    value: int
+    attempt: int = 0
+
+
+def _pack_then_maybe_die(item: _KillItem) -> ResultStore:
+    if item.value < 0 and item.attempt == 0:
+        # Model a worker killed mid-pack: the segment exists (named with
+        # this worker's pid) but its descriptor never reaches the parent.
+        pack_columns({"orphan": np.arange(512, dtype=np.int64)})
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _build_marked_store(8)
+
+
+def test_kill_during_pack_reaps_orphan_and_repacks():
+    """A worker killed mid-pack strands a segment nobody will attach.
+
+    The pool's rebuild must reap the dead worker's segment, and the
+    requeued flight must re-pack into a *fresh* segment — delivering a
+    result identical to an undisturbed run (the leak fixture holds the
+    /dev/shm invariant).
+    """
+    expected = _build_marked_store(8).to_csv()
+    results = pmap(
+        _pack_then_maybe_die,
+        [_KillItem(1), _KillItem(-1), _KillItem(2)],
+        workers=2,
+    )
+    assert [pickle.loads(pickle.dumps(r)).to_csv() for r in results] == [expected] * 3
+
+
+def test_reap_segments_sweeps_only_dead_pids():
+    from multiprocessing import shared_memory
+
+    from repro.parallel.transport import _untrack
+
+    dead = shared_memory.SharedMemory(
+        name=f"{SHM_PREFIX}999999-deadbeef", create=True, size=16
+    )
+    _untrack(dead.name)
+    dead.close()
+    live = shared_memory.SharedMemory(
+        name=f"{SHM_PREFIX}{os.getpid()}-cafe", create=True, size=16
+    )
+    try:
+        assert reap_segments([999999]) == 1
+        assert f"{SHM_PREFIX}999999-deadbeef" not in _shm_segments()
+        assert f"{SHM_PREFIX}{os.getpid()}-cafe" in _shm_segments()
+    finally:
+        live.close()
+        live.unlink()
